@@ -1,0 +1,39 @@
+"""Ablation — the CorS clique weight of Eq. 9.
+
+The paper argues that weighting each clique by its corpus correlation
+strength ("the tight connection between nodes in a clique usually
+yields more semantic information") improves the similarity measure.
+This ablation toggles `use_cors` and compares retrieval precision.
+Expected shape: CorS weighting helps (or at worst matches), because it
+boosts cliques whose features genuinely co-vary and silences
+coincidental ones.
+"""
+
+import pytest
+
+import _harness as H
+from repro.core.mrf import MRFParameters
+from repro.eval import evaluate_retrieval
+
+CUTOFFS = (5, 10, 20)
+
+
+def run_experiment():
+    oracle = H.topic_oracle()
+    q = H.queries()
+    engine = H.fig_engine()
+    rows, results = [], {}
+    for label, use_cors in (("phi' (with CorS)", True), ("phi (no CorS)", False)):
+        system = engine.with_params(MRFParameters(use_cors=use_cors))
+        report = evaluate_retrieval(system, q, oracle, cutoffs=CUTOFFS)
+        rows.append(report.format_row(label, CUTOFFS))
+        results[use_cors] = report.precision
+    return rows, results
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_cors(benchmark, capsys):
+    rows, results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    H.report("ablation_cors", "Ablation: Eq. 9 CorS clique weighting", rows, capsys)
+    # CorS weighting should not hurt at the deepest cutoff.
+    assert results[True][20] >= results[False][20] - 0.03

@@ -1,0 +1,42 @@
+"""Ablation — the smoothing trade-off α of Eq. 7.
+
+α=1 scores cliques purely by appearance frequency in the candidate;
+α=0 scores purely by the correlation of clique features with the
+candidate's other features.  The paper motivates the blend ("It is
+common in social media that the features in the clique may be also
+similar to some other features in O_i") but never sweeps it; this
+ablation does.  Expected shape: both extremes underperform some
+interior blend — frequency alone ignores correlated near-matches,
+smoothing alone blurs exact evidence.
+"""
+
+import pytest
+
+import _harness as H
+from repro.core.mrf import MRFParameters
+from repro.eval import evaluate_retrieval
+
+ALPHAS = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+def run_experiment():
+    oracle = H.topic_oracle()
+    q = H.queries()
+    engine = H.fig_engine()
+    rows, series = [], {}
+    for alpha in ALPHAS:
+        system = engine.with_params(MRFParameters(alpha=alpha))
+        report = evaluate_retrieval(system, q, oracle, cutoffs=(10, 20))
+        series[alpha] = report[10]
+        rows.append(f"alpha={alpha:<5} P@10={report[10]:.3f}  P@20={report[20]:.3f}")
+    return rows, series
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_smoothing(benchmark, capsys):
+    rows, series = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    H.report("ablation_smoothing", "Ablation: Eq. 7 smoothing α sweep", rows, capsys)
+    best = max(series, key=series.get)
+    # the best blend is at least as good as both extremes
+    assert series[best] >= series[0.0]
+    assert series[best] >= series[1.0]

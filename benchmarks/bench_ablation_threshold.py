@@ -1,0 +1,51 @@
+"""Ablation — the FIG edge correlation threshold (Section 3.2).
+
+Edges are drawn when Cor exceeds a "trained threshold"; the threshold
+controls FIG density and hence which multi-feature cliques exist.  This
+ablation sweeps the inter-type threshold (the intra-type tables keep
+their defaults) and reports precision and index size.  Expected shape:
+too low a threshold floods the index with coincidental cross-modal
+cliques; too high strips the cross-modal structure the model feeds on —
+a plateau or interior optimum, with index size shrinking monotonically
+as the threshold rises.
+"""
+
+import pytest
+
+import _harness as H
+from repro.core.retrieval import RetrievalEngine
+from repro.eval import evaluate_retrieval, sample_queries
+
+SIZE = 800
+THRESHOLDS = (0.03, 0.06, 0.12, 0.24, 0.48)
+
+
+def run_experiment():
+    corpus = H.retrieval_corpus(SIZE)
+    oracle = H.topic_oracle(SIZE)
+    q = sample_queries(corpus, n_queries=12, seed=H.QUERY_SEED)
+    rows, series = [], {}
+    for threshold in THRESHOLDS:
+        inter = {("T", "U"): threshold, ("T", "V"): threshold, ("U", "V"): threshold}
+        engine = RetrievalEngine(corpus, thresholds=inter)
+        report = evaluate_retrieval(engine, q, oracle, cutoffs=(10,))
+        n_cliques = engine.index.stats()["n_cliques"]
+        series[threshold] = (report[10], n_cliques)
+        rows.append(
+            f"inter-threshold={threshold:<5} P@10={report[10]:.3f}  "
+            f"index cliques={n_cliques:9.0f}"
+        )
+    return rows, series
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_threshold(benchmark, capsys):
+    rows, series = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    H.report("ablation_threshold", "Ablation: FIG edge threshold sweep", rows, capsys)
+    sizes = [series[t][1] for t in THRESHOLDS]
+    assert sizes == sorted(sizes, reverse=True), (
+        "raising the threshold must shrink the clique index monotonically"
+    )
+    precisions = {t: series[t][0] for t in THRESHOLDS}
+    # Retrieval quality stays in a sane band across the sweep.
+    assert max(precisions.values()) - min(precisions.values()) < 0.5

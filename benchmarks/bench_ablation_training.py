@@ -1,0 +1,46 @@
+"""Ablation — trained vs default MRF parameters.
+
+The paper trains λ with the strategy of [16] and calls parameter tuning
+"a critical issue that affects the overall performance" (Section 6).
+This ablation quantifies that: retrieval precision with the library's
+Metzler-Croft-style default weights vs parameters fitted by coordinate
+ascent on held-out training queries.  Expected shape: training helps or
+at worst matches the defaults on evaluation queries.
+"""
+
+import pytest
+
+import _harness as H
+from repro.core.mrf import MRFParameters
+from repro.eval import evaluate_retrieval
+
+CUTOFFS = (5, 10, 20)
+
+
+def run_experiment():
+    oracle = H.topic_oracle()
+    q = H.queries()
+    engine = H.fig_engine()  # holds trained params
+    trained = H.trained_fig_params()
+    rows, results = [], {}
+    for label, params in (
+        ("default", MRFParameters()),
+        ("trained", trained),
+    ):
+        report = evaluate_retrieval(engine.with_params(params), q, oracle, cutoffs=CUTOFFS)
+        rows.append(report.format_row(label, CUTOFFS))
+        results[label] = report.precision
+    rows.append(
+        "trained lambdas: "
+        + ", ".join(f"λ{k}={v:.3f}" for k, v in sorted(trained.lambdas.items()))
+        + f", α={trained.alpha}"
+    )
+    return rows, results
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_training(benchmark, capsys):
+    rows, results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    H.report("ablation_training", "Ablation: trained vs default MRF parameters", rows, capsys)
+    # Training generalizes: no collapse relative to the defaults.
+    assert results["trained"][10] >= results["default"][10] - 0.05

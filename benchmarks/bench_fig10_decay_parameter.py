@@ -1,0 +1,41 @@
+"""Figure 10 — recommendation precision vs the decay parameter δ.
+
+Paper series: P@10 of the FIG recommender while δ goes 1.0 → 0.1
+(their corpus: 39.8% at δ=1 rising to 42.1% at δ=0.4, then degrading).
+Expected shape: unimodal — moderate decay beats no decay (recent
+favorites track the user's drifting interest), but very strong decay
+discards too much history.
+"""
+
+import pytest
+
+import _harness as H
+from repro.core.mrf import MRFParameters
+from repro.eval import evaluate_recommendation
+
+DELTAS = (1.0, 0.8, 0.6, 0.4, 0.2, 0.1)
+
+
+def run_experiment():
+    _corpus, _split, oracle, users, recommender = H.recommendation_setup()
+    rows, series = [], {}
+    for delta in DELTAS:
+        system = recommender.with_params(MRFParameters(delta=delta))
+        report = evaluate_recommendation(system, users, oracle, cutoffs=(10,))
+        series[delta] = report[10]
+        rows.append(f"delta={delta:<4}  P@10={report[10]:.3f}")
+    return rows, series
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_decay_parameter(benchmark, capsys):
+    rows, series = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    H.report("fig10_decay_parameter", "Figure 10: recommendation P@10 vs δ", rows, capsys)
+
+    best_delta = max(series, key=series.get)
+    # The optimum is strictly inside (0.1, 1.0]: moderate decay wins or
+    # ties no-decay, and the strongest decay is not the optimum.
+    assert series[best_delta] >= series[1.0]
+    assert series[0.1] <= series[best_delta]
+    # Strong decay degrades relative to the peak (the paper's downslope).
+    assert series[0.1] < series[best_delta] + 1e-9

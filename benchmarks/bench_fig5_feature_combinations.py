@@ -1,0 +1,59 @@
+"""Figure 5 — retrieval precision of individual features and their
+combinations under the FIG model.
+
+Paper series: P@{3,5,10,20} for Visual, Text, User, Visual+Text,
+Visual+User, Text+User and the full FIG (all three).  Expected shape:
+visual is the weakest single modality, text slightly beats user, every
+pair beats its singles, and the full combination is best.
+"""
+
+import pytest
+
+import _harness as H
+from repro.core.objects import FeatureType
+from repro.core.retrieval import RetrievalEngine
+from repro.eval import evaluate_retrieval
+
+CUTOFFS = (3, 5, 10, 20)
+
+COMBOS = [
+    ("Visual", (FeatureType.VISUAL,)),
+    ("Text", (FeatureType.TEXT,)),
+    ("User", (FeatureType.USER,)),
+    ("Visual+Text", (FeatureType.VISUAL, FeatureType.TEXT)),
+    ("Visual+User", (FeatureType.VISUAL, FeatureType.USER)),
+    ("Text+User", (FeatureType.TEXT, FeatureType.USER)),
+    ("FIG", (FeatureType.TEXT, FeatureType.VISUAL, FeatureType.USER)),
+]
+
+
+def run_experiment():
+    corpus = H.retrieval_corpus()
+    oracle = H.topic_oracle()
+    base_queries = H.queries()
+    rows = []
+    results = {}
+    params = H.trained_fig_params()
+    for label, types in COMBOS:
+        restricted = corpus.restricted_to_types(types)
+        engine = RetrievalEngine(restricted, params=params)
+        restricted_queries = [restricted.get(q.object_id) for q in base_queries]
+        report = evaluate_retrieval(engine, restricted_queries, oracle, cutoffs=CUTOFFS)
+        rows.append(report.format_row(label, CUTOFFS))
+        results[label] = report.precision
+    return rows, results
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_feature_combinations(benchmark, capsys):
+    rows, results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    H.report("fig5_feature_combinations", "Figure 5: feature combinations (P@N)", rows, capsys)
+
+    # Shape checks from the paper (see DESIGN.md §5).
+    p20 = {label: results[label][20] for label, _ in COMBOS}
+    singles = [p20["Visual"], p20["Text"], p20["User"]]
+    assert p20["Visual"] == min(singles), "visual should be the weakest single modality"
+    assert p20["FIG"] >= max(singles), "full fusion must beat every single modality"
+    assert p20["FIG"] >= max(p20["Visual+Text"], p20["Visual+User"]), (
+        "full fusion should not lose to a pair"
+    )

@@ -1,0 +1,60 @@
+"""Figure 6 — qualitative query example, quantified.
+
+The paper shows one query with four results sharing tags, user ids and
+visual character.  This bench quantifies that across queries: the
+average number of shared tags/users/visual words between a query and
+its top-4 FIG results, against the same statistic for random object
+pairs.  Expected shape: top results share far more features of every
+modality than random pairs do.
+"""
+
+import numpy as np
+import pytest
+
+import _harness as H
+from repro.core.objects import FeatureType
+
+
+def _shared(a, b, ftype):
+    return len(
+        {f.name for f in a.features_of_type(ftype)}
+        & {f.name for f in b.features_of_type(ftype)}
+    )
+
+
+def run_experiment():
+    corpus = H.retrieval_corpus()
+    engine = H.fig_engine()
+    rng = np.random.default_rng(0)
+
+    top_shared = {t: [] for t in FeatureType}
+    rand_shared = {t: [] for t in FeatureType}
+    for query in H.queries()[:10]:
+        for hit in engine.search(query, k=4):
+            obj = corpus.get(hit.object_id)
+            for t in FeatureType:
+                top_shared[t].append(_shared(query, obj, t))
+        for _ in range(4):
+            other = corpus[int(rng.integers(len(corpus)))]
+            for t in FeatureType:
+                rand_shared[t].append(_shared(query, other, t))
+
+    rows = []
+    stats = {}
+    for t in FeatureType:
+        top = float(np.mean(top_shared[t]))
+        rand = float(np.mean(rand_shared[t]))
+        stats[t] = (top, rand)
+        rows.append(
+            f"{t.name.lower():<8} avg shared with top-4: {top:5.2f}   "
+            f"with random object: {rand:5.2f}"
+        )
+    return rows, stats
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_query_example(benchmark, capsys):
+    rows, stats = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    H.report("fig6_query_example", "Figure 6: shared features of top results", rows, capsys)
+    for t, (top, rand) in stats.items():
+        assert top > rand, f"top results must share more {t.name} features than random pairs"

@@ -1,0 +1,52 @@
+"""Figure 8 — retrieval precision vs database size.
+
+Paper series: P@10 of FIG, RB, TP, LSA while the corpus grows from 50K
+to 236K images (we sweep 500 → 2500 on the synthetic corpus; subsets
+are nested prefixes of one generation, like the paper's splits of one
+crawl).  Expected shape: precision rises with corpus size for every
+method (larger databases contain more close matches), FIG on top
+throughout.
+"""
+
+import pytest
+
+import _harness as H
+from repro.eval import evaluate_retrieval, sample_queries
+
+
+def run_experiment():
+    rows, series = [], {}
+    # Queries drawn from the smallest prefix, so the same queries exist
+    # in every corpus size.
+    base_queries = sample_queries(
+        H.retrieval_corpus(min(H.SWEEP_SIZES)), n_queries=H.N_QUERIES, seed=H.QUERY_SEED
+    )
+    for size in H.SWEEP_SIZES:
+        oracle = H.topic_oracle(size)
+        systems = {"FIG": H.fig_engine(size), **H.baseline_systems(size)}
+        for name, system in systems.items():
+            report = evaluate_retrieval(system, base_queries, oracle, cutoffs=(10,))
+            series.setdefault(name, []).append(report[10])
+    header = "system         " + "  ".join(f"{s:>6}" for s in H.SWEEP_SIZES)
+    rows.append(header)
+    for name, values in series.items():
+        rows.append(f"{name:<14} " + "  ".join(f"{v:6.3f}" for v in values))
+    return rows, series
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_scalability_precision(benchmark, capsys):
+    rows, series = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    H.report(
+        "fig8_scalability_precision",
+        "Figure 8: P@10 vs database size (500..2500)",
+        rows,
+        capsys,
+    )
+    for name, values in series.items():
+        assert values[-1] >= values[0] - 0.05, (
+            f"{name}: precision should not degrade as the database grows"
+        )
+    # FIG stays on top at the largest size.
+    top = max(series, key=lambda n: series[n][-1])
+    assert top == "FIG"

@@ -1,0 +1,45 @@
+"""Figure 9 — time cost per query vs database size.
+
+Paper series: mean seconds per query for FIG, RB, TP, LSA at corpus
+sizes 50K→236K (ours: 500→2500); everything under 0.6 s in the paper.
+Expected shape: latency grows with corpus size; the early-fusion
+baselines (TP, LSA — precomputed unified spaces, a matrix-vector
+product per query) are the fastest, RB similar, and FIG the slowest
+because it evaluates per-clique potentials — the paper's trade-off of
+effectiveness against query cost.
+"""
+
+import pytest
+
+import _harness as H
+from repro.eval import sample_queries, time_per_query
+
+
+def run_experiment():
+    rows, series = [], {}
+    base_queries = sample_queries(
+        H.retrieval_corpus(min(H.SWEEP_SIZES)), n_queries=10, seed=H.QUERY_SEED
+    )
+    for size in H.SWEEP_SIZES:
+        systems = {"FIG": H.fig_engine(size), **H.baseline_systems(size)}
+        for name, system in systems.items():
+            timing = time_per_query(system, base_queries, k=10)
+            series.setdefault(name, []).append(timing.mean)
+    rows.append("system (ms)    " + "  ".join(f"{s:>7}" for s in H.SWEEP_SIZES))
+    for name, values in series.items():
+        rows.append(f"{name:<14} " + "  ".join(f"{v * 1000:7.2f}" for v in values))
+    return rows, series
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_query_latency(benchmark, capsys):
+    rows, series = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    H.report("fig9_query_latency", "Figure 9: mean query latency vs size", rows, capsys)
+
+    largest = {name: values[-1] for name, values in series.items()}
+    # FIG is the most expensive system at query time (paper's finding).
+    assert largest["FIG"] == max(largest.values())
+    # Latency grows with database size for FIG (the paper's trend).
+    assert series["FIG"][-1] > series["FIG"][0]
+    # Everything is far below the paper's 0.6 s budget at our scales.
+    assert all(v < 0.6 for values in series.values() for v in values)

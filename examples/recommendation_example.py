@@ -1,0 +1,53 @@
+"""Recommendation walkthrough (Section 4): build a user profile from
+historical favorites, recommend newly-incoming objects, and compare the
+plain FIG recommender against the temporal FIG-T variant.
+
+Run:  python examples/recommendation_example.py
+"""
+
+from repro import GeneratorConfig, MRFParameters, Recommender, SyntheticFlickr
+from repro.eval import FavoriteOracle
+
+
+def main() -> None:
+    config = GeneratorConfig(
+        n_objects=1200, n_topics=12, n_users=200, n_groups=36, n_tracked_users=8
+    )
+    corpus = SyntheticFlickr(config, seed=23).generate_recommendation_corpus()
+    recommender = Recommender(corpus, params=MRFParameters(delta=1.0))
+    split = recommender.split
+    print(
+        f"corpus: {len(corpus)} objects over {corpus.n_months} months; "
+        f"profile window {split.profile.start}-{split.profile.stop - 1}, "
+        f"evaluation window {split.evaluation.start}-{split.evaluation.stop - 1}"
+    )
+
+    oracle = FavoriteOracle(corpus, split.evaluation)
+    user = oracle.users()[0]
+    profile = recommender.profile_for(user)
+    print(f"\nuser {user}: {len(profile)} profile favorites, "
+          f"{len(profile.cliques)} distinct profile cliques, "
+          f"{oracle.n_relevant(user)} held-out favorites to find")
+
+    months = sorted({obj.timestamp for obj in profile.history})
+    print(f"profile months: {months}")
+
+    for label, delta in (("FIG   (no decay, δ=1.0)", 1.0), ("FIG-T (decay,    δ=0.4)", 0.4)):
+        system = recommender.with_params(MRFParameters(delta=delta))
+        hits = system.recommend(user, k=10)
+        correct = sum(oracle.relevant(user, h.object_id) for h in hits)
+        print(f"\n{label}: P@10 = {correct}/10")
+        for rank, hit in enumerate(hits[:5], start=1):
+            mark = "✓" if oracle.relevant(user, hit.object_id) else "✗"
+            obj = corpus.get(hit.object_id)
+            print(f"  {rank}. {mark} {hit.object_id} (month {obj.timestamp}, "
+                  f"topics {corpus.topics(hit.object_id)}) score={hit.score:.4f}")
+
+    print(
+        "\nFIG-T weighs recent favorites more (Eq. 10), tracking the user's\n"
+        "drifting interests — the effect Figure 10 sweeps over δ."
+    )
+
+
+if __name__ == "__main__":
+    main()

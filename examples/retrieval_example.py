@@ -1,0 +1,49 @@
+"""Figure 6 analogue: a query and its top results, annotated with the
+features they share — showing how multiple modalities and their
+correlations drive the ranking.
+
+Run:  python examples/retrieval_example.py
+"""
+
+from repro import FeatureType, GeneratorConfig, RetrievalEngine, SyntheticFlickr
+
+
+def shared_features(query, candidate, ftype):
+    qs = {f.name for f in query.features_of_type(ftype)}
+    cs = {f.name for f in candidate.features_of_type(ftype)}
+    return sorted(qs & cs)
+
+
+def main() -> None:
+    corpus = SyntheticFlickr(
+        GeneratorConfig(n_objects=800, n_topics=12, n_users=200, n_groups=36), seed=13
+    ).generate_retrieval_corpus()
+    engine = RetrievalEngine(corpus)
+
+    # Pick a feature-rich query, as the paper's example image is.
+    query = max(corpus, key=lambda o: len(o.distinct_features()))
+    print("query image:", query.describe())
+    print("query topics:", corpus.topics(query.object_id))
+    print()
+
+    for rank, hit in enumerate(engine.search(query, k=4), start=1):
+        obj = corpus.get(hit.object_id)
+        tags = shared_features(query, obj, FeatureType.TEXT)
+        users = shared_features(query, obj, FeatureType.USER)
+        visual = shared_features(query, obj, FeatureType.VISUAL)
+        print(f"result {rank}: {obj.object_id}  score={hit.score:.4f}  "
+              f"topics={corpus.topics(obj.object_id)}")
+        print(f"  shared tags   : {', '.join(tags) if tags else '(none — correlation only)'}")
+        print(f"  shared users  : {', '.join(users) if users else '(none)'}")
+        print(f"  shared visual : {len(visual)} words")
+        print()
+
+    print(
+        "Like the paper's Figure 6, top results share tags, users or visual\n"
+        "words with the query — and results with *no* literal overlap can\n"
+        "still rank via correlated features (the smoothing term of Eq. 7)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""repro — reproduction of "Multiple Feature Fusion for Social Media
+Applications" (Cui, Tung, Zhang, Zhao; SIGMOD 2010).
+
+The package implements the paper's contribution and every substrate it
+stands on:
+
+* :mod:`repro.core` — the Feature Interaction Graph (FIG), the
+  MRF-based similarity model, the Algorithm-1 retrieval engine and the
+  temporal recommendation extension;
+* :mod:`repro.text` / :mod:`repro.vision` / :mod:`repro.social` — the
+  textual, visual and social substrates (stemming, taxonomy + WUP,
+  block descriptors + k-means visual words, users/groups, synthetic
+  Flickr-like corpora);
+* :mod:`repro.index` — the clique inverted index and Fagin's Threshold
+  Algorithm;
+* :mod:`repro.baselines` — the paper's comparison systems (LSA, TP,
+  RankBoost, single-modality retrievers);
+* :mod:`repro.eval` — metrics, the relevance oracle, query sampling and
+  timing harnesses;
+* :mod:`repro.storage` — on-disk persistence for corpora and models.
+
+Quickstart::
+
+    from repro import GeneratorConfig, SyntheticFlickr, RetrievalEngine
+
+    corpus = SyntheticFlickr(GeneratorConfig(n_objects=500), seed=7)\\
+        .generate_retrieval_corpus()
+    engine = RetrievalEngine(corpus)
+    hits = engine.search(corpus[0], k=10)
+"""
+
+from repro.core import (
+    Clique,
+    CliqueScorer,
+    CoordinateAscentTrainer,
+    CorrelationModel,
+    Feature,
+    FeatureInteractionGraph,
+    FeatureType,
+    MediaObject,
+    MRFParameters,
+    MRFSimilarity,
+    OccurrenceStats,
+    RankedResult,
+    Recommender,
+    RetrievalEngine,
+    UserProfile,
+    correlation_model_for_corpus,
+)
+from repro.social import (
+    Corpus,
+    FavoriteEvent,
+    GeneratorConfig,
+    MonthWindow,
+    SocialGraph,
+    SyntheticFlickr,
+    TemporalSplit,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Clique",
+    "CliqueScorer",
+    "CoordinateAscentTrainer",
+    "Corpus",
+    "CorrelationModel",
+    "FavoriteEvent",
+    "Feature",
+    "FeatureInteractionGraph",
+    "FeatureType",
+    "GeneratorConfig",
+    "MRFParameters",
+    "MRFSimilarity",
+    "MediaObject",
+    "MonthWindow",
+    "OccurrenceStats",
+    "RankedResult",
+    "Recommender",
+    "RetrievalEngine",
+    "SocialGraph",
+    "SyntheticFlickr",
+    "TemporalSplit",
+    "UserProfile",
+    "correlation_model_for_corpus",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Baseline systems of Section 5.1.1: LSA and TP early fusion,
+RankBoost late fusion, plus CSA and single-modality retrievers."""
+
+from repro.baselines.base import FusionBaseline
+from repro.baselines.csa import CalibratedScoreAveraging
+from repro.baselines.lsa import LSAFusionRetriever
+from repro.baselines.rankboost import RankBoostRetriever, WeakRanker
+from repro.baselines.recommend import ProfileRecommender
+from repro.baselines.single import SingleFeatureRetriever
+from repro.baselines.tensor import TensorProductRetriever
+from repro.baselines.vectorspace import VectorSpace, union_object
+
+__all__ = [
+    "CalibratedScoreAveraging",
+    "FusionBaseline",
+    "LSAFusionRetriever",
+    "ProfileRecommender",
+    "RankBoostRetriever",
+    "SingleFeatureRetriever",
+    "TensorProductRetriever",
+    "VectorSpace",
+    "WeakRanker",
+    "union_object",
+]

@@ -1,0 +1,73 @@
+"""Common baseline interface.
+
+All comparison systems score every corpus object against a query object
+(vector-space semantics), so the shared plumbing — top-k extraction,
+query exclusion, candidate restriction for recommendation — lives here,
+and each system only implements :meth:`FusionBaseline._score_all`.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.baselines.vectorspace import VectorSpace
+from repro.core.objects import MediaObject
+from repro.core.retrieval import RankedResult
+
+
+class FusionBaseline(abc.ABC):
+    """A retrieval system over a fixed corpus vector space."""
+
+    #: Short display name used in bench tables (e.g. ``"LSA"``).
+    name: str = "baseline"
+
+    def __init__(self, space: VectorSpace) -> None:
+        self._space = space
+        self._corpus = space.corpus
+
+    @property
+    def space(self) -> VectorSpace:
+        return self._space
+
+    @abc.abstractmethod
+    def _score_all(self, query: MediaObject) -> np.ndarray:
+        """Similarity of ``query`` to every corpus row (higher=closer)."""
+
+    # ------------------------------------------------------------------
+    # retrieval
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        query: MediaObject,
+        k: int = 10,
+        exclude_query: bool = True,
+        candidate_rows: Sequence[int] | None = None,
+    ) -> list[RankedResult]:
+        """Top-``k`` corpus objects by similarity.
+
+        ``candidate_rows`` restricts ranking to a row subset (used by
+        the recommendation adapter to rank only newly-incoming
+        objects).
+        """
+        scores = self._score_all(query)
+        if candidate_rows is not None:
+            rows = np.asarray(candidate_rows, dtype=np.intp)
+        else:
+            rows = np.arange(len(self._corpus), dtype=np.intp)
+        if exclude_query and query.object_id in self._corpus:
+            own = self._corpus.index_of(query.object_id)
+            rows = rows[rows != own]
+        if len(rows) == 0:
+            return []
+        row_scores = scores[rows]
+        k_eff = min(k, len(rows))
+        # argpartition then exact sort of the head: O(n + k log k).
+        top = np.argpartition(-row_scores, k_eff - 1)[:k_eff]
+        order = top[np.lexsort((rows[top], -row_scores[top]))]
+        return [
+            RankedResult(object_id=self._corpus[int(rows[i])].object_id, score=float(scores[rows[i]]))
+            for i in order
+        ]

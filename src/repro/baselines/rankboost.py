@@ -1,0 +1,250 @@
+"""RankBoost late fusion (RB; Freund, Iyer, Schapire & Singer [9], as
+used for music discovery by Turnbull et al. [21]).
+
+Late fusion combines the *result lists* of the per-modality retrievers.
+Following [21], the combiner is RankBoost with the efficient bipartite
+formulation (RankBoost.B): training examples are candidate objects of
+training queries, labelled relevant/irrelevant by the oracle, and
+weak rankers read the per-modality cosine scores.
+
+Weak ranker pool
+----------------
+For each modality ``m``:
+
+* the *continuous* ranker ``h(x) = score_m(x)`` (scores are min-max
+  normalized per result list, the usual calibration for fusing lists
+  with incomparable score scales), and
+* threshold stumps ``h(x) = 1[score_m(x) > θ]`` with θ drawn from
+  training-score quantiles — the {0, 1}-valued rankers of the original
+  paper.
+
+Bipartite boosting
+------------------
+With per-example weights ``v`` and the pair distribution factored as
+``D(x0, x1) = v(x0) · v(x1) / Z`` within each query (x1 relevant, x0
+not), the weak-ranker quality is::
+
+    r(h) = Σ_q [ (Σ_{rel q} v·h)(Σ_{irr q} v) − (Σ_{rel q} v)(Σ_{irr q} v·h) ] / Z
+
+the chosen ranker gets weight ``α = ½ ln((1+r)/(1−r))``, and weights
+update as ``v ← v·e^{−αh}`` on relevant and ``v ← v·e^{+αh}`` on
+irrelevant examples.  The final ranking score is ``F(x) = Σ_t α_t
+h_t(x)``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.base import FusionBaseline
+from repro.baselines.vectorspace import VectorSpace
+from repro.core.objects import ALL_TYPES, FeatureType, MediaObject
+from repro.eval.oracle import TopicOracle
+
+#: Clip |r| here so α stays finite even for a perfectly separating ranker.
+_R_CLIP = 1.0 - 1e-6
+
+
+@dataclass(frozen=True)
+class WeakRanker:
+    """One selected weak ranker: modality column + optional stump
+    threshold (``None`` = continuous ranker) + boosting weight α."""
+
+    modality: int
+    threshold: float | None
+    alpha: float
+
+    def evaluate(self, scores: np.ndarray) -> np.ndarray:
+        """Apply to an ``(n, n_modalities)`` normalized score matrix."""
+        column = scores[:, self.modality]
+        if self.threshold is None:
+            return column
+        return (column > self.threshold).astype(np.float64)
+
+
+class RankBoostRetriever(FusionBaseline):
+    """Boosted late fusion of per-modality result lists.
+
+    Construct, then call :meth:`fit` with training queries before
+    searching; an unfitted retriever falls back to uniform score
+    averaging (and says so via :attr:`is_fitted`).
+    """
+
+    name = "RB"
+
+    def __init__(
+        self,
+        space: VectorSpace,
+        rounds: int = 25,
+        n_thresholds: int = 9,
+        max_negatives_per_query: int = 200,
+    ) -> None:
+        super().__init__(space)
+        if rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        self._rounds = rounds
+        self._n_thresholds = n_thresholds
+        self._max_neg = max_negatives_per_query
+        self._rankers: list[WeakRanker] = []
+
+    @property
+    def is_fitted(self) -> bool:
+        return bool(self._rankers)
+
+    @property
+    def rankers(self) -> tuple[WeakRanker, ...]:
+        return tuple(self._rankers)
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        training_queries: Sequence[MediaObject],
+        oracle: TopicOracle,
+        seed: int = 0,
+    ) -> "RankBoostRetriever":
+        """Boost weak rankers on oracle-labelled training queries."""
+        rng = np.random.default_rng(seed)
+        features, labels, query_ids = self._build_training_set(training_queries, oracle, rng)
+        if features.shape[0] == 0 or labels.sum() == 0 or labels.sum() == len(labels):
+            # Degenerate training data: keep the uniform-average fallback.
+            self._rankers = []
+            return self
+        candidates = self._candidate_rankers(features)
+        v = np.full(len(labels), 1.0 / len(labels))
+        rankers: list[WeakRanker] = []
+        rel = labels.astype(bool)
+        for _round in range(self._rounds):
+            best_r, best = 0.0, None
+            for modality, threshold, h_values in candidates:
+                r = self._weighted_r(h_values, v, rel, query_ids)
+                if abs(r) > abs(best_r):
+                    best_r, best = r, (modality, threshold, h_values)
+            if best is None or abs(best_r) < 1e-9:
+                break
+            modality, threshold, h_values = best
+            r = max(-_R_CLIP, min(_R_CLIP, best_r))
+            alpha = 0.5 * math.log((1.0 + r) / (1.0 - r))
+            rankers.append(WeakRanker(modality=modality, threshold=threshold, alpha=alpha))
+            v = v * np.exp(np.where(rel, -alpha * h_values, alpha * h_values))
+            total = v.sum()
+            if total <= 0 or not np.isfinite(total):
+                break
+            v /= total
+        self._rankers = rankers
+        return self
+
+    def _build_training_set(
+        self,
+        queries: Sequence[MediaObject],
+        oracle: TopicOracle,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-query normalized modality scores + oracle labels, with
+        negatives subsampled to keep boosting tractable."""
+        feature_rows: list[np.ndarray] = []
+        label_rows: list[int] = []
+        query_rows: list[int] = []
+        for qi, query in enumerate(queries):
+            scores = self._modality_scores(query)
+            labels = np.array(
+                [
+                    1 if oracle.relevant(query.object_id, obj.object_id) else 0
+                    for obj in self._corpus
+                ],
+                dtype=np.int64,
+            )
+            own = (
+                self._corpus.index_of(query.object_id)
+                if query.object_id in self._corpus
+                else -1
+            )
+            pos = [i for i in np.flatnonzero(labels == 1) if i != own]
+            neg = [i for i in np.flatnonzero(labels == 0) if i != own]
+            if not pos or not neg:
+                continue
+            if len(neg) > self._max_neg:
+                neg = list(rng.choice(neg, size=self._max_neg, replace=False))
+            for i in pos:
+                feature_rows.append(scores[i])
+                label_rows.append(1)
+                query_rows.append(qi)
+            for i in neg:
+                feature_rows.append(scores[i])
+                label_rows.append(0)
+                query_rows.append(qi)
+        if not feature_rows:
+            empty = np.zeros((0, len(ALL_TYPES)))
+            return empty, np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+        return (
+            np.stack(feature_rows),
+            np.array(label_rows, dtype=np.int64),
+            np.array(query_rows, dtype=np.int64),
+        )
+
+    def _candidate_rankers(
+        self, features: np.ndarray
+    ) -> list[tuple[int, float | None, np.ndarray]]:
+        """(modality, threshold, h(x) per example) for the whole pool."""
+        pool: list[tuple[int, float | None, np.ndarray]] = []
+        quantiles = np.linspace(0.1, 0.9, self._n_thresholds)
+        for m in range(features.shape[1]):
+            column = features[:, m]
+            pool.append((m, None, column.copy()))
+            for theta in np.unique(np.quantile(column, quantiles)):
+                pool.append((m, float(theta), (column > theta).astype(np.float64)))
+        return pool
+
+    @staticmethod
+    def _weighted_r(
+        h: np.ndarray, v: np.ndarray, rel: np.ndarray, query_ids: np.ndarray
+    ) -> float:
+        """The bipartite r(h) statistic summed over query groups."""
+        r_total = 0.0
+        z_total = 0.0
+        for q in np.unique(query_ids):
+            mask = query_ids == q
+            rel_q = mask & rel
+            irr_q = mask & ~rel
+            v_rel, v_irr = v[rel_q], v[irr_q]
+            sum_rel, sum_irr = v_rel.sum(), v_irr.sum()
+            z_total += sum_rel * sum_irr
+            r_total += (v_rel @ h[rel_q]) * sum_irr - sum_rel * (v_irr @ h[irr_q])
+        if z_total <= 0:
+            return 0.0
+        return float(r_total / z_total)
+
+    # ------------------------------------------------------------------
+    # scoring
+    # ------------------------------------------------------------------
+    def _modality_scores(self, query: MediaObject) -> np.ndarray:
+        """``(n, n_modalities)`` matrix of min-max-normalized cosine
+        scores — the calibrated per-feature result lists."""
+        columns = []
+        for ftype in ALL_TYPES:
+            raw = self._space.cosine_scores(query, ftype)
+            lo, hi = raw.min(), raw.max()
+            columns.append((raw - lo) / (hi - lo) if hi > lo else np.zeros_like(raw))
+        return np.stack(columns, axis=1)
+
+    def _score_all(self, query: MediaObject) -> np.ndarray:
+        scores = self._modality_scores(query)
+        if not self._rankers:
+            # Unfitted fallback: uniform average of the normalized lists.
+            return scores.mean(axis=1)
+        total = np.zeros(scores.shape[0])
+        for ranker in self._rankers:
+            total += ranker.alpha * ranker.evaluate(scores)
+        # Tiny continuous tiebreak so stump plateaus stay deterministic
+        # but meaningfully ordered.
+        return total + 1e-9 * scores.mean(axis=1)
+
+    @staticmethod
+    def modality_of(index: int) -> FeatureType:
+        """Map a weak ranker's modality column back to its feature type."""
+        return ALL_TYPES[index]

@@ -1,0 +1,61 @@
+"""Profile-as-query recommendation adapter for the baselines.
+
+Section 5.3: "since we utilize similarity-based approach for
+recommendation task, the retrieval algorithms of these approaches can
+be used only with minor modification."  The minor modification is
+exactly this adapter: the user's profile-window favorites are unioned
+into one "big object" (Section 4's naïve profile — the baselines get no
+per-object structure and no temporal decay) and ranked against the
+newly-incoming candidate objects.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import FusionBaseline
+from repro.baselines.vectorspace import union_object
+from repro.core.retrieval import RankedResult
+from repro.social.corpus import Corpus
+from repro.social.temporal import TemporalSplit
+
+
+class ProfileRecommender:
+    """Wraps a retrieval baseline into a Definition-2 recommender."""
+
+    def __init__(
+        self,
+        baseline: FusionBaseline,
+        corpus: Corpus,
+        split: TemporalSplit | None = None,
+    ) -> None:
+        self._baseline = baseline
+        self._corpus = corpus
+        self._split = split if split is not None else TemporalSplit.paper_default(corpus.n_months)
+        self._candidate_rows = [
+            corpus.index_of(o.object_id)
+            for o in corpus.objects_in_window(self._split.evaluation)
+        ]
+
+    @property
+    def name(self) -> str:
+        return self._baseline.name
+
+    @property
+    def split(self) -> TemporalSplit:
+        return self._split
+
+    def recommend(self, user: str, k: int = 10) -> list[RankedResult]:
+        """Top-``k`` evaluation-window objects for ``user``.
+
+        Raises ``ValueError`` for users without profile-window history
+        (same contract as the FIG recommender)."""
+        events = self._corpus.favorites_of(user, window=self._split.profile)
+        if not events:
+            raise ValueError(f"user {user!r} has no favorites in the profile window")
+        history = [self._corpus.get(e.object_id) for e in events]
+        profile = union_object(history, object_id=f"profile:{user}")
+        return self._baseline.search(
+            profile,
+            k=k,
+            exclude_query=False,
+            candidate_rows=self._candidate_rows,
+        )

@@ -1,0 +1,32 @@
+"""Single-modality cosine retrievers.
+
+These serve two roles: (a) the per-feature result lists the late-fusion
+baselines (RankBoost, CSA) combine, and (b) simple reference systems in
+their own right (the paper's Fig. 5 single-feature bars are the FIG
+model restricted to one modality; these retrievers are the plain
+vector-space counterpart used in ablations).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import FusionBaseline
+from repro.baselines.vectorspace import VectorSpace
+from repro.core.objects import FeatureType, MediaObject
+
+
+class SingleFeatureRetriever(FusionBaseline):
+    """Cosine similarity over one modality's TF-IDF space."""
+
+    def __init__(self, space: VectorSpace, ftype: FeatureType) -> None:
+        super().__init__(space)
+        self._ftype = ftype
+        self.name = {"T": "Text", "V": "Visual", "U": "User"}[ftype.value]
+
+    @property
+    def ftype(self) -> FeatureType:
+        return self._ftype
+
+    def _score_all(self, query: MediaObject) -> np.ndarray:
+        return self._space.cosine_scores(query, self._ftype)

@@ -1,0 +1,55 @@
+"""Tensor-product kernel fusion (TP, Basilico & Hofmann [3]).
+
+Basilico & Hofmann unify collaborative and content-based signals with
+kernels combined by *tensor product*: the joint kernel of a pair is the
+product of the per-aspect kernels (their Eq. for ``k = k_1 ⊗ k_2``
+evaluates to a product of kernel values on pairs).  Translated to our
+three modalities, the similarity of a query and a candidate is the
+product of the per-modality cosine kernels::
+
+    k_TP(q, o) = Π_m (k_m(q, o) + ε)
+
+As the paper notes, TP "assumes that all feature dimensions are
+correlated with each other, and do[es] not carry out any prune
+process": every modality multiplies into every score, so one weak or
+empty modality (visual noise, a candidate with no shared users) drags
+the whole product down — the behaviour behind TP's weak showing in the
+paper's Fig. 7.  The additive smoothing ``ε`` keeps a single empty
+modality from hard-zeroing the product (a pure product would rank
+almost everything 0); it is deliberately small so the product
+semantics, including its failure mode, are preserved.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import FusionBaseline
+from repro.baselines.vectorspace import VectorSpace
+from repro.core.objects import ALL_TYPES, MediaObject
+
+
+class TensorProductRetriever(FusionBaseline):
+    """Product-of-modality-kernels retriever (unweighted kernels)."""
+
+    name = "TP"
+
+    def __init__(
+        self,
+        space: VectorSpace,
+        epsilon: float = 1e-4,
+        raw_space: VectorSpace | None = None,
+    ) -> None:
+        super().__init__(space)
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive (a pure product degenerates)")
+        self._epsilon = epsilon
+        # Unweighted kernels: rebuild the space without IDF so the
+        # per-modality kernel is a raw-count cosine, as in [3].
+        self._raw = raw_space if raw_space is not None else VectorSpace(space.corpus, use_idf=False)
+
+    def _score_all(self, query: MediaObject) -> np.ndarray:
+        scores = np.ones(len(self._corpus), dtype=np.float64)
+        for ftype in ALL_TYPES:
+            scores *= self._raw.cosine_scores(query, ftype) + self._epsilon
+        return scores

@@ -1,0 +1,167 @@
+"""Shared vector-space model for the baseline systems.
+
+Every comparison system in Section 5.1.1 (LSA, TP, RankBoost) operates
+on per-modality feature vectors rather than FIGs.  This module builds
+the common substrate once per corpus: a column index per modality, a
+TF-IDF-weighted, L2-normalized sparse matrix per modality, and fold-in
+vectorization for query objects and "big object" user profiles.
+
+TF-IDF weighting is standard for the tag and user channels of the
+cited baselines; it is applied uniformly so no baseline is
+disadvantaged by raw-frequency noise.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+from scipy import sparse
+
+from repro.core.objects import ALL_TYPES, Feature, FeatureType, MediaObject
+from repro.social.corpus import Corpus
+
+
+class VectorSpace:
+    """Per-modality TF-IDF vector space over one corpus.
+
+    Parameters
+    ----------
+    corpus:
+        Defines the feature columns and the row ordering (corpus order).
+    use_idf:
+        Apply ``log(1 + N/df)`` inverse-document-frequency weighting.
+    """
+
+    def __init__(self, corpus: Corpus, use_idf: bool = True) -> None:
+        self._corpus = corpus
+        self._use_idf = use_idf
+        self._columns: dict[FeatureType, dict[Feature, int]] = {t: {} for t in ALL_TYPES}
+        self._idf: dict[FeatureType, np.ndarray] = {}
+        self._matrices: dict[FeatureType, sparse.csr_matrix] = {}
+        self._build()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        df: dict[FeatureType, dict[Feature, int]] = {t: {} for t in ALL_TYPES}
+        for obj in self._corpus:
+            for feature in obj.features:
+                cols = self._columns[feature.ftype]
+                if feature not in cols:
+                    cols[feature] = len(cols)
+                type_df = df[feature.ftype]
+                type_df[feature] = type_df.get(feature, 0) + 1
+
+        n = len(self._corpus)
+        for ftype in ALL_TYPES:
+            cols = self._columns[ftype]
+            idf = np.ones(len(cols), dtype=np.float64)
+            if self._use_idf and cols:
+                for feature, col in cols.items():
+                    idf[col] = math.log(1.0 + n / df[ftype][feature])
+            self._idf[ftype] = idf
+
+        for ftype in ALL_TYPES:
+            rows: list[int] = []
+            cols_idx: list[int] = []
+            vals: list[float] = []
+            columns = self._columns[ftype]
+            idf = self._idf[ftype]
+            for row, obj in enumerate(self._corpus):
+                for feature, count in obj.features.items():
+                    if feature.ftype != ftype:
+                        continue
+                    col = columns[feature]
+                    rows.append(row)
+                    cols_idx.append(col)
+                    vals.append(count * idf[col])
+            matrix = sparse.csr_matrix(
+                (vals, (rows, cols_idx)), shape=(n, max(len(columns), 1))
+            )
+            self._matrices[ftype] = _l2_normalize_rows(matrix)
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    @property
+    def corpus(self) -> Corpus:
+        return self._corpus
+
+    def n_columns(self, ftype: FeatureType) -> int:
+        return len(self._columns[ftype])
+
+    def matrix(self, ftype: FeatureType) -> sparse.csr_matrix:
+        """Row-normalized TF-IDF matrix of one modality (corpus rows)."""
+        return self._matrices[ftype]
+
+    def stacked_matrix(
+        self, types: Sequence[FeatureType] = ALL_TYPES
+    ) -> sparse.csr_matrix:
+        """Horizontal concatenation of modality matrices — the unified
+        space early-fusion baselines start from."""
+        return sparse.hstack([self._matrices[t] for t in types], format="csr")
+
+    # ------------------------------------------------------------------
+    # vectorization
+    # ------------------------------------------------------------------
+    def vector(self, obj: MediaObject, ftype: FeatureType) -> sparse.csr_matrix:
+        """L2-normalized TF-IDF fold-in vector of one object, one
+        modality (out-of-vocabulary features are dropped — they carry
+        no corpus statistics to weigh them by)."""
+        columns = self._columns[ftype]
+        idf = self._idf[ftype]
+        cols: list[int] = []
+        vals: list[float] = []
+        for feature, count in obj.features.items():
+            if feature.ftype != ftype:
+                continue
+            col = columns.get(feature)
+            if col is None:
+                continue
+            cols.append(col)
+            vals.append(count * idf[col])
+        vec = sparse.csr_matrix(
+            (vals, ([0] * len(cols), cols)), shape=(1, max(len(columns), 1))
+        )
+        return _l2_normalize_rows(vec)
+
+    def stacked_vector(
+        self, obj: MediaObject, types: Sequence[FeatureType] = ALL_TYPES
+    ) -> sparse.csr_matrix:
+        """Fold-in vector in the stacked (concatenated) space."""
+        return sparse.hstack([self.vector(obj, t) for t in types], format="csr")
+
+    def cosine_scores(self, obj: MediaObject, ftype: FeatureType) -> np.ndarray:
+        """Cosine similarity of ``obj`` to every corpus row, one
+        modality — the per-feature result lists late fusion starts
+        from."""
+        q = self.vector(obj, ftype)
+        return np.asarray((self._matrices[ftype] @ q.T).todense()).ravel()
+
+
+def _l2_normalize_rows(matrix: sparse.csr_matrix) -> sparse.csr_matrix:
+    """Row-wise L2 normalization, leaving all-zero rows untouched."""
+    matrix = matrix.tocsr().astype(np.float64)
+    norms = np.sqrt(np.asarray(matrix.multiply(matrix).sum(axis=1)).ravel())
+    norms[norms == 0.0] = 1.0
+    inv = sparse.diags(1.0 / norms)
+    return (inv @ matrix).tocsr()
+
+
+def union_object(history: Sequence[MediaObject], object_id: str = "profile") -> MediaObject:
+    """The Section 4 "big object": union of a history's feature bags.
+
+    Used by the baselines for profile-as-query recommendation (the FIG
+    recommender has its own, structure-aware profile handling)."""
+    if not history:
+        raise ValueError("cannot union an empty history")
+    bag: dict[Feature, int] = {}
+    latest = 0
+    for obj in history:
+        latest = max(latest, obj.timestamp)
+        for feature, count in obj.features.items():
+            bag[feature] = bag.get(feature, 0) + count
+    return MediaObject(object_id=object_id, features=bag, timestamp=latest)

@@ -1,0 +1,165 @@
+"""Command-line interface.
+
+Subcommands cover the lifecycle a downstream user needs without writing
+Python: generate a synthetic corpus to disk, inspect it, run retrieval
+queries, produce recommendations, and evaluate retrieval quality with
+the topic oracle.
+
+Examples::
+
+    repro generate --objects 1000 --out ./corpus
+    repro info ./corpus
+    repro search ./corpus --query obj000003 --k 10
+    repro generate --objects 1500 --tracked-users 10 --recommendation --out ./rec
+    repro recommend ./rec --user tracked000 --k 10 --delta 0.4
+    repro evaluate ./corpus --queries 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.core.mrf import MRFParameters
+from repro.core.recommendation import Recommender
+from repro.core.retrieval import RetrievalEngine
+from repro.eval.oracle import TopicOracle
+from repro.eval.protocol import evaluate_retrieval, sample_queries
+from repro.social.generator import GeneratorConfig, SyntheticFlickr
+from repro.storage.store import load_corpus, save_corpus
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multiple feature fusion for social media (SIGMOD 2010 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic corpus and save it")
+    gen.add_argument("--objects", type=int, default=1000)
+    gen.add_argument("--topics", type=int, default=24)
+    gen.add_argument("--users", type=int, default=400)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--tracked-users", type=int, default=0)
+    gen.add_argument(
+        "--recommendation",
+        action="store_true",
+        help="generate a recommendation corpus with favorite events",
+    )
+    gen.add_argument("--out", required=True, help="output directory")
+
+    info = sub.add_parser("info", help="summarize a saved corpus")
+    info.add_argument("corpus", help="corpus directory")
+
+    search = sub.add_parser("search", help="retrieve objects similar to a query object")
+    search.add_argument("corpus", help="corpus directory")
+    search.add_argument("--query", required=True, help="query object id")
+    search.add_argument("--k", type=int, default=10)
+    search.add_argument("--mode", choices=("index", "scan"), default="index")
+
+    rec = sub.add_parser("recommend", help="recommend new objects to a user")
+    rec.add_argument("corpus", help="corpus directory")
+    rec.add_argument("--user", required=True)
+    rec.add_argument("--k", type=int, default=10)
+    rec.add_argument("--delta", type=float, default=1.0, help="temporal decay (1.0 = FIG)")
+
+    ev = sub.add_parser("evaluate", help="P@N over sampled queries (topic oracle)")
+    ev.add_argument("corpus", help="corpus directory")
+    ev.add_argument("--queries", type=int, default=20)
+    ev.add_argument("--seed", type=int, default=1)
+    ev.add_argument("--cutoffs", type=int, nargs="+", default=[3, 5, 10, 20])
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    config = GeneratorConfig(
+        n_objects=args.objects,
+        n_topics=args.topics,
+        n_users=args.users,
+        n_tracked_users=args.tracked_users,
+    )
+    generator = SyntheticFlickr(config, seed=args.seed)
+    if args.recommendation:
+        if args.tracked_users < 1:
+            print("error: --recommendation requires --tracked-users >= 1", file=sys.stderr)
+            return 2
+        corpus = generator.generate_recommendation_corpus()
+    else:
+        corpus = generator.generate_retrieval_corpus()
+    path = save_corpus(corpus, args.out)
+    print(f"wrote {len(corpus)} objects to {path}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    corpus = load_corpus(args.corpus)
+    users = corpus.social.users
+    print(f"objects     : {len(corpus)}")
+    print(f"months      : {corpus.n_months}")
+    print(f"users       : {len(users)}")
+    print(f"groups      : {len(corpus.social.groups)}")
+    print(f"favorites   : {len(corpus.favorites)}")
+    print(f"taxonomy    : {'yes' if corpus.taxonomy is not None else 'no'}")
+    print(f"codebook    : {len(corpus.codebook) if corpus.codebook is not None else 'no'} words")
+    sizes = [len(o) for o in corpus]
+    print(f"avg features: {sum(sizes) / len(sizes):.1f} occurrences/object")
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    corpus = load_corpus(args.corpus)
+    if args.query not in corpus:
+        print(f"error: unknown object id {args.query!r}", file=sys.stderr)
+        return 2
+    engine = RetrievalEngine(corpus, build_index=args.mode == "index")
+    query = corpus.get(args.query)
+    print("query:", query.describe())
+    for rank, hit in enumerate(engine.search(query, k=args.k, mode=args.mode), start=1):
+        print(f"{rank:3d}. {hit.object_id}  score={hit.score:.4f}")
+    return 0
+
+
+def _cmd_recommend(args: argparse.Namespace) -> int:
+    corpus = load_corpus(args.corpus)
+    recommender = Recommender(corpus, params=MRFParameters(delta=args.delta))
+    try:
+        hits = recommender.recommend(args.user, k=args.k)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    label = "FIG" if args.delta == 1.0 else f"FIG-T (delta={args.delta})"
+    print(f"{label} recommendations for {args.user}:")
+    for rank, hit in enumerate(hits, start=1):
+        print(f"{rank:3d}. {hit.object_id}  score={hit.score:.4f}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    corpus = load_corpus(args.corpus)
+    engine = RetrievalEngine(corpus)
+    oracle = TopicOracle(corpus)
+    queries = sample_queries(corpus, n_queries=args.queries, seed=args.seed)
+    report = evaluate_retrieval(engine, queries, oracle, cutoffs=tuple(args.cutoffs))
+    print(report.format_row("FIG", args.cutoffs))
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "info": _cmd_info,
+    "search": _cmd_search,
+    "recommend": _cmd_recommend,
+    "evaluate": _cmd_evaluate,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

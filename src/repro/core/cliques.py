@@ -1,0 +1,112 @@
+"""Clique enumeration over FIG feature subgraphs.
+
+Section 3.3 restricts "clique" to complete subgraphs of the FIG that
+contain the virtual root and at least one feature node.  Because the
+root is adjacent to *every* feature node, those cliques are exactly
+``{root} ∪ K`` for ``K`` a non-empty clique of the feature subgraph —
+so enumeration happens on the feature subgraph only, and the root is
+implicit everywhere downstream.
+
+The number of cliques is exponential in the densest neighbourhood, and
+the paper itself caps the hypothesis space by tying λ to clique size
+(Section 3.4, citing [16]'s three dependence patterns).  We therefore
+enumerate cliques up to a configurable ``max_size`` (feature count,
+default 3), which bounds both scoring cost and inverted-index size.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.core.objects import Feature
+
+
+@dataclass(frozen=True)
+class Clique:
+    """A FIG clique: its feature nodes (root implicit) and, for profile
+    FIGs, the month timestamp of its most recent appearance.
+
+    ``features`` is kept sorted so equal feature sets compare and hash
+    equal regardless of construction order.
+    """
+
+    features: tuple[Feature, ...]
+    timestamp: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.features:
+            raise ValueError("a clique must contain at least one feature node")
+        ordered = tuple(sorted(self.features))
+        object.__setattr__(self, "features", ordered)
+
+    @property
+    def size(self) -> int:
+        """Number of feature nodes, i.e. ``|c| - 1`` in the paper's
+        notation (which counts the root)."""
+        return len(self.features)
+
+    @property
+    def key(self) -> str:
+        """Canonical string key, e.g. ``"T:sunset|U:user0042"`` — the
+        inverted index's term."""
+        return "|".join(f.key for f in self.features)
+
+    @classmethod
+    def from_key(cls, key: str, timestamp: int | None = None) -> "Clique":
+        """Inverse of :attr:`key`."""
+        return cls(
+            features=tuple(Feature.from_key(part) for part in key.split("|")),
+            timestamp=timestamp,
+        )
+
+    def with_timestamp(self, timestamp: int | None) -> "Clique":
+        return Clique(features=self.features, timestamp=timestamp)
+
+    def __iter__(self) -> Iterator[Feature]:
+        return iter(self.features)
+
+    def __len__(self) -> int:
+        return len(self.features)
+
+
+def enumerate_cliques(
+    nodes: Sequence[Feature],
+    adjacency: Mapping[Feature, frozenset[Feature]],
+    max_size: int = 3,
+) -> list[tuple[Feature, ...]]:
+    """All cliques of size 1..``max_size`` in the feature subgraph.
+
+    Uses ordered extension: a clique is grown only by neighbours that
+    rank after its last member (canonical order), so each clique is
+    produced exactly once.  Complexity is output-sensitive —
+    O(Σ_cliques size) adjacency checks.
+
+    Parameters
+    ----------
+    nodes:
+        The feature nodes; order defines the canonical ranking.
+    adjacency:
+        Undirected adjacency over ``nodes`` (absent nodes = isolated).
+    max_size:
+        Largest clique (feature count) to emit; ``>= 1``.
+    """
+    if max_size < 1:
+        raise ValueError("max_size must be >= 1")
+    order = {node: i for i, node in enumerate(nodes)}
+    results: list[tuple[Feature, ...]] = []
+
+    def extend(current: list[Feature], candidates: list[Feature]) -> None:
+        for i, node in enumerate(candidates):
+            clique = current + [node]
+            results.append(tuple(clique))
+            if len(clique) >= max_size:
+                continue
+            neighbours = adjacency.get(node, frozenset())
+            nxt = [c for c in candidates[i + 1 :] if c in neighbours]
+            if nxt:
+                extend(clique, nxt)
+
+    ordered_nodes = sorted(nodes, key=order.__getitem__)
+    extend([], ordered_nodes)
+    return results

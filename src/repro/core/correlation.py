@@ -1,0 +1,284 @@
+"""Corpus correlation statistics: Eq. 1 co-occurrence, Eq. 8 CorS, and
+the six pair-wise correlation tables.
+
+Section 3.2 defines how FIG edges are decided:
+
+* **intra-type** correlations use modality-specific measures — WUP over
+  the taxonomy for tags, centroid distance for visual words, group
+  co-membership for users;
+* **inter-type** correlations use the cosine of the two features'
+  object-occurrence vectors (Eq. 1), where dimension *i* of a feature's
+  vector is its frequency in object *i*.
+
+Section 3.4 additionally weights each clique by the correlation
+strength ``CorS`` of its features (Eq. 8), a standardized multi-way
+co-moment over the corpus: for two features it reduces to their Pearson
+correlation, and the paper notes it is "equivalent to the so-called
+covariance" in that case.
+
+Deviations from the paper, both forced by the math (documented in
+DESIGN.md):
+
+* Eq. 8 as printed has no ``1/|D|`` normalization; we normalize so that
+  the two-feature case *is* the Pearson coefficient the paper alludes
+  to, keeping magnitudes comparable across corpus sizes.
+* For a singleton clique the standardized sum is identically zero
+  (``Σ_i (x_i - x̄) = 0``), which would erase every single-feature
+  clique from the model; we define ``CorS`` of a single feature as 1
+  (neutral weight).
+* ``CorS`` can be negative for anti-correlated features; potentials
+  must be non-negative, so we clamp at 0 (an anti-correlated clique
+  contributes nothing rather than a negative probability).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Iterable, Sequence
+
+from repro.core.objects import Feature, FeatureType, MediaObject
+from repro.social.users import SocialGraph
+from repro.text.wup import WuPalmerSimilarity
+from repro.vision.visual_words import VisualCodebook
+
+
+class OccurrenceStats:
+    """Sparse feature-by-object occurrence matrix with moment queries.
+
+    Built once per corpus; backs both the inter-type cosine (Eq. 1) and
+    the clique correlation strength (Eq. 8).  Storage is one postings
+    dict per feature (``object index -> frequency``), so memory is
+    proportional to the corpus's total feature occurrences.
+    """
+
+    def __init__(self, objects: Iterable[MediaObject]) -> None:
+        self._postings: dict[Feature, dict[int, int]] = {}
+        n = 0
+        for idx, obj in enumerate(objects):
+            n += 1
+            for feature, count in obj.features.items():
+                self._postings.setdefault(feature, {})[idx] = count
+        self._n_objects = n
+        self._moment_cache: dict[Feature, tuple[float, float]] = {}
+
+    @property
+    def n_objects(self) -> int:
+        return self._n_objects
+
+    def __contains__(self, feature: Feature) -> bool:
+        return feature in self._postings
+
+    def postings(self, feature: Feature) -> dict[int, int]:
+        """Sparse occurrence vector of ``feature`` (empty if unseen)."""
+        return self._postings.get(feature, {})
+
+    def document_frequency(self, feature: Feature) -> int:
+        """Number of objects containing ``feature``."""
+        return len(self._postings.get(feature, ()))
+
+    def moments(self, feature: Feature) -> tuple[float, float]:
+        """``(mean, std)`` of the feature's frequency over all objects
+        (zeros included).  Population statistics; std 0 for unseen or
+        constant features."""
+        cached = self._moment_cache.get(feature)
+        if cached is not None:
+            return cached
+        posting = self._postings.get(feature, {})
+        n = self._n_objects
+        if n == 0:
+            result = (0.0, 0.0)
+        else:
+            total = sum(posting.values())
+            mean = total / n
+            sq = sum(v * v for v in posting.values())
+            var = sq / n - mean * mean
+            result = (mean, math.sqrt(var) if var > 0 else 0.0)
+        self._moment_cache[feature] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Eq. 1 — co-occurrence cosine
+    # ------------------------------------------------------------------
+    def cooccurrence_cosine(self, a: Feature, b: Feature) -> float:
+        """``Cor(n1, n2) = n1·n2 / (|n1| |n2|)`` over occurrence vectors."""
+        pa = self._postings.get(a)
+        pb = self._postings.get(b)
+        if not pa or not pb:
+            return 0.0
+        if len(pb) < len(pa):
+            pa, pb = pb, pa
+        dot = sum(v * pb.get(i, 0) for i, v in pa.items())
+        if dot == 0:
+            return 0.0
+        norm_a = math.sqrt(sum(v * v for v in pa.values()))
+        norm_b = math.sqrt(sum(v * v for v in pb.values()))
+        return dot / (norm_a * norm_b)
+
+    # ------------------------------------------------------------------
+    # Eq. 8 — correlation strength of a clique's feature set
+    # ------------------------------------------------------------------
+    def cors(self, features: Sequence[Feature]) -> float:
+        """Normalized standardized co-moment of ``features``.
+
+        ``CorS = (1/|D|) Σ_i Π_j (n_{j,i} - n̄_j) / σ_j``, computed
+        sparsely: objects outside every feature's support contribute the
+        constant ``Π_j (-n̄_j/σ_j)``, so only the union of supports is
+        enumerated.  Singletons return 1, non-positive results clamp to
+        0, and any zero-variance feature makes the result 0 (no
+        standardization exists for it).
+        """
+        if len(features) == 0:
+            raise ValueError("CorS of an empty feature set is undefined")
+        if len(features) == 1:
+            return 1.0
+        n = self._n_objects
+        if n == 0:
+            return 0.0
+        stats = [self.moments(f) for f in features]
+        if any(std == 0.0 for _, std in stats):
+            return 0.0
+        postings = [self._postings.get(f, {}) for f in features]
+        baseline = 1.0
+        for mean, std in stats:
+            baseline *= (0.0 - mean) / std
+        support: set[int] = set()
+        for posting in postings:
+            support.update(posting)
+        total = n * baseline
+        for i in support:
+            prod = 1.0
+            for posting, (mean, std) in zip(postings, stats):
+                prod *= (posting.get(i, 0) - mean) / std
+            total += prod - baseline
+        value = total / n
+        return value if value > 0.0 else 0.0
+
+
+#: Default per-table edge thresholds (the "trained threshold" of
+#: Section 3.2; :func:`repro.core.training.train_edge_threshold` can
+#: refit them).  Intra-type measures live on a [0, 1] similarity scale
+#: where ~0.5 separates same-cluster from cross-cluster pairs; the
+#: inter-type Eq. 1 cosine is much smaller in magnitude (sparse
+#: occurrence vectors), so its tables use a lower bar.
+DEFAULT_TABLE_THRESHOLDS: dict[tuple[str, str], float] = {
+    ("T", "T"): 0.5,
+    ("V", "V"): 0.45,
+    ("U", "U"): 0.5,
+    ("T", "V"): 0.12,
+    ("T", "U"): 0.12,
+    ("U", "V"): 0.12,
+}
+
+
+class CorrelationModel:
+    """Dispatching ``Cor(n1, n2)`` plus thresholded edge decisions.
+
+    This is the runtime form of the paper's "6 pair-wise feature
+    correlation tables" (T×T, V×V, U×U, T×V, T×U, V×U): intra-type
+    measures are modality-specific, inter-type pairs use Eq. 1, and an
+    edge is drawn when the correlation exceeds the (trained) threshold
+    for its table.  Values are memoized per unordered pair.
+
+    Parameters
+    ----------
+    stats:
+        Occurrence statistics of the corpus.
+    text_similarity:
+        Intra-text measure (WUP by default); any ``(str, str) -> float``
+        works — the paper notes the choice is orthogonal.
+    codebook:
+        Visual codebook for intra-visual similarity (``None`` disables
+        intra-visual edges).
+    social:
+        Social graph for intra-user similarity (``None`` disables
+        intra-user edges).
+    thresholds:
+        Edge threshold per table key (e.g. ``("T", "V")``, sorted), with
+        ``default_threshold`` filling gaps.
+    """
+
+    def __init__(
+        self,
+        stats: OccurrenceStats,
+        text_similarity: WuPalmerSimilarity | Callable[[str, str], float] | None = None,
+        codebook: VisualCodebook | None = None,
+        social: SocialGraph | None = None,
+        thresholds: dict[tuple[str, str], float] | None = None,
+        default_threshold: float = 0.3,
+    ) -> None:
+        self._stats = stats
+        self._text_similarity = text_similarity
+        self._codebook = codebook
+        self._social = social
+        self._thresholds = dict(thresholds or {})
+        self._default_threshold = default_threshold
+        self._cache: dict[tuple[Feature, Feature], float] = {}
+
+    @property
+    def stats(self) -> OccurrenceStats:
+        return self._stats
+
+    @staticmethod
+    def table_key(a: FeatureType, b: FeatureType) -> tuple[str, str]:
+        """Canonical key of the correlation table for a type pair."""
+        ka, kb = a.value, b.value
+        return (ka, kb) if ka <= kb else (kb, ka)
+
+    def threshold(self, a: FeatureType, b: FeatureType) -> float:
+        """Edge threshold for the (a, b) table."""
+        return self._thresholds.get(self.table_key(a, b), self._default_threshold)
+
+    def set_threshold(self, a: FeatureType, b: FeatureType, value: float) -> None:
+        """Install a trained threshold for one table."""
+        self._thresholds[self.table_key(a, b)] = value
+
+    # ------------------------------------------------------------------
+    # Cor dispatch
+    # ------------------------------------------------------------------
+    def cor(self, a: Feature, b: Feature) -> float:
+        """Correlation between two features, in ``[0, 1]``-ish range
+        (intra measures are [0,1]; Eq. 1 cosine is [0,1])."""
+        if a == b:
+            return 1.0
+        key = (a, b) if (a.ftype.value, a.name) <= (b.ftype.value, b.name) else (b, a)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        value = self._compute_cor(a, b)
+        self._cache[key] = value
+        return value
+
+    def _compute_cor(self, a: Feature, b: Feature) -> float:
+        if a.ftype != b.ftype:
+            return self._stats.cooccurrence_cosine(a, b)
+        if a.ftype == FeatureType.TEXT:
+            if self._text_similarity is None:
+                return self._stats.cooccurrence_cosine(a, b)
+            return float(self._text_similarity(a.name, b.name))
+        if a.ftype == FeatureType.VISUAL:
+            if self._codebook is None:
+                return self._stats.cooccurrence_cosine(a, b)
+            return self._codebook.word_similarity(_visual_id(a.name), _visual_id(b.name))
+        if self._social is None:
+            return self._stats.cooccurrence_cosine(a, b)
+        return self._social.similarity(a.name, b.name)
+
+    def correlated(self, a: Feature, b: Feature) -> bool:
+        """Edge decision: ``Cor(a, b)`` above the pair's table threshold."""
+        return self.cor(a, b) > self.threshold(a.ftype, b.ftype)
+
+    def cors(self, features: Sequence[Feature]) -> float:
+        """Clique correlation strength (Eq. 8); see
+        :meth:`OccurrenceStats.cors`."""
+        return self._stats.cors(features)
+
+    def cache_size(self) -> int:
+        """Number of memoized pairs (diagnostics)."""
+        return len(self._cache)
+
+
+def _visual_id(name: str) -> int:
+    """Parse a canonical visual-word feature name (``vw<id>``)."""
+    if not name.startswith("vw"):
+        raise ValueError(f"not a visual word name: {name!r}")
+    return int(name[2:])

@@ -1,0 +1,261 @@
+"""Markov-Random-Field similarity over FIGs (Sections 3.3–3.4, Eq. 10).
+
+Scoring recap.  To compare query ``O_q`` with candidate ``O_i``, the
+query's FIG root is replaced by ``O_i``; the joint distribution of the
+resulting graph factors over root-anchored cliques (Eqs. 4–6)::
+
+    s(O_q, O_i) ∝ Σ_{c ∈ C(G')} ϕ'(c)
+    ϕ'(c)       = CorS(c) · ϕ(c)                               (Eq. 9)
+    ϕ(c)        = λ_{|c|} · P(n_1..n_k | O_i)                  (Eq. 7)
+    P(· | O_i)  = α · freq(n_1..n_k | O_i) / |O_i|
+                + (1-α) · Σ_{n∈c} Σ_{m∈O_i−c} Cor(n, m)
+                          / (k · |O_i − c|)
+
+with ``k = |c| - 1`` the clique's feature count and λ trained per
+clique size (Section 3.4's constraint, after [16]).  The recommendation
+potential adds temporal decay (Eq. 10)::
+
+    ϕ_rec(c_t) = λ_{|c|} · δ^(t_now - t) · CorS(c) · P(· | O_r)
+
+Interpretation choices the paper leaves open (documented in DESIGN.md):
+
+* ``freq(n_1..n_k | O_i)`` — the joint appearance count — is the
+  *minimum* of the member frequencies when every member appears in
+  ``O_i`` and 0 otherwise (the number of complete co-occurrences a bag
+  can host);
+* the smoothing average runs over the candidate's **distinct** features
+  outside the clique, matching the ``|{O_i} − c|`` set notation.
+
+Scoring cost: the smoothing term needs ``Cor(n, m)`` for every query
+feature × candidate feature pair.  :class:`CliqueScorer` therefore
+caches, per candidate object, the row sums ``S(n, O_i) = Σ_{m∈O_i}
+Cor(n, m)`` so each clique costs O(k²) lookups instead of O(k·|O_i|).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.cliques import Clique
+from repro.core.correlation import CorrelationModel
+from repro.core.objects import Feature, MediaObject
+from repro.social.temporal import decay_weight
+
+#: Default per-size clique weights, in the spirit of Metzler & Croft's
+#: (0.85, 0.10, 0.05) weighting of their three dependence patterns.
+DEFAULT_LAMBDAS: dict[int, float] = {1: 0.85, 2: 0.10, 3: 0.05}
+
+
+@dataclass(frozen=True)
+class MRFParameters:
+    """Trained/tunable parameters of the similarity model.
+
+    Attributes
+    ----------
+    lambdas:
+        Clique-size -> weight (λ of Eq. 5, constrained per Section 3.4
+        to depend only on ``|c|``).  Sizes without an entry weigh 0, so
+        the mapping also controls the effective max clique size.
+    alpha:
+        Smoothing trade-off of Eq. 7, in ``[0, 1]``; 1 = frequency only.
+    use_cors:
+        Whether to apply the Eq. 9 CorS weight (the ablation bench
+        toggles this).
+    delta:
+        Temporal decay of Eq. 10 in ``(0, 1]``; 1 disables decay, so
+        retrieval simply uses the default.
+    """
+
+    lambdas: Mapping[int, float] = field(default_factory=lambda: dict(DEFAULT_LAMBDAS))
+    alpha: float = 0.5
+    use_cors: bool = True
+    delta: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.lambdas:
+            raise ValueError("lambdas must contain at least one clique size")
+        if any(size < 1 for size in self.lambdas):
+            raise ValueError("clique sizes must be >= 1")
+        if any(weight < 0 for weight in self.lambdas.values()):
+            raise ValueError("lambda weights must be non-negative")
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1], got {self.alpha}")
+        if not 0.0 < self.delta <= 1.0:
+            raise ValueError(f"delta must be in (0, 1], got {self.delta}")
+        object.__setattr__(self, "lambdas", dict(self.lambdas))
+
+    @property
+    def max_clique_size(self) -> int:
+        """Largest clique size with positive weight."""
+        positive = [s for s, w in self.lambdas.items() if w > 0]
+        return max(positive) if positive else 1
+
+    def lambda_for(self, size: int) -> float:
+        return self.lambdas.get(size, 0.0)
+
+    def with_updates(self, **changes) -> "MRFParameters":
+        """Functional update helper used by the trainer."""
+        data = {
+            "lambdas": dict(self.lambdas),
+            "alpha": self.alpha,
+            "use_cors": self.use_cors,
+            "delta": self.delta,
+        }
+        data.update(changes)
+        return MRFParameters(**data)
+
+
+class CliqueScorer:
+    """Scores candidate objects against a fixed clique set.
+
+    One scorer instance serves one query (or one user profile); it owns
+    the per-candidate correlation row-sum cache described in the module
+    docstring.  The candidate cache is keyed by object id and retained
+    for the scorer's lifetime, so scoring many cliques against the same
+    candidate amortizes well — the access pattern of both Algorithm 1
+    and the sequential scan.
+    """
+
+    def __init__(
+        self,
+        correlations: CorrelationModel,
+        params: MRFParameters,
+    ) -> None:
+        self._cor = correlations
+        self._params = params
+        self._row_sums: dict[str, dict[Feature, float]] = {}
+        self._cors_cache: dict[tuple[Feature, ...], float] = {}
+
+    @property
+    def params(self) -> MRFParameters:
+        return self._params
+
+    # ------------------------------------------------------------------
+    # Eq. 7 — joint probability with smoothing
+    # ------------------------------------------------------------------
+    def joint_probability(self, clique: Clique, obj: MediaObject) -> float:
+        """``P(n_1..n_k | O_i)`` of Eq. 7."""
+        freqs = [obj.frequency(f) for f in clique.features]
+        joint = min(freqs) if all(f > 0 for f in freqs) else 0
+        size = len(obj)
+        freq_part = joint / size if size > 0 else 0.0
+
+        smooth_part = 0.0
+        clique_set = set(clique.features)
+        rest_count = len(obj.features) - len(clique_set & obj.features.keys())
+        if rest_count > 0:
+            row_sums = self._row_sums_for(obj)
+            total = 0.0
+            for n in clique.features:
+                row = row_sums.get(n)
+                if row is None:
+                    row = self._row_sum(n, obj)
+                    row_sums[n] = row
+                inside = sum(
+                    self._cor.cor(n, m) for m in clique_set if m in obj.features
+                )
+                total += row - inside
+            smooth_part = total / (len(clique_set) * rest_count)
+
+        alpha = self._params.alpha
+        return alpha * freq_part + (1.0 - alpha) * smooth_part
+
+    # ------------------------------------------------------------------
+    # Eqs. 9 / 10 — weighted potentials
+    # ------------------------------------------------------------------
+    def cors(self, clique: Clique) -> float:
+        """Memoized CorS (Eq. 8) of the clique's feature set."""
+        cached = self._cors_cache.get(clique.features)
+        if cached is None:
+            cached = self._cor.cors(clique.features)
+            self._cors_cache[clique.features] = cached
+        return cached
+
+    def potential(
+        self,
+        clique: Clique,
+        obj: MediaObject,
+        current_month: int | None = None,
+    ) -> float:
+        """ϕ'(c) (Eq. 9), or ϕ_rec (Eq. 10) when ``current_month`` is
+        given and the clique carries a timestamp."""
+        weight = self._params.lambda_for(clique.size)
+        if weight == 0.0:
+            return 0.0
+        if self._params.use_cors:
+            weight *= self.cors(clique)
+            if weight == 0.0:
+                return 0.0
+        if current_month is not None and clique.timestamp is not None:
+            weight *= decay_weight(current_month - clique.timestamp, self._params.delta)
+        if weight == 0.0:
+            return 0.0
+        return weight * self.joint_probability(clique, obj)
+
+    def score(
+        self,
+        cliques: Sequence[Clique],
+        obj: MediaObject,
+        current_month: int | None = None,
+    ) -> float:
+        """Full similarity: Σ over cliques of the weighted potential
+        (Eq. 6's log-space sum)."""
+        return sum(self.potential(c, obj, current_month=current_month) for c in cliques)
+
+    def release(self, object_id: str) -> None:
+        """Drop the cached row sums of one candidate (memory control for
+        long sequential scans)."""
+        self._row_sums.pop(object_id, None)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _row_sum(self, feature: Feature, obj: MediaObject) -> float:
+        return sum(self._cor.cor(feature, m) for m in obj.features)
+
+    def _row_sums_for(self, obj: MediaObject) -> dict[Feature, float]:
+        cached = self._row_sums.get(obj.object_id)
+        if cached is None:
+            cached = {}
+            self._row_sums[obj.object_id] = cached
+        return cached
+
+
+class MRFSimilarity:
+    """Object-to-object similarity façade (Definition 1's ``s``).
+
+    Wraps FIG construction + clique enumeration + :class:`CliqueScorer`
+    for the common "compare two objects" case; the retrieval and
+    recommendation engines use the pieces directly for efficiency.
+    """
+
+    def __init__(
+        self,
+        correlations: CorrelationModel,
+        params: MRFParameters | None = None,
+        max_clique_size: int | None = None,
+    ) -> None:
+        self._cor = correlations
+        self._params = params if params is not None else MRFParameters()
+        self._max_clique_size = (
+            max_clique_size if max_clique_size is not None else self._params.max_clique_size
+        )
+
+    @property
+    def params(self) -> MRFParameters:
+        return self._params
+
+    @property
+    def max_clique_size(self) -> int:
+        return self._max_clique_size
+
+    def similarity(self, query: MediaObject, candidate: MediaObject) -> float:
+        """``s(O_q, O_i)``: build the query FIG, enumerate its cliques,
+        and sum the candidate's weighted potentials."""
+        from repro.core.fig import FeatureInteractionGraph
+
+        fig = FeatureInteractionGraph.from_object(query, self._cor)
+        cliques = fig.cliques(max_size=self._max_clique_size)
+        scorer = CliqueScorer(self._cor, self._params)
+        return scorer.score(cliques, candidate)

@@ -1,0 +1,181 @@
+"""Multi-modal object model.
+
+The paper (Section 3.1) writes a social media object as
+``O = <T, V, U>`` — a bag of textual features, a bag of visual-word
+features and a bag of user features.  This module defines the typed
+feature and object classes every other component operates on:
+
+* :class:`FeatureType` — the three modalities (extensible in principle;
+  the paper notes audio etc. would fit the same framework);
+* :class:`Feature` — an immutable ``(type, name)`` pair, hashable so it
+  can serve as a graph node, index key and dictionary key;
+* :class:`MediaObject` — an object id plus a frequency bag of features
+  and a month-granularity timestamp (Section 4 fixes the time basis to
+  months).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from collections.abc import Iterable, Iterator, Mapping
+from dataclasses import dataclass, field
+
+
+class FeatureType(enum.Enum):
+    """The three feature modalities of Section 3.1."""
+
+    TEXT = "T"
+    VISUAL = "V"
+    USER = "U"
+
+    def __lt__(self, other: "FeatureType") -> bool:
+        if not isinstance(other, FeatureType):
+            return NotImplemented
+        return self.value < other.value
+
+
+#: Convenient aliases for the canonical modality triple.
+ALL_TYPES: tuple[FeatureType, ...] = (FeatureType.TEXT, FeatureType.VISUAL, FeatureType.USER)
+
+
+@dataclass(frozen=True, order=True)
+class Feature:
+    """One feature node: a modality plus a name within that modality.
+
+    Names are namespaced per type, so the tag ``"sunset"`` and a
+    hypothetical user called ``"sunset"`` are distinct features.
+    """
+
+    ftype: FeatureType
+    name: str
+
+    @property
+    def key(self) -> str:
+        """Canonical string form, e.g. ``"T:sunset"`` — used by the
+        storage layer and the inverted index."""
+        return f"{self.ftype.value}:{self.name}"
+
+    @classmethod
+    def from_key(cls, key: str) -> "Feature":
+        """Inverse of :attr:`key`."""
+        type_code, sep, name = key.partition(":")
+        if not sep or not name:
+            raise ValueError(f"malformed feature key {key!r}")
+        return cls(FeatureType(type_code), name)
+
+    @classmethod
+    def text(cls, name: str) -> "Feature":
+        return cls(FeatureType.TEXT, name)
+
+    @classmethod
+    def visual(cls, name: str) -> "Feature":
+        return cls(FeatureType.VISUAL, name)
+
+    @classmethod
+    def user(cls, name: str) -> "Feature":
+        return cls(FeatureType.USER, name)
+
+    def __str__(self) -> str:
+        return self.key
+
+
+@dataclass(frozen=True)
+class MediaObject:
+    """A social media object: id, feature frequency bag, timestamp.
+
+    Attributes
+    ----------
+    object_id:
+        Stable identifier within its corpus.
+    features:
+        ``Feature -> frequency`` bag.  Frequencies feed the
+        ``freq(.|O_i)`` term of the potential function (Eq. 7); tags and
+        users usually have frequency 1 while visual words repeat with
+        block counts.
+    timestamp:
+        Month index (0-based) of upload/favoriting.  Retrieval ignores
+        it; the temporal recommendation model (Eq. 10) reads it.
+    """
+
+    object_id: str
+    features: Mapping[Feature, int] = field(default_factory=dict)
+    timestamp: int = 0
+
+    def __post_init__(self) -> None:
+        bag = Counter()
+        for feature, count in dict(self.features).items():
+            if not isinstance(feature, Feature):
+                raise TypeError(f"feature keys must be Feature, got {type(feature).__name__}")
+            if count <= 0:
+                raise ValueError(f"feature {feature} has non-positive count {count}")
+            bag[feature] = int(count)
+        object.__setattr__(self, "features", bag)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        object_id: str,
+        tags: Iterable[str] = (),
+        visual_words: Iterable[str] = (),
+        users: Iterable[str] = (),
+        timestamp: int = 0,
+    ) -> "MediaObject":
+        """Assemble an object from per-modality name iterables.
+
+        Repeated names accumulate frequency, so passing a visual-word
+        list with duplicates yields the correct block counts.
+        """
+        bag: Counter[Feature] = Counter()
+        for name in tags:
+            bag[Feature.text(name)] += 1
+        for name in visual_words:
+            bag[Feature.visual(name)] += 1
+        for name in users:
+            bag[Feature.user(name)] += 1
+        return cls(object_id=object_id, features=bag, timestamp=timestamp)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Total feature occurrences ``|O_i|`` (Eq. 7 denominator)."""
+        return sum(self.features.values())
+
+    def __contains__(self, feature: Feature) -> bool:
+        return feature in self.features
+
+    def __iter__(self) -> Iterator[Feature]:
+        return iter(self.features)
+
+    def frequency(self, feature: Feature) -> int:
+        """Occurrence count of ``feature`` in this object (0 if absent)."""
+        return self.features.get(feature, 0)
+
+    def distinct_features(self) -> tuple[Feature, ...]:
+        """The object's distinct features in canonical (sorted) order."""
+        return tuple(sorted(self.features))
+
+    def features_of_type(self, ftype: FeatureType) -> tuple[Feature, ...]:
+        """Distinct features of one modality, sorted."""
+        return tuple(sorted(f for f in self.features if f.ftype == ftype))
+
+    def restricted_to(self, types: Iterable[FeatureType]) -> "MediaObject":
+        """A copy keeping only the given modalities — used by the
+        feature-combination ablation (Fig. 5)."""
+        keep = set(types)
+        bag = {f: c for f, c in self.features.items() if f.ftype in keep}
+        return MediaObject(object_id=self.object_id, features=bag, timestamp=self.timestamp)
+
+    def describe(self) -> str:
+        """Human-readable one-line summary (for example scripts)."""
+        parts = []
+        for ftype in ALL_TYPES:
+            names = [f.name for f in self.features_of_type(ftype)]
+            if names:
+                shown = ", ".join(names[:6]) + ("…" if len(names) > 6 else "")
+                parts.append(f"{ftype.name.lower()}=[{shown}]")
+        return f"{self.object_id} (t={self.timestamp}): " + "; ".join(parts)

@@ -1,0 +1,232 @@
+"""Social media recommendation (Section 4, Definition 2).
+
+A user's profile ``H_u`` is the set of objects they favorited during
+the profile window.  The profile FIG connects features only within each
+historical object (avoiding noisy cross-favorite cliques) and stamps
+each clique with its most recent appearance month; the temporal
+potential (Eq. 10) then decays old cliques by ``δ^(t_now - t_clique)``.
+
+``δ = 1`` gives the paper's plain ``FIG`` recommender (no decay);
+``δ < 1`` gives ``FIG-T``.  Candidates are the "newly incoming set" —
+objects whose timestamp falls in the evaluation window — and the
+recommendation time ``t_now`` defaults to the start of that window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cliques import Clique
+from repro.core.fig import FeatureInteractionGraph
+from repro.core.mrf import CliqueScorer, MRFParameters
+from repro.core.objects import MediaObject
+from repro.core.retrieval import RankedResult, correlation_model_for_corpus
+from repro.index.inverted import CliqueInvertedIndex
+from repro.index.threshold import SortedListSource, threshold_algorithm
+from repro.social.corpus import Corpus
+from repro.social.temporal import TemporalSplit, decay_weight
+
+
+@dataclass(frozen=True)
+class UserProfile:
+    """A tracked user's profile: history objects and derived cliques.
+
+    ``cliques`` holds each distinct clique once (timestamp-free);
+    ``occurrences`` maps its feature set to the months of every
+    appearance across the history — the Eq. 10 sum runs per appearance,
+    so a clique recurring in many favorites accumulates weight.
+    """
+
+    user: str
+    history: tuple[MediaObject, ...]
+    cliques: tuple[Clique, ...]
+    occurrences: dict[tuple, tuple[int, ...]] = None  # type: ignore[assignment]
+
+    def __len__(self) -> int:
+        return len(self.history)
+
+    def temporal_weight(self, clique: Clique, t_now: int, delta: float) -> float:
+        """``Σ_i δ^(t_now − t_i)`` over the clique's appearances."""
+        stamps = self.occurrences.get(clique.features, ())
+        return sum(decay_weight(t_now - ts, delta) for ts in stamps)
+
+
+class Recommender:
+    """Content/similarity-based recommender over a recommendation corpus.
+
+    Parameters
+    ----------
+    corpus:
+        A corpus with favorite events (e.g. from
+        :meth:`repro.social.generator.SyntheticFlickr.generate_recommendation_corpus`).
+    params:
+        MRF parameters; ``params.delta`` selects FIG (1.0) vs FIG-T (<1).
+    split:
+        Profile/evaluation windows; defaults to the paper's first-half /
+        second-half split.
+    build_index:
+        Build a clique inverted index over the candidate objects for
+        Algorithm-1-style recommendation (disable for scan-only use).
+    """
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        params: MRFParameters | None = None,
+        thresholds: dict[tuple[str, str], float] | None = None,
+        default_threshold: float = 0.3,
+        split: TemporalSplit | None = None,
+        build_index: bool = True,
+    ) -> None:
+        self._corpus = corpus
+        self._params = params if params is not None else MRFParameters()
+        self._split = split if split is not None else TemporalSplit.paper_default(corpus.n_months)
+        self._correlations = correlation_model_for_corpus(
+            corpus, thresholds=thresholds, default_threshold=default_threshold
+        )
+        self._candidates: tuple[MediaObject, ...] = tuple(
+            corpus.objects_in_window(self._split.evaluation)
+        )
+        self._by_id = {o.object_id: o for o in self._candidates}
+        self._max_clique_size = self._params.max_clique_size
+        self._index: CliqueInvertedIndex | None = None
+        if build_index:
+            self._index = CliqueInvertedIndex(
+                self._correlations, max_clique_size=self._max_clique_size
+            ).build(self._candidates)
+        self._profile_cache: dict[str, UserProfile] = {}
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def corpus(self) -> Corpus:
+        return self._corpus
+
+    @property
+    def split(self) -> TemporalSplit:
+        return self._split
+
+    @property
+    def params(self) -> MRFParameters:
+        return self._params
+
+    @property
+    def candidates(self) -> tuple[MediaObject, ...]:
+        """The newly-incoming objects eligible for recommendation."""
+        return self._candidates
+
+    def with_params(self, params: MRFParameters) -> "Recommender":
+        """Clone sharing corpus/correlations/index with new parameters —
+        used by the δ sweep (Fig. 10).  Profiles are re-derived because
+        clique enumeration depth may differ."""
+        clone = object.__new__(Recommender)
+        clone._corpus = self._corpus
+        clone._params = params
+        clone._split = self._split
+        clone._correlations = self._correlations
+        clone._candidates = self._candidates
+        clone._by_id = self._by_id
+        clone._max_clique_size = self._max_clique_size
+        if self._index is not None and params.max_clique_size > self._index.max_clique_size:
+            raise ValueError(
+                "cannot raise max clique size above the indexed bound; rebuild instead"
+            )
+        clone._index = self._index
+        clone._profile_cache = {}
+        return clone
+
+    # ------------------------------------------------------------------
+    # profiles
+    # ------------------------------------------------------------------
+    def profile_for(self, user: str) -> UserProfile:
+        """Build (and cache) the user's profile from profile-window
+        favorites.  Raises ``ValueError`` for users with no history —
+        cold-start users are outside the paper's scope."""
+        cached = self._profile_cache.get(user)
+        if cached is not None:
+            return cached
+        events = self._corpus.favorites_of(user, window=self._split.profile)
+        if not events:
+            raise ValueError(f"user {user!r} has no favorites in the profile window")
+        history = tuple(self._corpus.get(e.object_id) for e in events)
+        fig = FeatureInteractionGraph.from_profile(
+            history, self._correlations, profile_id=f"profile:{user}"
+        )
+        occurrences = fig.clique_occurrences(max_size=self._max_clique_size)
+        cliques = tuple(Clique(features=f) for f in sorted(occurrences))
+        profile = UserProfile(
+            user=user, history=history, cliques=cliques, occurrences=occurrences
+        )
+        self._profile_cache[user] = profile
+        return profile
+
+    # ------------------------------------------------------------------
+    # recommendation
+    # ------------------------------------------------------------------
+    def recommend(
+        self,
+        user: str,
+        k: int = 10,
+        mode: str = "index",
+        current_month: int | None = None,
+    ) -> list[RankedResult]:
+        """Top-``k`` candidates by profile similarity (Definition 2).
+
+        ``current_month`` is Eq. 10's ``t_c``; it defaults to the start
+        of the evaluation window (the "now" at which the newly incoming
+        objects are being considered).
+        """
+        if mode not in ("index", "scan"):
+            raise ValueError(f"mode must be 'index' or 'scan', got {mode!r}")
+        profile = self.profile_for(user)
+        t_now = current_month if current_month is not None else self._split.evaluation.start
+        scorer = CliqueScorer(self._correlations, self._params)
+        if mode == "scan":
+            return self._recommend_scan(profile, scorer, k, t_now)
+        if self._index is None:
+            raise ValueError("recommender was built with build_index=False; use mode='scan'")
+        return self._recommend_index(profile, scorer, k, t_now)
+
+    def _recommend_index(
+        self, profile: UserProfile, scorer: CliqueScorer, k: int, t_now: int
+    ) -> list[RankedResult]:
+        assert self._index is not None
+        delta = self._params.delta
+        sources: list[SortedListSource] = []
+        for clique in profile.cliques:
+            weight = profile.temporal_weight(clique, t_now, delta)
+            if weight <= 0.0:
+                continue
+            posting = self._index.lookup(clique)
+            if posting is None:
+                continue
+            entries: list[tuple[str, float]] = []
+            for object_id in posting:
+                obj = self._by_id[object_id]
+                score = weight * scorer.potential(clique, obj)
+                if score > 0.0:
+                    entries.append((object_id, score))
+            if entries:
+                sources.append(SortedListSource(entries))
+        merged = threshold_algorithm(sources, k=k)
+        return [RankedResult(object_id=oid, score=s) for oid, s in merged]
+
+    def _recommend_scan(
+        self, profile: UserProfile, scorer: CliqueScorer, k: int, t_now: int
+    ) -> list[RankedResult]:
+        delta = self._params.delta
+        weights = [
+            profile.temporal_weight(clique, t_now, delta) for clique in profile.cliques
+        ]
+        scored: list[RankedResult] = []
+        for obj in self._candidates:
+            score = sum(
+                w * scorer.potential(c, obj)
+                for c, w in zip(profile.cliques, weights)
+                if w > 0.0
+            )
+            scored.append(RankedResult(object_id=obj.object_id, score=score))
+            scorer.release(obj.object_id)
+        scored.sort(key=lambda r: (-r.score, r.object_id))
+        return scored[:k]

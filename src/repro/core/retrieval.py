@@ -1,0 +1,233 @@
+"""Social media retrieval engine (Section 3.5, Algorithm 1, Figure 3).
+
+The engine owns the paper's whole preprocessing pipeline for one corpus:
+
+1. occurrence statistics over the corpus (Eq. 1 / Eq. 8 backing store);
+2. the correlation model — WUP for tags (via the corpus taxonomy),
+   centroid similarity for visual words (via the corpus codebook),
+   group co-membership for users, Eq. 1 across modalities;
+3. the clique inverted index over every object's FIG.
+
+Two query modes are provided:
+
+* ``mode="index"`` — Algorithm 1: build the query FIG, look up each
+  clique's posting list, score the candidates with the weighted
+  potential, and merge the per-clique lists with the Threshold
+  Algorithm.  Objects sharing no clique with the query are never
+  scored (the paper's acceleration, and its approximation).
+* ``mode="scan"`` — the sequential reference scan of Section 3.5's
+  opening: score *every* object with the full clique sum, including
+  smoothing contributions for objects that do not contain a clique.
+  Slower, but the exact model; the index ablation bench compares both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cliques import Clique
+from repro.core.correlation import (
+    DEFAULT_TABLE_THRESHOLDS,
+    CorrelationModel,
+    OccurrenceStats,
+)
+from repro.core.fig import FeatureInteractionGraph
+from repro.core.mrf import CliqueScorer, MRFParameters
+from repro.core.objects import MediaObject
+from repro.index.inverted import CliqueInvertedIndex
+from repro.index.threshold import SortedListSource, threshold_algorithm
+from repro.social.corpus import Corpus
+from repro.text.wup import WuPalmerSimilarity
+
+
+@dataclass(frozen=True, order=True)
+class RankedResult:
+    """One retrieval hit.  Ordering is by descending score (the dataclass
+    order is ascending, so result lists are built explicitly)."""
+
+    object_id: str
+    score: float
+
+
+def correlation_model_for_corpus(
+    corpus: Corpus,
+    thresholds: dict[tuple[str, str], float] | None = None,
+    default_threshold: float = 0.3,
+    stats: OccurrenceStats | None = None,
+) -> CorrelationModel:
+    """Assemble the Section 3.2 correlation model for ``corpus``.
+
+    Uses the corpus's taxonomy (WUP) for intra-text, its codebook for
+    intra-visual and its social graph for intra-user correlation; any
+    missing context falls back to Eq. 1 co-occurrence for that table.
+    Explicit ``thresholds`` entries override the library defaults
+    (:data:`repro.core.correlation.DEFAULT_TABLE_THRESHOLDS`) per table.
+    """
+    if stats is None:
+        stats = OccurrenceStats(corpus)
+    text_similarity = (
+        WuPalmerSimilarity(corpus.taxonomy) if corpus.taxonomy is not None else None
+    )
+    effective = dict(DEFAULT_TABLE_THRESHOLDS)
+    if thresholds:
+        effective.update(thresholds)
+    return CorrelationModel(
+        stats=stats,
+        text_similarity=text_similarity,
+        codebook=corpus.codebook,
+        social=corpus.social,
+        thresholds=effective,
+        default_threshold=default_threshold,
+    )
+
+
+class RetrievalEngine:
+    """Definition 1's retrieval operator over one corpus.
+
+    Parameters
+    ----------
+    corpus:
+        The database ``D``.
+    params:
+        MRF parameters (λ per clique size, α, CorS toggle).  Defaults to
+        the Metzler-Croft-style weights; use
+        :class:`repro.core.training.CoordinateAscentTrainer` to fit them.
+    thresholds / default_threshold:
+        FIG edge thresholds per correlation table.
+    build_index:
+        Build the clique inverted index eagerly (disable for scan-only
+        experiments to skip the preprocessing cost).
+    """
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        params: MRFParameters | None = None,
+        thresholds: dict[tuple[str, str], float] | None = None,
+        default_threshold: float = 0.3,
+        build_index: bool = True,
+    ) -> None:
+        self._corpus = corpus
+        self._params = params if params is not None else MRFParameters()
+        self._correlations = correlation_model_for_corpus(
+            corpus, thresholds=thresholds, default_threshold=default_threshold
+        )
+        self._max_clique_size = self._params.max_clique_size
+        self._index: CliqueInvertedIndex | None = None
+        if build_index:
+            self._index = CliqueInvertedIndex(
+                self._correlations, max_clique_size=self._max_clique_size
+            ).build(corpus)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def corpus(self) -> Corpus:
+        return self._corpus
+
+    @property
+    def correlations(self) -> CorrelationModel:
+        return self._correlations
+
+    @property
+    def params(self) -> MRFParameters:
+        return self._params
+
+    @property
+    def index(self) -> CliqueInvertedIndex | None:
+        return self._index
+
+    def with_params(self, params: MRFParameters) -> "RetrievalEngine":
+        """Clone sharing corpus, correlation model and index, with new
+        MRF parameters — cheap, for parameter sweeps and training.
+
+        The clone reuses the existing index, so ``params`` must not
+        enlarge ``max_clique_size`` beyond the indexed bound.
+        """
+        clone = object.__new__(RetrievalEngine)
+        clone._corpus = self._corpus
+        clone._params = params
+        clone._correlations = self._correlations
+        clone._max_clique_size = self._max_clique_size
+        if self._index is not None and params.max_clique_size > self._index.max_clique_size:
+            raise ValueError(
+                "cannot raise max clique size above the indexed bound "
+                f"({self._index.max_clique_size}); rebuild the engine instead"
+            )
+        clone._index = self._index
+        return clone
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+    def query_cliques(self, query: MediaObject) -> list[Clique]:
+        """Build the query FIG and enumerate its cliques (Alg. 1 l.4-5)."""
+        fig = FeatureInteractionGraph.from_object(query, self._correlations)
+        return fig.cliques(max_size=self._max_clique_size)
+
+    def search(
+        self,
+        query: MediaObject,
+        k: int = 10,
+        mode: str = "index",
+        exclude_query: bool = True,
+    ) -> list[RankedResult]:
+        """Top-``k`` most similar objects (Definition 1).
+
+        ``exclude_query`` drops the query's own id from the results —
+        the paper's queries are corpus images, and returning the query
+        to itself carries no information.
+        """
+        if mode not in ("index", "scan"):
+            raise ValueError(f"mode must be 'index' or 'scan', got {mode!r}")
+        cliques = self.query_cliques(query)
+        exclude = {query.object_id} if exclude_query else set()
+        if mode == "scan":
+            return self._search_scan(cliques, k, exclude)
+        if self._index is None:
+            raise ValueError("engine was built with build_index=False; use mode='scan'")
+        return self._search_index(cliques, k, exclude)
+
+    # ------------------------------------------------------------------
+    # Algorithm 1 — index mode
+    # ------------------------------------------------------------------
+    def _search_index(
+        self, cliques: list[Clique], k: int, exclude: set[str]
+    ) -> list[RankedResult]:
+        assert self._index is not None
+        scorer = CliqueScorer(self._correlations, self._params)
+        sources: list[SortedListSource] = []
+        for clique in cliques:
+            posting = self._index.lookup(clique)
+            if posting is None:
+                continue
+            entries: list[tuple[str, float]] = []
+            for object_id in posting:
+                if object_id in exclude:
+                    continue
+                obj = self._corpus.get(object_id)
+                score = scorer.potential(clique, obj)
+                if score > 0.0:
+                    entries.append((object_id, score))
+            if entries:
+                sources.append(SortedListSource(entries))
+        merged = threshold_algorithm(sources, k=k)
+        return [RankedResult(object_id=oid, score=s) for oid, s in merged]
+
+    # ------------------------------------------------------------------
+    # sequential reference scan
+    # ------------------------------------------------------------------
+    def _search_scan(
+        self, cliques: list[Clique], k: int, exclude: set[str]
+    ) -> list[RankedResult]:
+        scorer = CliqueScorer(self._correlations, self._params)
+        scored: list[RankedResult] = []
+        for obj in self._corpus:
+            if obj.object_id in exclude:
+                continue
+            score = scorer.score(cliques, obj)
+            scored.append(RankedResult(object_id=obj.object_id, score=score))
+            scorer.release(obj.object_id)
+        scored.sort(key=lambda r: (-r.score, r.object_id))
+        return scored[:k]

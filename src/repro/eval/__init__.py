@@ -1,0 +1,46 @@
+"""Evaluation substrate: metrics, relevance oracles, experiment
+protocols and the latency harness (Section 5's methodology)."""
+
+from repro.eval.metrics import (
+    average_precision,
+    mean_average_precision,
+    ndcg_at_n,
+    precision_at_n,
+    recall_at_n,
+    reciprocal_rank,
+)
+from repro.eval.oracle import FavoriteOracle, TopicOracle
+from repro.eval.protocol import (
+    PrecisionReport,
+    evaluate_recommendation,
+    evaluate_retrieval,
+    make_retrieval_objective,
+    sample_queries,
+)
+from repro.eval.significance import (
+    ComparisonResult,
+    paired_bootstrap_ci,
+    paired_permutation_test,
+)
+from repro.eval.timing import TimingReport, time_per_query
+
+__all__ = [
+    "ComparisonResult",
+    "FavoriteOracle",
+    "PrecisionReport",
+    "TimingReport",
+    "TopicOracle",
+    "average_precision",
+    "evaluate_recommendation",
+    "evaluate_retrieval",
+    "make_retrieval_objective",
+    "mean_average_precision",
+    "ndcg_at_n",
+    "paired_bootstrap_ci",
+    "paired_permutation_test",
+    "precision_at_n",
+    "recall_at_n",
+    "reciprocal_rank",
+    "sample_queries",
+    "time_per_query",
+]

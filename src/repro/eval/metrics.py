@@ -1,0 +1,103 @@
+"""Rank-quality metrics.
+
+The paper's headline metric is Precision@N (Sections 5.1.4 and 5.3):
+for retrieval, the fraction of the top-N results judged relevant; for
+recommendation, the fraction of the top-N recommended images the user
+actually favorited.  MAP and nDCG are provided for the extended
+analyses (training objectives and ablation benches) even though the
+paper itself only reports P@N.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+
+Relevance = Callable[[str], bool]
+
+
+def precision_at_n(ranked_ids: Sequence[str], is_relevant: Relevance, n: int) -> float:
+    """Fraction of the top-``n`` ranked ids that are relevant.
+
+    When fewer than ``n`` results were returned, the denominator stays
+    ``n`` (an empty tail is counted as misses — a system that returns
+    too little should not score as if it had answered).
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    hits = sum(1 for oid in ranked_ids[:n] if is_relevant(oid))
+    return hits / n
+
+
+def recall_at_n(
+    ranked_ids: Sequence[str], is_relevant: Relevance, n: int, n_relevant: int
+) -> float:
+    """Fraction of all ``n_relevant`` relevant items found in the top-n."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if n_relevant <= 0:
+        return 0.0
+    hits = sum(1 for oid in ranked_ids[:n] if is_relevant(oid))
+    return hits / n_relevant
+
+
+def average_precision(
+    ranked_ids: Sequence[str], is_relevant: Relevance, n_relevant: int | None = None
+) -> float:
+    """AP over the returned ranking.
+
+    ``n_relevant`` normalizes by the total number of relevant items
+    when known; otherwise by the number of relevant items retrieved
+    (the "AP of the returned list" convention).
+    """
+    hits = 0
+    precision_sum = 0.0
+    for rank, oid in enumerate(ranked_ids, start=1):
+        if is_relevant(oid):
+            hits += 1
+            precision_sum += hits / rank
+    denom = n_relevant if n_relevant is not None else hits
+    if not denom:
+        return 0.0
+    return precision_sum / denom
+
+
+def mean_average_precision(
+    rankings: Sequence[Sequence[str]],
+    relevance_fns: Sequence[Relevance],
+    n_relevant: Sequence[int] | None = None,
+) -> float:
+    """MAP across queries (zip of rankings and per-query relevance)."""
+    if len(rankings) != len(relevance_fns):
+        raise ValueError("rankings and relevance functions must align")
+    if not rankings:
+        return 0.0
+    totals = []
+    for i, (ranking, rel) in enumerate(zip(rankings, relevance_fns)):
+        nr = n_relevant[i] if n_relevant is not None else None
+        totals.append(average_precision(ranking, rel, n_relevant=nr))
+    return sum(totals) / len(totals)
+
+
+def ndcg_at_n(ranked_ids: Sequence[str], is_relevant: Relevance, n: int) -> float:
+    """Binary nDCG@n with ``log2(rank+1)`` discounting."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    dcg = 0.0
+    hits = 0
+    for rank, oid in enumerate(ranked_ids[:n], start=1):
+        if is_relevant(oid):
+            hits += 1
+            dcg += 1.0 / math.log2(rank + 1)
+    if hits == 0:
+        return 0.0
+    ideal = sum(1.0 / math.log2(rank + 1) for rank in range(1, hits + 1))
+    return dcg / ideal
+
+
+def reciprocal_rank(ranked_ids: Sequence[str], is_relevant: Relevance) -> float:
+    """1/rank of the first relevant result (0 when none is)."""
+    for rank, oid in enumerate(ranked_ids, start=1):
+        if is_relevant(oid):
+            return 1.0 / rank
+    return 0.0

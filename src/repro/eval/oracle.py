@@ -1,0 +1,79 @@
+"""Relevance oracles — the stand-ins for the paper's evaluators.
+
+Retrieval: the paper asked three human evaluators to judge the top-N
+results of 20 random query images.  Our corpora are generated from a
+latent topic model, so semantic relevance has a ground truth:
+:class:`TopicOracle` calls a candidate relevant to a query iff they
+share a dominant topic.
+
+Recommendation: the paper scores a recommendation as correct iff the
+user actually favorited the image (noting this is strict but fair);
+:class:`FavoriteOracle` implements exactly that over the held-out
+evaluation window.
+"""
+
+from __future__ import annotations
+
+from repro.eval.metrics import Relevance
+from repro.social.corpus import Corpus
+from repro.social.temporal import MonthWindow
+
+
+class TopicOracle:
+    """Ground-truth topical relevance for retrieval evaluation."""
+
+    def __init__(self, corpus: Corpus) -> None:
+        self._corpus = corpus
+
+    def relevant(self, query_id: str, candidate_id: str) -> bool:
+        """True iff the two objects share at least one dominant topic.
+
+        Objects without ground-truth topics (e.g. hand-built corpora)
+        are never relevant — the oracle refuses to guess.
+        """
+        q = set(self._corpus.topics(query_id))
+        if not q:
+            return False
+        return bool(q & set(self._corpus.topics(candidate_id)))
+
+    def relevance_fn(self, query_id: str) -> Relevance:
+        """Curry the oracle for one query (the metrics' interface)."""
+        return lambda candidate_id: self.relevant(query_id, candidate_id)
+
+    def n_relevant(self, query_id: str, exclude_self: bool = True) -> int:
+        """Number of corpus objects relevant to ``query_id`` (for
+        recall/AP normalization)."""
+        count = sum(
+            1
+            for obj in self._corpus
+            if self.relevant(query_id, obj.object_id)
+            and not (exclude_self and obj.object_id == query_id)
+        )
+        return count
+
+
+class FavoriteOracle:
+    """Held-out-favorites relevance for recommendation evaluation."""
+
+    def __init__(self, corpus: Corpus, window: MonthWindow) -> None:
+        self._held_out: dict[str, set[str]] = {}
+        for event in corpus.favorites:
+            if event.month in window:
+                self._held_out.setdefault(event.user, set()).add(event.object_id)
+
+    def relevant(self, user: str, object_id: str) -> bool:
+        """True iff ``user`` favorited ``object_id`` in the held-out
+        window — the paper's strict correctness criterion."""
+        return object_id in self._held_out.get(user, ())
+
+    def relevance_fn(self, user: str) -> Relevance:
+        held = self._held_out.get(user, frozenset())
+        return lambda object_id: object_id in held
+
+    def n_relevant(self, user: str) -> int:
+        """Number of held-out favorites of ``user``."""
+        return len(self._held_out.get(user, ()))
+
+    def users(self) -> tuple[str, ...]:
+        """Users with at least one held-out favorite, sorted."""
+        return tuple(sorted(self._held_out))

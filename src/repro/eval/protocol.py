@@ -1,0 +1,151 @@
+"""Experiment protocol: query sampling and P@N evaluation loops.
+
+These helpers encode the paper's protocols once so every bench uses
+identical machinery:
+
+* retrieval (Section 5.1.4): sample query objects from the corpus, run
+  each system, average Precision@N over queries for several N;
+* recommendation (Section 5.3): for every tracked user, recommend from
+  the evaluation window and measure the fraction of recommendations
+  that are held-out favorites.
+
+Any system exposing ``search(query, k) -> list[RankedResult]`` (the
+:class:`~repro.core.retrieval.RetrievalEngine` and every baseline) can
+be evaluated by :func:`evaluate_retrieval`; recommenders expose
+``recommend(user, k)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
+
+from repro.core.objects import MediaObject
+from repro.core.retrieval import RankedResult
+from repro.eval.metrics import precision_at_n
+from repro.eval.oracle import FavoriteOracle, TopicOracle
+from repro.social.corpus import Corpus
+
+
+class SearchSystem(Protocol):
+    """Anything that ranks corpus objects against a query object."""
+
+    def search(self, query: MediaObject, k: int = ...) -> list[RankedResult]: ...
+
+
+class RecommendSystem(Protocol):
+    """Anything that ranks candidate objects for a user."""
+
+    def recommend(self, user: str, k: int = ...) -> list[RankedResult]: ...
+
+
+@dataclass(frozen=True)
+class PrecisionReport:
+    """Average P@N per cutoff, plus per-query values for dispersion."""
+
+    precision: dict[int, float]
+    per_query: dict[int, tuple[float, ...]] = field(default_factory=dict)
+
+    def __getitem__(self, n: int) -> float:
+        return self.precision[n]
+
+    def format_row(self, label: str, cutoffs: Sequence[int] | None = None) -> str:
+        """One aligned text row for bench output tables."""
+        ns = sorted(self.precision) if cutoffs is None else list(cutoffs)
+        cells = "  ".join(f"P@{n}={self.precision[n]:.3f}" for n in ns)
+        return f"{label:<14} {cells}"
+
+
+def sample_queries(
+    corpus: Corpus,
+    n_queries: int = 20,
+    seed: int = 0,
+    min_features: int = 5,
+) -> list[MediaObject]:
+    """Sample query objects (the paper uses 20 randomly selected
+    images).  Objects with very few features are skipped — a query with
+    one tag exercises nothing."""
+    rng = np.random.default_rng(seed)
+    eligible = [o for o in corpus if len(o.distinct_features()) >= min_features]
+    if not eligible:
+        raise ValueError("no corpus object has enough features to query")
+    n = min(n_queries, len(eligible))
+    picks = rng.choice(len(eligible), size=n, replace=False)
+    return [eligible[int(i)] for i in picks]
+
+
+def evaluate_retrieval(
+    system: SearchSystem,
+    queries: Sequence[MediaObject],
+    oracle: TopicOracle,
+    cutoffs: Sequence[int] = (3, 5, 10, 20),
+) -> PrecisionReport:
+    """Average P@N of ``system`` over ``queries`` for each cutoff."""
+    if not queries:
+        raise ValueError("need at least one query")
+    max_k = max(cutoffs)
+    per_query: dict[int, list[float]] = {n: [] for n in cutoffs}
+    for query in queries:
+        results = system.search(query, k=max_k)
+        ranked = [r.object_id for r in results]
+        rel = oracle.relevance_fn(query.object_id)
+        for n in cutoffs:
+            per_query[n].append(precision_at_n(ranked, rel, n))
+    return PrecisionReport(
+        precision={n: sum(v) / len(v) for n, v in per_query.items()},
+        per_query={n: tuple(v) for n, v in per_query.items()},
+    )
+
+
+def evaluate_recommendation(
+    system: RecommendSystem,
+    users: Sequence[str],
+    oracle: FavoriteOracle,
+    cutoffs: Sequence[int] = (10, 20, 30, 40, 50),
+) -> PrecisionReport:
+    """Average P@N of recommendations over ``users`` for each cutoff.
+
+    Users the system cannot serve (no profile history) are skipped; if
+    nobody can be served a ``ValueError`` surfaces rather than a silent
+    zero.
+    """
+    max_k = max(cutoffs)
+    per_user: dict[int, list[float]] = {n: [] for n in cutoffs}
+    served = 0
+    for user in users:
+        try:
+            results = system.recommend(user, k=max_k)
+        except ValueError:
+            continue
+        served += 1
+        ranked = [r.object_id for r in results]
+        rel = oracle.relevance_fn(user)
+        for n in cutoffs:
+            per_user[n].append(precision_at_n(ranked, rel, n))
+    if served == 0:
+        raise ValueError("no user could be served a recommendation")
+    return PrecisionReport(
+        precision={n: sum(v) / len(v) for n, v in per_user.items()},
+        per_query={n: tuple(v) for n, v in per_user.items()},
+    )
+
+
+def make_retrieval_objective(
+    engine_factory: Callable[[object], SearchSystem],
+    queries: Sequence[MediaObject],
+    oracle: TopicOracle,
+    cutoff: int = 10,
+) -> Callable[[object], float]:
+    """Build a training objective ``params -> mean P@cutoff`` for the
+    coordinate-ascent trainer: ``engine_factory`` maps candidate
+    parameters to a ready system (typically ``engine.with_params``)."""
+
+    def objective(params: object) -> float:
+        system = engine_factory(params)
+        report = evaluate_retrieval(system, queries, oracle, cutoffs=(cutoff,))
+        return report[cutoff]
+
+    return objective

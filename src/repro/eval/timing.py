@@ -1,0 +1,58 @@
+"""Wall-clock timing harness for the efficiency experiment (Fig. 9).
+
+The paper reports average response time per query while sweeping the
+corpus size.  :func:`time_per_query` measures exactly that: mean
+seconds per ``search`` call over a fixed query set, with an optional
+warm-up pass so one-time lazy initialization (posting CorS fills,
+correlation caches) does not pollute steady-state numbers — the paper's
+engine is likewise measured after its preprocessing stage.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.objects import MediaObject
+from repro.eval.protocol import SearchSystem
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Per-query latency summary (seconds)."""
+
+    mean: float
+    minimum: float
+    maximum: float
+    n_queries: int
+
+    def format_row(self, label: str) -> str:
+        return (
+            f"{label:<14} mean={self.mean * 1000:8.2f} ms  "
+            f"min={self.minimum * 1000:8.2f} ms  max={self.maximum * 1000:8.2f} ms"
+        )
+
+
+def time_per_query(
+    system: SearchSystem,
+    queries: Sequence[MediaObject],
+    k: int = 10,
+    warmup: bool = True,
+) -> TimingReport:
+    """Measure mean/min/max wall-clock seconds per query."""
+    if not queries:
+        raise ValueError("need at least one query")
+    if warmup:
+        system.search(queries[0], k=k)
+    samples: list[float] = []
+    for query in queries:
+        start = time.perf_counter()
+        system.search(query, k=k)
+        samples.append(time.perf_counter() - start)
+    return TimingReport(
+        mean=sum(samples) / len(samples),
+        minimum=min(samples),
+        maximum=max(samples),
+        n_queries=len(samples),
+    )

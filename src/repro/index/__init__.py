@@ -1,0 +1,28 @@
+"""Index substrate: clique inverted lists and Fagin's Threshold
+Algorithm (Section 3.5 / Algorithm 1's acceleration structures)."""
+
+from repro.index.compression import (
+    CompressedPosting,
+    compression_ratio,
+    decode_postings,
+    decode_varint,
+    encode_postings,
+    encode_varint,
+)
+from repro.index.inverted import CliqueInvertedIndex
+from repro.index.postings import Posting
+from repro.index.threshold import SortedListSource, sorted_access_count, threshold_algorithm
+
+__all__ = [
+    "CliqueInvertedIndex",
+    "CompressedPosting",
+    "Posting",
+    "compression_ratio",
+    "decode_postings",
+    "decode_varint",
+    "encode_postings",
+    "encode_varint",
+    "SortedListSource",
+    "sorted_access_count",
+    "threshold_algorithm",
+]

@@ -1,0 +1,134 @@
+"""Compressed posting storage: delta + varint encoding.
+
+At the paper's scale (236K objects, millions of cliques) raw posting
+lists dominate index memory.  This module provides the classic
+inverted-index remedy: store each posting as gap-encoded,
+variable-byte-encoded integer doc ids.  It is used by
+:class:`CompressedPosting`, a drop-in companion to
+:class:`repro.index.postings.Posting` for corpora where object ids map
+to dense integers (the corpus order provides that mapping).
+
+Varint layout: little-endian base-128, high bit = continuation — the
+same scheme classic IR systems and protocol buffers use.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+
+def encode_varint(value: int) -> bytes:
+    """Encode one non-negative integer."""
+    if value < 0:
+        raise ValueError("varints encode non-negative integers only")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_varint(data: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode one varint from ``data`` at ``offset``.
+
+    Returns ``(value, next_offset)``.  Raises ``ValueError`` on a
+    truncated sequence.
+    """
+    result = 0
+    shift = 0
+    pos = offset
+    while True:
+        if pos >= len(data):
+            raise ValueError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+def encode_postings(doc_ids: Sequence[int]) -> bytes:
+    """Gap + varint encode a strictly increasing id sequence."""
+    out = bytearray()
+    previous = -1
+    for doc_id in doc_ids:
+        if doc_id <= previous:
+            raise ValueError("doc ids must be strictly increasing")
+        out.extend(encode_varint(doc_id - previous - 1))
+        previous = doc_id
+    return bytes(out)
+
+
+def decode_postings(data: bytes) -> list[int]:
+    """Inverse of :func:`encode_postings`."""
+    ids: list[int] = []
+    offset = 0
+    previous = -1
+    while offset < len(data):
+        gap, offset = decode_varint(data, offset)
+        previous = previous + gap + 1
+        ids.append(previous)
+    return ids
+
+
+class CompressedPosting:
+    """A clique posting stored as compressed integer ids.
+
+    Appends must arrive in increasing id order (the index builder's
+    corpus order guarantees that); iteration decodes on the fly.
+    """
+
+    __slots__ = ("_key", "_data", "_last", "_count")
+
+    def __init__(self, key: str) -> None:
+        self._key = key
+        self._data = bytearray()
+        self._last = -1
+        self._count = 0
+
+    @property
+    def key(self) -> str:
+        return self._key
+
+    def add(self, doc_id: int) -> None:
+        """Append ``doc_id``; repeated tail adds are ignored."""
+        if doc_id == self._last:
+            return
+        if doc_id < self._last:
+            raise ValueError("doc ids must be appended in increasing order")
+        self._data.extend(encode_varint(doc_id - self._last - 1))
+        self._last = doc_id
+        self._count += 1
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self) -> Iterator[int]:
+        offset = 0
+        previous = -1
+        data = bytes(self._data)
+        while offset < len(data):
+            gap, offset = decode_varint(data, offset)
+            previous = previous + gap + 1
+            yield previous
+
+    def doc_ids(self) -> list[int]:
+        return list(self)
+
+    def nbytes(self) -> int:
+        """Compressed payload size."""
+        return len(self._data)
+
+
+def compression_ratio(doc_ids: Iterable[int], reference_bytes_per_id: int = 8) -> float:
+    """How much smaller the varint form is than fixed-width ids."""
+    ids = list(doc_ids)
+    if not ids:
+        return 1.0
+    compressed = len(encode_postings(ids))
+    return (len(ids) * reference_bytes_per_id) / compressed

@@ -1,0 +1,124 @@
+"""Clique inverted index (Section 3.5, Figure 3).
+
+Preprocessing represents every database object as a FIG, enumerates its
+cliques, and indexes them: clique key -> :class:`Posting` holding the
+clique's CorS and the ids of objects containing the clique.  At query
+time, the retrieval engine looks up each query clique and only scores
+the returned candidates — the paper's acceleration over the sequential
+scan.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.core.cliques import Clique
+from repro.core.correlation import CorrelationModel
+from repro.core.fig import FeatureInteractionGraph
+from repro.core.objects import MediaObject
+from repro.index.postings import Posting
+
+
+class CliqueInvertedIndex:
+    """Inverted lists over clique keys.
+
+    Parameters
+    ----------
+    correlations:
+        Correlation model used to build each object's FIG and the
+        stored CorS weights.
+    max_clique_size:
+        Clique enumeration bound (matches the scorer's λ support).
+    """
+
+    def __init__(self, correlations: CorrelationModel, max_clique_size: int = 3) -> None:
+        self._cor = correlations
+        self._max_clique_size = max_clique_size
+        self._postings: dict[str, Posting] = {}
+        self._n_objects = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_object(self, obj: MediaObject) -> int:
+        """Index one object; returns the number of cliques it produced.
+
+        CorS weights are *not* computed here — they are filled lazily on
+        :meth:`lookup` (only query cliques ever need them, and eager
+        computation would dominate preprocessing on large corpora).
+        """
+        fig = FeatureInteractionGraph.from_object(obj, self._cor)
+        cliques = fig.cliques(max_size=self._max_clique_size)
+        for clique in cliques:
+            posting = self._postings.get(clique.key)
+            if posting is None:
+                posting = Posting(clique.key)
+                self._postings[clique.key] = posting
+            posting.add(obj.object_id)
+        self._n_objects += 1
+        return len(cliques)
+
+    def build(self, objects: Iterable[MediaObject]) -> "CliqueInvertedIndex":
+        """Index every object; returns self for chaining."""
+        for obj in objects:
+            self.add_object(obj)
+        return self
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def max_clique_size(self) -> int:
+        return self._max_clique_size
+
+    @property
+    def n_objects(self) -> int:
+        """Number of indexed objects."""
+        return self._n_objects
+
+    def __len__(self) -> int:
+        """Number of distinct cliques indexed."""
+        return len(self._postings)
+
+    def __contains__(self, clique: Clique | str) -> bool:
+        key = clique.key if isinstance(clique, Clique) else clique
+        return key in self._postings
+
+    def lookup(self, clique: Clique | str) -> Posting | None:
+        """Posting for a clique (``None`` when no object contains it) —
+        Algorithm 1's ``InvList(c_i)``.  Fills the posting's CorS on
+        first access."""
+        key = clique.key if isinstance(clique, Clique) else clique
+        posting = self._postings.get(key)
+        if posting is not None and posting.cors is None:
+            features = Clique.from_key(key).features
+            posting.set_cors(self._cor.cors(features))
+        return posting
+
+    def candidates(self, cliques: Iterable[Clique]) -> set[str]:
+        """Union of the posting lists of ``cliques`` — the full
+        candidate set a query will score."""
+        result: set[str] = set()
+        for clique in cliques:
+            posting = self._postings.get(clique.key)
+            if posting is not None:
+                result.update(posting.object_ids)
+        return result
+
+    def iter_postings(self) -> Iterator[Posting]:
+        return iter(self._postings.values())
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, float]:
+        """Index size/selectivity summary (for benches and docs)."""
+        lengths = [len(p) for p in self._postings.values()]
+        total = sum(lengths)
+        return {
+            "n_objects": float(self._n_objects),
+            "n_cliques": float(len(self._postings)),
+            "total_postings": float(total),
+            "avg_posting_length": total / len(lengths) if lengths else 0.0,
+            "max_posting_length": float(max(lengths)) if lengths else 0.0,
+        }

@@ -1,0 +1,69 @@
+"""Posting lists for the clique inverted index.
+
+Section 3.5: "For each clique, we store the correlation strength CorS
+of features in the clique and the objects which contain this clique."
+A :class:`Posting` is that per-clique record: the stored CorS weight
+plus the ids of the containing objects, kept in insertion (= corpus)
+order, deduplicated.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+
+class Posting:
+    """One inverted-index entry: clique key, stored CorS, object ids.
+
+    Object ids are appended in corpus order; because the index builder
+    visits each object once and an object emits each distinct clique
+    once, deduplication only needs a tail check — keeping the posting a
+    bare list (memory matters: large corpora hold millions of postings).
+    """
+
+    __slots__ = ("_key", "_cors", "_object_ids")
+
+    def __init__(self, key: str, cors: float | None = None) -> None:
+        self._key = key
+        self._cors = float(cors) if cors is not None else None
+        self._object_ids: list[str] = []
+
+    @property
+    def key(self) -> str:
+        """Canonical clique key (see :attr:`repro.core.cliques.Clique.key`)."""
+        return self._key
+
+    @property
+    def cors(self) -> float | None:
+        """Correlation strength of the clique (Eq. 8).
+
+        Filled lazily by the index on first use: computing CorS for
+        every distinct clique of a large corpus at build time would
+        dominate preprocessing, and only query cliques ever need it.
+        """
+        return self._cors
+
+    def set_cors(self, value: float) -> None:
+        self._cors = float(value)
+
+    def add(self, object_id: str) -> None:
+        """Append an object to the posting (idempotent for repeated
+        tail adds, the only repetition the index builder can produce)."""
+        if not self._object_ids or self._object_ids[-1] != object_id:
+            self._object_ids.append(object_id)
+
+    def __contains__(self, object_id: str) -> bool:
+        return object_id in self._object_ids
+
+    def __len__(self) -> int:
+        return len(self._object_ids)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._object_ids)
+
+    @property
+    def object_ids(self) -> tuple[str, ...]:
+        return tuple(self._object_ids)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Posting({self._key!r}, cors={self._cors:.4f}, n={len(self)})"

@@ -1,0 +1,161 @@
+"""Fagin's Threshold Algorithm (TA) for top-k rank aggregation.
+
+Algorithm 1 (line 13) merges the per-clique candidate lists with "the
+Threshold Algorithm [7]", the classic middleware top-k method of Fagin,
+Lotem & Naor: walk the input lists in parallel sorted order, fully
+score every newly seen object via random access, and stop as soon as
+the k-th best full score is at least the *threshold* — the aggregate of
+the current sorted-access frontier — because no unseen object can beat
+it.
+
+This implementation is generic over any **monotone** aggregate
+(default: sum) and adopts the missing-entry-scores-zero convention,
+which is what Algorithm 1 needs: an object absent from a clique's
+candidate list contributes nothing for that clique.  With non-negative
+scores and sum aggregation this keeps the aggregate monotone, so the
+early-termination guarantee holds.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable, Sequence
+
+
+class _ReverseStr:
+    """String wrapper with inverted ordering.
+
+    Heap entries are ``(score, _ReverseStr(id))`` so the min-heap root is
+    the *worst* element under the output order (score descending, id
+    ascending): lowest score, and among score ties the largest id.
+    Without this, ties at the k-th score would keep a different object
+    than the final sort reports.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_ReverseStr") -> bool:
+        return self.value > other.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _ReverseStr) and self.value == other.value
+
+
+class SortedListSource:
+    """One TA input: descending-sorted access plus O(1) random access.
+
+    Parameters
+    ----------
+    entries:
+        ``(object_id, score)`` pairs; sorted internally by descending
+        score (ties by id, so runs are deterministic).
+    """
+
+    __slots__ = ("_sorted", "_scores")
+
+    def __init__(self, entries: Sequence[tuple[str, float]]) -> None:
+        self._sorted: list[tuple[str, float]] = sorted(
+            entries, key=lambda e: (-e[1], e[0])
+        )
+        self._scores: dict[str, float] = {oid: s for oid, s in entries}
+        if len(self._scores) != len(self._sorted):
+            raise ValueError("duplicate object ids within one source")
+
+    def __len__(self) -> int:
+        return len(self._sorted)
+
+    def entry(self, rank: int) -> tuple[str, float]:
+        """Sorted access: the ``rank``-th best entry."""
+        return self._sorted[rank]
+
+    def score(self, object_id: str) -> float:
+        """Random access; missing objects score 0."""
+        return self._scores.get(object_id, 0.0)
+
+
+def threshold_algorithm(
+    sources: Sequence[SortedListSource],
+    k: int,
+    aggregate: Callable[[Sequence[float]], float] = sum,
+) -> list[tuple[str, float]]:
+    """Top-``k`` objects by aggregated score across ``sources``.
+
+    Returns at most ``k`` ``(object_id, score)`` pairs in descending
+    score order (ties broken by id).  ``aggregate`` must be monotone in
+    every argument for early termination to be sound; the default sum
+    over non-negative scores is.
+
+    The walk does one sorted access per source per round (Fagin's
+    round-robin), fully scores unseen objects by random access, and
+    stops when ``k`` objects have been found whose scores are all >= the
+    frontier threshold, or when every list is exhausted.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if not sources:
+        return []
+
+    seen: set[str] = set()
+    # Min-heap of (score, reverse-ordered id) holding the current top-k.
+    heap: list[tuple[float, _ReverseStr]] = []
+    depth = 0
+    max_len = max(len(s) for s in sources)
+    while depth < max_len:
+        frontier: list[float] = []
+        for source in sources:
+            if depth < len(source):
+                object_id, score = source.entry(depth)
+                frontier.append(score)
+                if object_id not in seen:
+                    seen.add(object_id)
+                    full = aggregate([s.score(object_id) for s in sources])
+                    entry = (full, _ReverseStr(object_id))
+                    if len(heap) < k:
+                        heapq.heappush(heap, entry)
+                    elif entry > heap[0]:
+                        heapq.heapreplace(heap, entry)
+            else:
+                frontier.append(0.0)
+        depth += 1
+        if len(heap) >= k:
+            threshold = aggregate(frontier)
+            if heap[0][0] >= threshold:
+                break
+
+    results = sorted(heap, key=lambda e: (-e[0], e[1].value))
+    return [(rev.value, score) for score, rev in results]
+
+
+def sorted_access_count(sources: Sequence[SortedListSource], k: int) -> int:
+    """Instrumented variant for the index-ablation bench: run TA and
+    return the number of sorted-access rounds it needed (the early-
+    termination depth)."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if not sources:
+        return 0
+    seen: set[str] = set()
+    heap: list[tuple[float, _ReverseStr]] = []
+    depth = 0
+    max_len = max(len(s) for s in sources)
+    while depth < max_len:
+        frontier: list[float] = []
+        for source in sources:
+            if depth < len(source):
+                object_id, score = source.entry(depth)
+                frontier.append(score)
+                if object_id not in seen:
+                    seen.add(object_id)
+                    full = sum(s.score(object_id) for s in sources)
+                    entry = (full, _ReverseStr(object_id))
+                    if len(heap) < k:
+                        heapq.heappush(heap, entry)
+                    elif entry > heap[0]:
+                        heapq.heapreplace(heap, entry)
+        depth += 1
+        if len(heap) >= k and heap[0][0] >= sum(frontier):
+            break
+    return depth

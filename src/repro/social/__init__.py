@@ -1,0 +1,23 @@
+"""Social substrate: users/groups, corpora, temporal windows, and the
+synthetic Flickr generator that substitutes for the paper's crawls."""
+
+from repro.social.corpus import Corpus, FavoriteEvent
+from repro.social.generator import GeneratorConfig, SyntheticFlickr
+from repro.social.ingest import IngestConfig, IngestError, IngestReport, ingest_records
+from repro.social.temporal import MonthWindow, TemporalSplit, decay_weight
+from repro.social.users import SocialGraph
+
+__all__ = [
+    "Corpus",
+    "FavoriteEvent",
+    "GeneratorConfig",
+    "IngestConfig",
+    "IngestError",
+    "IngestReport",
+    "MonthWindow",
+    "SocialGraph",
+    "SyntheticFlickr",
+    "TemporalSplit",
+    "ingest_records",
+    "decay_weight",
+]

@@ -1,0 +1,197 @@
+"""Corpus containers for retrieval and recommendation datasets.
+
+A :class:`Corpus` bundles everything one of the paper's datasets
+(`D_ret` or `D_rec`) provides: the media objects, the user/group social
+graph, the text taxonomy (the WordNet stand-in the intra-text
+correlation uses) and — because our corpus is synthetic — the latent
+ground truth that replaces the paper's human relevance judges.
+
+Ground truth is carried *next to* the objects, never inside them: no
+retrieval or recommendation model may read it (only
+:mod:`repro.eval.oracle` does), mirroring how the paper's systems never
+see the judges' labels.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.objects import MediaObject
+from repro.social.temporal import MonthWindow
+from repro.social.users import SocialGraph
+from repro.text.taxonomy import Taxonomy
+from repro.vision.visual_words import VisualCodebook
+
+
+@dataclass(frozen=True)
+class FavoriteEvent:
+    """One "user marked object as favorite" event with its month."""
+
+    user: str
+    object_id: str
+    month: int
+
+
+class Corpus:
+    """An ordered collection of media objects plus corpus-level context.
+
+    Parameters
+    ----------
+    objects:
+        The media objects; order defines the corpus's canonical object
+        indexing (used by occurrence matrices).
+    social:
+        User/group membership graph.
+    taxonomy:
+        IS-A hierarchy over the tag vocabulary for WUP similarity.
+    codebook:
+        Visual codebook whose centroid geometry drives intra-visual
+        correlation (``None`` disables intra-visual FIG edges).
+    topics_of:
+        Ground truth: object id -> dominant latent topic ids.
+    favorites:
+        Favorite events (recommendation corpora only).
+    n_months:
+        Number of month windows the corpus spans.
+    """
+
+    def __init__(
+        self,
+        objects: Sequence[MediaObject],
+        social: SocialGraph,
+        taxonomy: Taxonomy | None = None,
+        codebook: VisualCodebook | None = None,
+        topics_of: Mapping[str, tuple[int, ...]] | None = None,
+        favorites: Sequence[FavoriteEvent] = (),
+        n_months: int = 6,
+    ) -> None:
+        self._objects: tuple[MediaObject, ...] = tuple(objects)
+        ids = [o.object_id for o in self._objects]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate object ids in corpus")
+        self._by_id: dict[str, int] = {oid: i for i, oid in enumerate(ids)}
+        self._social = social
+        self._taxonomy = taxonomy
+        self._codebook = codebook
+        self._topics: dict[str, tuple[int, ...]] = dict(topics_of or {})
+        self._favorites: tuple[FavoriteEvent, ...] = tuple(favorites)
+        for event in self._favorites:
+            if event.object_id not in self._by_id:
+                raise ValueError(f"favorite references unknown object {event.object_id!r}")
+        self._n_months = n_months
+
+    # ------------------------------------------------------------------
+    # object access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __iter__(self) -> Iterator[MediaObject]:
+        return iter(self._objects)
+
+    def __getitem__(self, index: int) -> MediaObject:
+        return self._objects[index]
+
+    def __contains__(self, object_id: str) -> bool:
+        return object_id in self._by_id
+
+    @property
+    def objects(self) -> tuple[MediaObject, ...]:
+        return self._objects
+
+    def get(self, object_id: str) -> MediaObject:
+        """Object by id; raises ``KeyError`` for unknown ids."""
+        return self._objects[self._by_id[object_id]]
+
+    def index_of(self, object_id: str) -> int:
+        """Canonical position of ``object_id`` in the corpus ordering."""
+        return self._by_id[object_id]
+
+    # ------------------------------------------------------------------
+    # context access
+    # ------------------------------------------------------------------
+    @property
+    def social(self) -> SocialGraph:
+        return self._social
+
+    @property
+    def taxonomy(self) -> Taxonomy | None:
+        return self._taxonomy
+
+    @property
+    def codebook(self) -> VisualCodebook | None:
+        return self._codebook
+
+    @property
+    def n_months(self) -> int:
+        return self._n_months
+
+    def topics(self, object_id: str) -> tuple[int, ...]:
+        """Ground-truth dominant topics of an object (empty when the
+        corpus carries no ground truth, e.g. real crawled data)."""
+        return self._topics.get(object_id, ())
+
+    @property
+    def favorites(self) -> tuple[FavoriteEvent, ...]:
+        return self._favorites
+
+    def favorites_of(self, user: str, window: MonthWindow | None = None) -> list[FavoriteEvent]:
+        """A user's favorite events, optionally filtered to a window,
+        ordered by month then object id (deterministic)."""
+        events = [
+            e
+            for e in self._favorites
+            if e.user == user and (window is None or e.month in window)
+        ]
+        events.sort(key=lambda e: (e.month, e.object_id))
+        return events
+
+    def favorite_users(self) -> tuple[str, ...]:
+        """Users with at least one favorite event, sorted."""
+        return tuple(sorted({e.user for e in self._favorites}))
+
+    # ------------------------------------------------------------------
+    # derived corpora
+    # ------------------------------------------------------------------
+    def subset(self, size: int) -> "Corpus":
+        """Prefix subset of ``size`` objects — the Fig. 8/9 size sweep.
+
+        A prefix (rather than a random sample) keeps subsets nested:
+        every 50K-corpus object is also in the 100K corpus, as in the
+        paper's "randomly split the database with different sizes"
+        protocol where each size is drawn from the same crawl.
+        Favorites referencing dropped objects are dropped with them.
+        """
+        if not 0 < size <= len(self._objects):
+            raise ValueError(f"subset size must be in [1, {len(self._objects)}]")
+        kept = self._objects[:size]
+        kept_ids = {o.object_id for o in kept}
+        favs = [e for e in self._favorites if e.object_id in kept_ids]
+        return Corpus(
+            objects=kept,
+            social=self._social,
+            taxonomy=self._taxonomy,
+            codebook=self._codebook,
+            topics_of={oid: t for oid, t in self._topics.items() if oid in kept_ids},
+            favorites=favs,
+            n_months=self._n_months,
+        )
+
+    def objects_in_window(self, window: MonthWindow) -> list[MediaObject]:
+        """Objects whose timestamp falls in ``window``."""
+        return [o for o in self._objects if o.timestamp in window]
+
+    def restricted_to_types(self, types: Iterable) -> "Corpus":
+        """Corpus with every object restricted to the given modalities —
+        drives the Fig. 5 feature-combination ablation."""
+        types = tuple(types)
+        return Corpus(
+            objects=[o.restricted_to(types) for o in self._objects],
+            social=self._social,
+            taxonomy=self._taxonomy,
+            codebook=self._codebook,
+            topics_of=self._topics,
+            favorites=self._favorites,
+            n_months=self._n_months,
+        )

@@ -1,0 +1,719 @@
+"""Synthetic Flickr-like corpus generator.
+
+The paper evaluates on two crawls (236,600 "interesting" images for
+retrieval; 279 users / 207,909 favorites for recommendation) that are
+not available offline.  This module generates statistically analogous
+corpora from a latent-topic model, planting exactly the structure the
+paper's contribution exploits:
+
+* every object has one or two dominant **latent topics**;
+* **tags** are drawn from per-topic Zipfian word distributions (plus a
+  configurable fraction of global noise words) — the strongest and
+  cleanest modality, as in Fig. 5;
+* **visual words** are drawn from per-topic distributions over a 16-D
+  codebook with heavy noise — informative but weakest, as in Fig. 5;
+* **users** (uploader + favoriting users) are drawn from the set of
+  users whose interests cover the object's topics, with moderate
+  noise; users join topic-aligned **groups**, so group co-membership
+  correlates with shared interests (Section 3.2's intra-user measure);
+* cross-modal correlation emerges naturally because all modalities are
+  emitted from the same topic draw — this is the correlation structure
+  the FIG/MRF model is designed to exploit and late fusion is not.
+
+For the recommendation corpus, a set of *tracked users* have
+month-by-month interest schedules (persistent base interests plus
+drifting transient interests, like the paper's "Obama during the 2008
+election" example) and emit favorite events.  Profile-window favorite
+events are visible in object user features; evaluation-window favorite
+events by tracked users are **held out** of object features so the
+ground truth never leaks into the models (the paper's own protocol is
+silent on this; we choose the leak-free variant — see DESIGN.md).
+
+Two visual pipelines are available:
+
+* ``visual_mode="fast"`` (default): topic-conditioned sampling straight
+  from a synthetic 16-D codebook whose words cluster by topic — used at
+  benchmark scale;
+* ``visual_mode="render"``: render an RGB raster per object with
+  :mod:`repro.vision.image`, train a codebook with our k-means, and
+  quantize blocks — the full paper pipeline, used at example/test scale.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.objects import Feature, MediaObject
+from repro.social.corpus import Corpus, FavoriteEvent
+from repro.social.users import SocialGraph
+from repro.text.taxonomy import Taxonomy
+from repro.vision.blocks import DESCRIPTOR_DIM
+from repro.vision.image import default_palettes, render_image
+from repro.vision.visual_words import VisualCodebook, word_names
+
+_CONSONANTS = "bcdfghjklmnprstvwz"
+_VOWELS = "aeiou"
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs of the synthetic corpus generator.
+
+    Defaults are calibrated so the paper's qualitative orderings
+    (Figs. 5, 7, 10, 11) reproduce at laptop scale; see DESIGN.md §6.
+    """
+
+    n_objects: int = 2000
+    n_topics: int = 24
+    n_months: int = 6
+
+    # --- text channel ---
+    tags_per_topic: int = 40
+    n_common_tags: int = 60
+    n_noise_tags: int = 200
+    tags_per_object_mean: float = 8.0
+    min_tags: int = 3
+    text_common: float = 0.15
+    text_confusion: float = 0.10
+    text_noise: float = 0.12
+    zipf_exponent: float = 1.1
+
+    # --- visual channel ---
+    visual_words_per_topic: int = 12
+    n_common_visual_words: int = 32
+    n_noise_visual_words: int = 64
+    blocks_per_object: int = 12
+    visual_common: float = 0.12
+    visual_confusion: float = 0.26
+    visual_noise: float = 0.44
+    visual_mode: str = "fast"
+    image_size: int = 64
+    block_size: int = 16
+
+    # --- user channel ---
+    n_users: int = 400
+    n_groups: int = 60
+    interests_per_user_max: int = 3
+    group_join_prob: float = 0.7
+    favoriters_per_object_max: int = 5
+    user_noise: float = 0.12
+
+    # --- object structure ---
+    secondary_topic_prob: float = 0.35
+    secondary_topic_weight: float = 0.3
+    sparse_object_prob: float = 0.2
+
+    # --- content evolution ("Web contents evolve over time", §1/§2) ---
+    # Each topic's emission heads rotate by this many ranks per month:
+    # the dominant tags / visual words / active users of a topic drift,
+    # so exact-feature overlap across distant months decays while
+    # intra-type correlation (same taxonomy category, same user groups,
+    # nearby centroids) still links old and new heads.
+    tag_drift_per_month: int = 2
+    visual_drift_per_month: int = 1
+    user_drift_per_month: int = 1
+
+    # --- recommendation (tracked users) ---
+    n_tracked_users: int = 0
+    favorites_per_user_per_month: tuple[int, int] = (12, 25)
+    tracked_base_interests_max: int = 2
+    transient_interest_count: int = 2
+    interest_drift_prob: float = 0.3
+    taste_drift_per_month: int = 9
+    # Favorites are driven by a blend of tag taste and *social
+    # affinity* (objects uploaded/favorited by community members the
+    # user is attached to).  The paper finds user information more
+    # crucial than text for recommendation (Fig. 10 discussion), so the
+    # social component carries the larger share.
+    taste_social_weight: float = 0.75
+    social_taste_drift_per_month: int = 6
+
+    def __post_init__(self) -> None:
+        if self.n_objects < 1 or self.n_topics < 2:
+            raise ValueError("need n_objects >= 1 and n_topics >= 2")
+        if self.visual_mode not in ("fast", "render"):
+            raise ValueError(f"visual_mode must be 'fast' or 'render', got {self.visual_mode!r}")
+        if not 0.0 <= self.text_noise <= 1.0:
+            raise ValueError("text_noise must be in [0, 1]")
+        if self.text_common + self.text_confusion + self.text_noise > 1.0:
+            raise ValueError("text mixture probabilities exceed 1")
+        if not 0.0 <= self.visual_noise <= 1.0:
+            raise ValueError("visual_noise must be in [0, 1]")
+        if self.visual_common + self.visual_confusion + self.visual_noise > 1.0:
+            raise ValueError("visual mixture probabilities exceed 1")
+        if not 0.0 <= self.user_noise <= 1.0:
+            raise ValueError("user_noise must be in [0, 1]")
+
+
+@dataclass
+class _World:
+    """Latent world shared by all objects of one generated corpus."""
+
+    topic_tags: list[list[str]]
+    common_tags: list[str]
+    noise_tags: list[str]
+    tag_weights: list[list[np.ndarray]]
+    taxonomy: Taxonomy
+    codebook: VisualCodebook
+    topic_visual_words: list[list[int]]
+    common_visual_words: list[int]
+    noise_visual_words: list[int]
+    visual_weights: list[list[np.ndarray]]
+    tag_index: dict[str, tuple[int, int]]
+    users: list[str]
+    user_interests: dict[str, tuple[int, ...]]
+    users_by_topic: list[list[str]]
+    user_activity: list[list[np.ndarray]]
+    social: SocialGraph
+    palettes: list = field(default_factory=list)
+
+
+class SyntheticFlickr:
+    """Generator facade.
+
+    Usage::
+
+        gen = SyntheticFlickr(GeneratorConfig(n_objects=2000), seed=7)
+        corpus = gen.generate_retrieval_corpus()     # D_ret analogue
+        rec = SyntheticFlickr(
+            GeneratorConfig(n_objects=4000, n_tracked_users=30), seed=7
+        ).generate_recommendation_corpus()           # D_rec analogue
+    """
+
+    def __init__(self, config: GeneratorConfig, seed: int = 0) -> None:
+        self._config = config
+        self._seed = seed
+
+    @property
+    def config(self) -> GeneratorConfig:
+        return self._config
+
+    # ------------------------------------------------------------------
+    # public entry points
+    # ------------------------------------------------------------------
+    def generate_retrieval_corpus(self) -> Corpus:
+        """Generate a `D_ret`-style corpus (no tracked users needed)."""
+        rng = np.random.default_rng(self._seed)
+        world = self._build_world(rng)
+        objects, topics_of, _ = self._generate_objects(world, rng)
+        return Corpus(
+            objects=objects,
+            social=world.social,
+            taxonomy=world.taxonomy,
+            codebook=world.codebook,
+            topics_of=topics_of,
+            n_months=self._config.n_months,
+        )
+
+    def generate_recommendation_corpus(self) -> Corpus:
+        """Generate a `D_rec`-style corpus with tracked-user favorites."""
+        if self._config.n_tracked_users < 1:
+            raise ValueError("recommendation corpus needs n_tracked_users >= 1")
+        rng = np.random.default_rng(self._seed)
+        world = self._build_world(rng)
+        objects, topics_of, by_month_topic = self._generate_objects(world, rng)
+        favorites, augmented = self._generate_favorites(
+            world, rng, objects, topics_of, by_month_topic
+        )
+        return Corpus(
+            objects=augmented,
+            social=world.social,
+            taxonomy=world.taxonomy,
+            codebook=world.codebook,
+            topics_of=topics_of,
+            favorites=favorites,
+            n_months=self._config.n_months,
+        )
+
+    # ------------------------------------------------------------------
+    # world construction
+    # ------------------------------------------------------------------
+    def _build_world(self, rng: np.random.Generator) -> _World:
+        cfg = self._config
+        topic_tags, common_tags, noise_tags = self._make_vocabulary(rng)
+        taxonomy = Taxonomy.build_balanced(
+            groups=[*topic_tags, common_tags, noise_tags],
+            group_names=[f"topic{t}" for t in range(cfg.n_topics)] + ["common", "misc"],
+        )
+        tag_weights = [
+            self._monthly_weights(len(words), cfg.tag_drift_per_month)
+            for words in topic_tags
+        ]
+
+        palettes = (
+            default_palettes(cfg.n_topics, rng) if cfg.visual_mode == "render" else []
+        )
+        if cfg.visual_mode == "render":
+            codebook = self._train_rendered_codebook(rng, palettes)
+            topic_vws, common_vws, noise_vws = [[] for _ in range(cfg.n_topics)], [], []
+        else:
+            codebook, topic_vws, common_vws, noise_vws = self._make_codebook(rng)
+        visual_weights = [
+            self._monthly_weights(len(words), cfg.visual_drift_per_month)
+            for words in topic_vws
+        ]
+
+        users = [f"user{u:04d}" for u in range(cfg.n_users)]
+        user_interests: dict[str, tuple[int, ...]] = {}
+        users_by_topic: list[list[str]] = [[] for _ in range(cfg.n_topics)]
+        for user in users:
+            k = int(rng.integers(1, cfg.interests_per_user_max + 1))
+            interests = tuple(
+                sorted(rng.choice(cfg.n_topics, size=min(k, cfg.n_topics), replace=False))
+            )
+            user_interests[user] = interests
+            for t in interests:
+                users_by_topic[t].append(user)
+        # Guarantee every topic has at least one interested user.
+        for t in range(cfg.n_topics):
+            if not users_by_topic[t]:
+                user = users[int(rng.integers(len(users)))]
+                user_interests[user] = tuple(sorted({*user_interests[user], t}))
+                users_by_topic[t].append(user)
+
+        tag_index = {
+            word: (t, i)
+            for t, words in enumerate(topic_tags)
+            for i, word in enumerate(words)
+        }
+        # Heavy-tailed favoriting activity: within each topic pool a few
+        # users do most of the favoriting, like real Flickr communities;
+        # the active core rotates month by month (community churn).
+        user_activity = [
+            self._monthly_weights(len(pool), cfg.user_drift_per_month)
+            for pool in users_by_topic
+        ]
+        social = self._make_social_graph(rng, users, user_interests)
+        return _World(
+            tag_index=tag_index,
+            topic_tags=topic_tags,
+            common_tags=common_tags,
+            noise_tags=noise_tags,
+            tag_weights=tag_weights,
+            taxonomy=taxonomy,
+            codebook=codebook,
+            topic_visual_words=topic_vws,
+            common_visual_words=common_vws,
+            noise_visual_words=noise_vws,
+            visual_weights=visual_weights,
+            users=users,
+            user_interests=user_interests,
+            users_by_topic=users_by_topic,
+            user_activity=user_activity,
+            social=social,
+            palettes=palettes,
+        )
+
+    def _make_vocabulary(
+        self, rng: np.random.Generator
+    ) -> tuple[list[list[str]], list[str], list[str]]:
+        cfg = self._config
+        seen: set[str] = set()
+
+        def fresh_word() -> str:
+            while True:
+                n_syll = int(rng.integers(2, 5))
+                word = "".join(
+                    _CONSONANTS[int(rng.integers(len(_CONSONANTS)))]
+                    + _VOWELS[int(rng.integers(len(_VOWELS)))]
+                    for _ in range(n_syll)
+                )
+                if word not in seen:
+                    seen.add(word)
+                    return word
+
+        topic_tags = [
+            [fresh_word() for _ in range(cfg.tags_per_topic)] for _ in range(cfg.n_topics)
+        ]
+        common_tags = [fresh_word() for _ in range(cfg.n_common_tags)]
+        noise_tags = [fresh_word() for _ in range(cfg.n_noise_tags)]
+        return topic_tags, common_tags, noise_tags
+
+    def _make_codebook(
+        self, rng: np.random.Generator
+    ) -> tuple[VisualCodebook, list[list[int]], list[int], list[int]]:
+        """Synthetic codebook whose words cluster by topic in 16-D.
+
+        Topic centers are spread apart; each topic's words jitter around
+        its center, so the Euclidean intra-visual correlation of
+        Section 3.2 reflects topical relatedness.  Noise words scatter
+        uniformly.
+        """
+        cfg = self._config
+        centers = rng.normal(0.0, 1.0, size=(cfg.n_topics, DESCRIPTOR_DIM)) * 3.0
+        rows: list[np.ndarray] = []
+        topic_vws: list[list[int]] = []
+        next_id = 0
+        for t in range(cfg.n_topics):
+            ids = list(range(next_id, next_id + cfg.visual_words_per_topic))
+            next_id += cfg.visual_words_per_topic
+            topic_vws.append(ids)
+            rows.append(centers[t] + rng.normal(0.0, 0.4, size=(len(ids), DESCRIPTOR_DIM)))
+        common_ids = list(range(next_id, next_id + cfg.n_common_visual_words))
+        next_id += cfg.n_common_visual_words
+        rows.append(rng.normal(0.0, 1.5, size=(len(common_ids), DESCRIPTOR_DIM)))
+        noise_ids = list(range(next_id, next_id + cfg.n_noise_visual_words))
+        rows.append(rng.normal(0.0, 3.0, size=(len(noise_ids), DESCRIPTOR_DIM)))
+        codebook = VisualCodebook(np.concatenate(rows, axis=0))
+        return codebook, topic_vws, common_ids, noise_ids
+
+    def _train_rendered_codebook(
+        self, rng: np.random.Generator, palettes: list
+    ) -> VisualCodebook:
+        """Render-mode codebook: render sample images per topic and run
+        the full paper pipeline (block descriptors -> k-means) so visual
+        words come from actual pixel statistics."""
+        cfg = self._config
+        samples = []
+        for t in range(cfg.n_topics):
+            weights = np.zeros(cfg.n_topics)
+            weights[t] = 1.0
+            for _ in range(4):
+                samples.append(
+                    render_image(
+                        weights, palettes, rng, size=cfg.image_size, block=cfg.block_size
+                    )
+                )
+        blocks_per_image = (cfg.image_size // cfg.block_size) ** 2
+        requested = (
+            cfg.n_topics * cfg.visual_words_per_topic
+            + cfg.n_common_visual_words
+            + cfg.n_noise_visual_words
+        )
+        n_words = min(requested, len(samples) * blocks_per_image)
+        return VisualCodebook.train(samples, n_words=n_words, rng=rng, block=cfg.block_size)
+
+    def _make_social_graph(
+        self,
+        rng: np.random.Generator,
+        users: list[str],
+        user_interests: dict[str, tuple[int, ...]],
+    ) -> SocialGraph:
+        cfg = self._config
+        groups_by_topic: list[list[str]] = [[] for _ in range(cfg.n_topics)]
+        for g in range(cfg.n_groups):
+            topic = g % cfg.n_topics
+            groups_by_topic[topic].append(f"group{g:03d}")
+        memberships: dict[str, list[str]] = {u: [] for u in users}
+        for user in users:
+            for topic in user_interests[user]:
+                for group in groups_by_topic[topic]:
+                    if rng.random() < cfg.group_join_prob:
+                        memberships[user].append(group)
+        return SocialGraph(memberships)
+
+    # ------------------------------------------------------------------
+    # object generation
+    # ------------------------------------------------------------------
+    def _generate_objects(
+        self, world: _World, rng: np.random.Generator
+    ) -> tuple[list[MediaObject], dict[str, tuple[int, ...]], dict[tuple[int, int], list[str]]]:
+        cfg = self._config
+        objects: list[MediaObject] = []
+        topics_of: dict[str, tuple[int, ...]] = {}
+        by_month_topic: dict[tuple[int, int], list[str]] = {}
+        for i in range(cfg.n_objects):
+            object_id = f"obj{i:06d}"
+            month = int(rng.integers(cfg.n_months))
+            primary = int(rng.integers(cfg.n_topics))
+            topics = [primary]
+            mixture = {primary: 1.0}
+            if rng.random() < cfg.secondary_topic_prob:
+                secondary = int(rng.integers(cfg.n_topics))
+                if secondary != primary:
+                    topics.append(secondary)
+                    mixture = {
+                        primary: 1.0 - cfg.secondary_topic_weight,
+                        secondary: cfg.secondary_topic_weight,
+                    }
+            sparse = rng.random() < cfg.sparse_object_prob
+            tags = self._sample_tags(world, rng, mixture, month, sparse=sparse)
+            visual = self._sample_visual(world, rng, mixture, month)
+            users = self._sample_users(world, rng, mixture, month, sparse=sparse)
+            obj = MediaObject.build(
+                object_id,
+                tags=tags,
+                visual_words=visual,
+                users=users,
+                timestamp=month,
+            )
+            objects.append(obj)
+            topics_of[object_id] = tuple(topics)
+            by_month_topic.setdefault((month, primary), []).append(object_id)
+        return objects, topics_of, by_month_topic
+
+    def _pick_topic(self, mixture: dict[int, float], rng: np.random.Generator) -> int:
+        topics = list(mixture)
+        weights = np.array([mixture[t] for t in topics])
+        return int(topics[int(rng.choice(len(topics), p=weights / weights.sum()))])
+
+    def _neighbour_topic(self, topic: int, rng: np.random.Generator) -> int:
+        """A ring-adjacent topic — confusable content, as neighbouring
+        real-world topics share vocabulary and visual character."""
+        step = 1 if rng.random() < 0.5 else -1
+        return (topic + step) % self._config.n_topics
+
+    def _sample_tags(
+        self,
+        world: _World,
+        rng: np.random.Generator,
+        mixture: dict[int, float],
+        month: int,
+        sparse: bool = False,
+    ) -> list[str]:
+        cfg = self._config
+        if sparse:
+            # Sparsely annotated object (common on Flickr): one or two
+            # tags only.  These are where late fusion and FIG can lean
+            # on the other modalities while a product kernel cannot.
+            n_tags = 1 + int(rng.integers(2))
+        else:
+            n_tags = max(cfg.min_tags, int(rng.poisson(cfg.tags_per_object_mean)))
+        tags: set[str] = set()
+        attempts = 0
+        while len(tags) < n_tags and attempts < n_tags * 4:
+            attempts += 1
+            draw = rng.random()
+            if draw < cfg.text_noise:
+                pool = world.noise_tags
+                tags.add(pool[int(rng.integers(len(pool)))])
+            elif draw < cfg.text_noise + cfg.text_common:
+                pool = world.common_tags
+                tags.add(pool[int(rng.integers(len(pool)))])
+            else:
+                topic = self._pick_topic(mixture, rng)
+                if draw < cfg.text_noise + cfg.text_common + cfg.text_confusion:
+                    topic = self._neighbour_topic(topic, rng)
+                words = world.topic_tags[topic]
+                idx = int(rng.choice(len(words), p=world.tag_weights[topic][month]))
+                tags.add(words[idx])
+        return sorted(tags)
+
+    def _sample_visual(
+        self,
+        world: _World,
+        rng: np.random.Generator,
+        mixture: dict[int, float],
+        month: int,
+    ) -> list[str]:
+        cfg = self._config
+        if cfg.visual_mode == "render":
+            weights = np.zeros(cfg.n_topics)
+            for t, w in mixture.items():
+                weights[t] = w
+            image = render_image(
+                weights, world.palettes, rng, size=cfg.image_size, block=cfg.block_size
+            )
+            bag = world.codebook.encode(image, block=cfg.block_size)
+            return list(word_names(bag))
+        words: list[str] = []
+        for _ in range(cfg.blocks_per_object):
+            draw = rng.random()
+            if draw < cfg.visual_noise:
+                pool = world.noise_visual_words
+                word_id = pool[int(rng.integers(len(pool)))]
+            elif draw < cfg.visual_noise + cfg.visual_common:
+                pool = world.common_visual_words
+                word_id = pool[int(rng.integers(len(pool)))]
+            else:
+                topic = self._pick_topic(mixture, rng)
+                if draw < cfg.visual_noise + cfg.visual_common + cfg.visual_confusion:
+                    topic = self._neighbour_topic(topic, rng)
+                ids = world.topic_visual_words[topic]
+                word_id = ids[int(rng.choice(len(ids), p=world.visual_weights[topic][month]))]
+            words.append(f"vw{word_id}")
+        return words
+
+    def _sample_users(
+        self,
+        world: _World,
+        rng: np.random.Generator,
+        mixture: dict[int, float],
+        month: int,
+        sparse: bool = False,
+    ) -> list[str]:
+        cfg = self._config
+        # 0..max favoriters: many objects carry only their uploader, so
+        # zero user overlap with a query is common (as on real Flickr).
+        n_favoriters = 0 if sparse else int(rng.integers(cfg.favoriters_per_object_max + 1))
+        chosen: set[str] = set()
+        for _ in range(1 + n_favoriters):  # uploader + favoriters
+            if rng.random() < cfg.user_noise:
+                chosen.add(world.users[int(rng.integers(len(world.users)))])
+            else:
+                topic = self._pick_topic(mixture, rng)
+                pool = world.users_by_topic[topic]
+                idx = int(rng.choice(len(pool), p=world.user_activity[topic][month]))
+                chosen.add(pool[idx])
+        return sorted(chosen)
+
+    # ------------------------------------------------------------------
+    # favorites (recommendation corpus)
+    # ------------------------------------------------------------------
+    def _tracked_interest_schedule(
+        self, world: _World, rng: np.random.Generator, user: str
+    ) -> list[tuple[int, ...]]:
+        """Per-month interest sets: persistent base + drifting transients."""
+        cfg = self._config
+        base = world.user_interests[user]
+        schedule: list[tuple[int, ...]] = []
+        transient = tuple(
+            int(rng.integers(cfg.n_topics)) for _ in range(cfg.transient_interest_count)
+        )
+        for _month in range(cfg.n_months):
+            if schedule and rng.random() < cfg.interest_drift_prob:
+                transient = tuple(
+                    int(rng.integers(cfg.n_topics)) for _ in range(cfg.transient_interest_count)
+                )
+            schedule.append(tuple(sorted({*base, *transient})))
+        return schedule
+
+    def _generate_favorites(
+        self,
+        world: _World,
+        rng: np.random.Generator,
+        objects: list[MediaObject],
+        topics_of: dict[str, tuple[int, ...]],
+        by_month_topic: dict[tuple[int, int], list[str]],
+    ) -> tuple[list[FavoriteEvent], list[MediaObject]]:
+        """Emit tracked-user favorites and fold the *visible* ones back
+        into object user features.
+
+        Visible = events in the first half of the months (the profile
+        window).  Second-half events are ground truth only, so no model
+        can read the answer off the candidate object's feature bag.
+        """
+        cfg = self._config
+        tracked = [f"tracked{u:03d}" for u in range(cfg.n_tracked_users)]
+        # Tracked users inherit interests + group memberships like others.
+        memberships: dict[str, list[str]] = {
+            u: list(world.social.groups_of(u)) for u in world.users
+        }
+        for user in tracked:
+            k = int(rng.integers(1, cfg.tracked_base_interests_max + 1))
+            interests = tuple(
+                sorted(rng.choice(cfg.n_topics, size=min(k, cfg.n_topics), replace=False))
+            )
+            world.user_interests[user] = interests
+            groups: list[str] = []
+            for topic in interests:
+                for g in range(cfg.n_groups):
+                    if g % cfg.n_topics == topic and rng.random() < cfg.group_join_prob:
+                        groups.append(f"group{g:03d}")
+            memberships[user] = groups
+
+        profile_cutoff = cfg.n_months // 2
+        events: list[FavoriteEvent] = []
+        visible_by_object: dict[str, set[str]] = {}
+        lo, hi = cfg.favorites_per_user_per_month
+        by_id = {obj.object_id: obj for obj in objects}
+        zipf = self._zipf_weights(cfg.tags_per_topic)
+        # Reverse index: community member -> (topic, rank in the topic's
+        # user pool), for the social-affinity component of taste.
+        user_pool_index: dict[str, list[tuple[int, int]]] = {}
+        pool_zipf: list[np.ndarray] = []
+        for topic, pool in enumerate(world.users_by_topic):
+            pool_zipf.append(self._zipf_weights(len(pool)))
+            for rank, member in enumerate(pool):
+                user_pool_index.setdefault(member, []).append((topic, rank))
+        from repro.core.objects import FeatureType
+
+        for user in tracked:
+            schedule = self._tracked_interest_schedule(world, rng, user)
+            # Within-topic taste: each tracked user prefers a personal
+            # rotation of the topic vocabulary (tag taste) and a personal
+            # rotation of the topic's community (social affinity) — their
+            # favorites are a *consistent*, socially-driven subset of a
+            # topic's objects.  Both rotations drift month by month, so
+            # recent favorites predict upcoming taste better than old
+            # ones — the recency signal Eq. 10's decay exploits.
+            pref_offset: dict[int, int] = {}
+            social_offset: dict[int, int] = {}
+
+            def preference(oid: str, month: int) -> float:
+                score = 0.05  # floor: any on-topic object can be favorited
+                obj = by_id[oid]
+                tag_part = 0.0
+                for feature in obj.features:
+                    loc = world.tag_index.get(feature.name)
+                    if loc is None:
+                        continue
+                    topic, idx = loc
+                    base = pref_offset.setdefault(
+                        topic, int(rng.integers(cfg.tags_per_topic))
+                    )
+                    offset = (base + month * cfg.taste_drift_per_month) % cfg.tags_per_topic
+                    tag_part += zipf[(idx - offset) % cfg.tags_per_topic]
+                social_part = 0.0
+                for feature in obj.features_of_type(FeatureType.USER):
+                    for topic, rank in user_pool_index.get(feature.name, ()):
+                        pool_size = len(world.users_by_topic[topic])
+                        base = social_offset.setdefault(
+                            topic, int(rng.integers(pool_size))
+                        )
+                        offset = (
+                            base + month * cfg.social_taste_drift_per_month
+                        ) % pool_size
+                        social_part += pool_zipf[topic][(rank - offset) % pool_size]
+                w = cfg.taste_social_weight
+                return score + (1.0 - w) * tag_part + w * social_part
+
+            for month in range(cfg.n_months):
+                interests = schedule[month]
+                n_fav = int(rng.integers(lo, hi + 1))
+                candidates: list[str] = []
+                for topic in interests:
+                    candidates.extend(by_month_topic.get((month, topic), []))
+                if not candidates:
+                    continue
+                weights = np.array([preference(oid, month) for oid in candidates])
+                # Favorites are the candidates best matching the user's
+                # current taste (small jitter breaks ties): taste, not
+                # chance, decides which on-topic objects get favorited.
+                jitter = rng.uniform(0.0, 1e-3, size=len(candidates))
+                order = np.argsort(-(weights + jitter))
+                picks = order[: min(n_fav, len(candidates))]
+                for p in picks:
+                    oid = candidates[int(p)]
+                    events.append(FavoriteEvent(user=user, object_id=oid, month=month))
+                    if month < profile_cutoff:
+                        visible_by_object.setdefault(oid, set()).add(user)
+
+        augmented: list[MediaObject] = []
+        for obj in objects:
+            extra = visible_by_object.get(obj.object_id)
+            if not extra:
+                augmented.append(obj)
+                continue
+            bag = Counter(obj.features)
+            for user in extra:
+                bag[Feature.user(user)] += 1
+            augmented.append(
+                MediaObject(
+                    object_id=obj.object_id, features=bag, timestamp=obj.timestamp
+                )
+            )
+        # Rebuild the social graph including tracked users' memberships.
+        world.social = SocialGraph(memberships)
+        return events, augmented
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _zipf_weights(self, n: int) -> np.ndarray:
+        ranks = np.arange(1, n + 1, dtype=np.float64)
+        weights = ranks ** (-self._config.zipf_exponent)
+        return weights / weights.sum()
+
+    def _monthly_weights(self, n: int, drift: int) -> list[np.ndarray]:
+        """One Zipf weight vector per month, rotated ``drift`` ranks per
+        month: item ``j`` holds Zipf rank ``(j - m*drift) mod n`` in
+        month ``m``, so emission heads evolve smoothly over time."""
+        base = self._zipf_weights(n)
+        return [
+            np.roll(base, (m * drift) % n) if n > 0 else base
+            for m in range(self._config.n_months)
+        ]

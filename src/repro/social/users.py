@@ -1,0 +1,83 @@
+"""Users and user groups.
+
+Section 3.2 grounds intra-user correlation in group co-membership:
+"If two users belong to the same group, two users are considered to be
+correlated."  This module models users, groups and the membership
+relation, and provides the group-based similarity used when drawing
+user-user FIG edges.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+
+class SocialGraph:
+    """User <-> group membership with co-membership queries.
+
+    Parameters
+    ----------
+    memberships:
+        Mapping from user name to the collection of group names the
+        user belongs to.  Users may belong to zero groups (they then
+        correlate with nobody but themselves).
+    """
+
+    def __init__(self, memberships: Mapping[str, Iterable[str]]) -> None:
+        self._groups_of: dict[str, frozenset[str]] = {
+            user: frozenset(groups) for user, groups in memberships.items()
+        }
+        members: dict[str, set[str]] = {}
+        for user, groups in self._groups_of.items():
+            for group in groups:
+                members.setdefault(group, set()).add(user)
+        self._members_of: dict[str, frozenset[str]] = {
+            g: frozenset(m) for g, m in members.items()
+        }
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def users(self) -> tuple[str, ...]:
+        return tuple(sorted(self._groups_of))
+
+    @property
+    def groups(self) -> tuple[str, ...]:
+        return tuple(sorted(self._members_of))
+
+    def __contains__(self, user: str) -> bool:
+        return user in self._groups_of
+
+    def groups_of(self, user: str) -> frozenset[str]:
+        """Groups of ``user`` (empty set for unknown users — an unknown
+        user is simply one with no recorded memberships)."""
+        return self._groups_of.get(user, frozenset())
+
+    def members_of(self, group: str) -> frozenset[str]:
+        """Members of ``group`` (empty set for unknown groups)."""
+        return self._members_of.get(group, frozenset())
+
+    def share_group(self, a: str, b: str) -> bool:
+        """The paper's binary intra-user correlation test."""
+        if a == b:
+            return True
+        return bool(self._groups_of.get(a, frozenset()) & self._groups_of.get(b, frozenset()))
+
+    def similarity(self, a: str, b: str) -> float:
+        """Intra-user ``Cor``: 1.0 for co-members (or identity), else 0.
+
+        The paper's definition is binary; a graded Jaccard variant is
+        available as :meth:`jaccard_similarity` for ablations.
+        """
+        return 1.0 if self.share_group(a, b) else 0.0
+
+    def jaccard_similarity(self, a: str, b: str) -> float:
+        """Graded alternative: Jaccard of the two users' group sets."""
+        if a == b:
+            return 1.0
+        ga, gb = self._groups_of.get(a, frozenset()), self._groups_of.get(b, frozenset())
+        union = ga | gb
+        if not union:
+            return 0.0
+        return len(ga & gb) / len(union)

@@ -1,0 +1,20 @@
+"""Storage substrate: inspectable on-disk persistence for corpora and
+trained model parameters."""
+
+from repro.storage.store import (
+    FORMAT_VERSION,
+    StorageError,
+    load_corpus,
+    load_params,
+    save_corpus,
+    save_params,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "StorageError",
+    "load_corpus",
+    "load_params",
+    "save_corpus",
+    "save_params",
+]

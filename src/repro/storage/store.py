@@ -1,0 +1,203 @@
+"""On-disk persistence for corpora and model parameters.
+
+A corpus saves to a directory of simple, inspectable artifacts:
+
+* ``meta.json`` — format version, counts, month span;
+* ``objects.jsonl`` — one JSON object per media object (id, timestamp,
+  feature bag in canonical ``type:name -> count`` form);
+* ``favorites.jsonl`` — one favorite event per line;
+* ``social.json`` — user -> group memberships;
+* ``taxonomy.json`` — node -> parent (IS-A hierarchy);
+* ``topics.json`` — ground-truth dominant topics per object;
+* ``codebook.npy`` + ``codebook.json`` — visual-word centroids and the
+  similarity scale.
+
+JSON-lines keeps object loading streamable and diffs readable; the
+centroid matrix is the only binary artifact.  ``MRFParameters`` get a
+single-file JSON round trip so trained parameters can ship with an
+index.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.mrf import MRFParameters
+from repro.core.objects import Feature, MediaObject
+from repro.social.corpus import Corpus, FavoriteEvent
+from repro.social.users import SocialGraph
+from repro.text.taxonomy import Taxonomy
+from repro.vision.visual_words import VisualCodebook
+
+FORMAT_VERSION = 1
+
+
+class StorageError(RuntimeError):
+    """Raised for malformed or incompatible on-disk artifacts."""
+
+
+# ----------------------------------------------------------------------
+# corpus
+# ----------------------------------------------------------------------
+def save_corpus(corpus: Corpus, directory: str | Path) -> Path:
+    """Write ``corpus`` into ``directory`` (created if missing).
+
+    Returns the directory path.  Existing artifacts are overwritten —
+    a corpus directory is treated as a unit.
+    """
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+
+    meta = {
+        "format_version": FORMAT_VERSION,
+        "n_objects": len(corpus),
+        "n_favorites": len(corpus.favorites),
+        "n_months": corpus.n_months,
+        "has_taxonomy": corpus.taxonomy is not None,
+        "has_codebook": corpus.codebook is not None,
+    }
+    (path / "meta.json").write_text(json.dumps(meta, indent=2))
+
+    with (path / "objects.jsonl").open("w") as fh:
+        for obj in corpus:
+            record = {
+                "id": obj.object_id,
+                "t": obj.timestamp,
+                "features": {f.key: c for f, c in sorted(obj.features.items())},
+            }
+            fh.write(json.dumps(record) + "\n")
+
+    with (path / "favorites.jsonl").open("w") as fh:
+        for event in corpus.favorites:
+            fh.write(
+                json.dumps({"user": event.user, "object": event.object_id, "month": event.month})
+                + "\n"
+            )
+
+    memberships = {u: sorted(corpus.social.groups_of(u)) for u in corpus.social.users}
+    (path / "social.json").write_text(json.dumps(memberships, indent=0))
+
+    topics = {
+        obj.object_id: list(corpus.topics(obj.object_id))
+        for obj in corpus
+        if corpus.topics(obj.object_id)
+    }
+    (path / "topics.json").write_text(json.dumps(topics, indent=0))
+
+    if corpus.taxonomy is not None:
+        parents = {
+            node: corpus.taxonomy.parent(node)
+            for node in _taxonomy_nodes(corpus.taxonomy)
+        }
+        (path / "taxonomy.json").write_text(json.dumps(parents, indent=0))
+
+    if corpus.codebook is not None:
+        np.save(path / "codebook.npy", corpus.codebook.centroids)
+        (path / "codebook.json").write_text(
+            json.dumps({"similarity_scale": corpus.codebook.similarity_scale})
+        )
+    return path
+
+
+def load_corpus(directory: str | Path) -> Corpus:
+    """Load a corpus previously written by :func:`save_corpus`."""
+    path = Path(directory)
+    meta_path = path / "meta.json"
+    if not meta_path.exists():
+        raise StorageError(f"{path} is not a corpus directory (missing meta.json)")
+    meta = json.loads(meta_path.read_text())
+    version = meta.get("format_version")
+    if version != FORMAT_VERSION:
+        raise StorageError(f"unsupported corpus format version {version!r}")
+
+    objects: list[MediaObject] = []
+    with (path / "objects.jsonl").open() as fh:
+        for line in fh:
+            record = json.loads(line)
+            features = {
+                Feature.from_key(key): count for key, count in record["features"].items()
+            }
+            objects.append(
+                MediaObject(object_id=record["id"], features=features, timestamp=record["t"])
+            )
+
+    favorites: list[FavoriteEvent] = []
+    fav_path = path / "favorites.jsonl"
+    if fav_path.exists():
+        with fav_path.open() as fh:
+            for line in fh:
+                record = json.loads(line)
+                favorites.append(
+                    FavoriteEvent(
+                        user=record["user"], object_id=record["object"], month=record["month"]
+                    )
+                )
+
+    social = SocialGraph(json.loads((path / "social.json").read_text()))
+    topics_raw = json.loads((path / "topics.json").read_text())
+    topics = {oid: tuple(t) for oid, t in topics_raw.items()}
+
+    taxonomy = None
+    tax_path = path / "taxonomy.json"
+    if tax_path.exists():
+        taxonomy = Taxonomy(json.loads(tax_path.read_text()))
+
+    codebook = None
+    cb_path = path / "codebook.npy"
+    if cb_path.exists():
+        centroids = np.load(cb_path)
+        scale = json.loads((path / "codebook.json").read_text())["similarity_scale"]
+        codebook = VisualCodebook(centroids, similarity_scale=scale)
+
+    return Corpus(
+        objects=objects,
+        social=social,
+        taxonomy=taxonomy,
+        codebook=codebook,
+        topics_of=topics,
+        favorites=favorites,
+        n_months=meta["n_months"],
+    )
+
+
+# ----------------------------------------------------------------------
+# parameters
+# ----------------------------------------------------------------------
+def save_params(params: MRFParameters, file_path: str | Path) -> Path:
+    """Write MRF parameters as JSON."""
+    path = Path(file_path)
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "lambdas": {str(size): weight for size, weight in sorted(params.lambdas.items())},
+        "alpha": params.alpha,
+        "use_cors": params.use_cors,
+        "delta": params.delta,
+    }
+    path.write_text(json.dumps(payload, indent=2))
+    return path
+
+
+def load_params(file_path: str | Path) -> MRFParameters:
+    """Load MRF parameters written by :func:`save_params`."""
+    payload = json.loads(Path(file_path).read_text())
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise StorageError(f"unsupported parameter format version {version!r}")
+    return MRFParameters(
+        lambdas={int(size): weight for size, weight in payload["lambdas"].items()},
+        alpha=payload["alpha"],
+        use_cors=payload["use_cors"],
+        delta=payload["delta"],
+    )
+
+
+def _taxonomy_nodes(taxonomy: Taxonomy) -> list[str]:
+    """All nodes of a taxonomy (leaves + every ancestor)."""
+    nodes: set[str] = set()
+    for leaf in taxonomy.leaves():
+        nodes.update(taxonomy.path_to_root(leaf))
+    nodes.add(taxonomy.root)
+    return sorted(nodes)

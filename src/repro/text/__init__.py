@@ -1,0 +1,29 @@
+"""Text substrate: stemming, stop words, vocabulary, taxonomy, WUP.
+
+Implements the textual preprocessing pipeline of Section 5.1.3 and the
+intra-textual correlation measures of Section 3.2 (WordNet WUP, with
+term co-occurrence as the paper-sanctioned alternative).
+"""
+
+from repro.text.cooccurrence import CooccurrenceSimilarity
+from repro.text.stemmer import PorterStemmer
+from repro.text.stopwords import SNOWBALL_ENGLISH, StopwordFilter
+from repro.text.taxonomy import ROOT, Taxonomy, TaxonomyError
+from repro.text.tokenizer import iter_sentences, tokenize
+from repro.text.vocabulary import Vocabulary, VocabularyBuilder
+from repro.text.wup import WuPalmerSimilarity
+
+__all__ = [
+    "CooccurrenceSimilarity",
+    "PorterStemmer",
+    "ROOT",
+    "SNOWBALL_ENGLISH",
+    "StopwordFilter",
+    "Taxonomy",
+    "TaxonomyError",
+    "Vocabulary",
+    "VocabularyBuilder",
+    "WuPalmerSimilarity",
+    "iter_sentences",
+    "tokenize",
+]

@@ -1,0 +1,63 @@
+"""Term co-occurrence similarity (alternative intra-textual measure).
+
+Section 3.2 notes that any textual similarity "such as term
+co-occurrence [6]" can replace WUP, "as it is orthogonal to our
+mechanism".  This module provides that alternative so the ablation
+benches can swap measures: Jaccard and cosine similarities over the
+sets/vectors of objects each term occurs in.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+class CooccurrenceSimilarity:
+    """Similarity between terms from their object co-occurrence.
+
+    Parameters
+    ----------
+    documents:
+        One token collection per object.  Tokens are deduplicated per
+        document (presence, not frequency, drives the co-occurrence
+        sets, matching the tag-set semantics of Flickr objects).
+    mode:
+        ``"jaccard"`` (default) or ``"cosine"`` over binary occurrence
+        vectors; cosine over binaries is the Ochiai coefficient.
+    """
+
+    _MODES = ("jaccard", "cosine")
+
+    def __init__(self, documents: Iterable[Iterable[str]], mode: str = "jaccard") -> None:
+        if mode not in self._MODES:
+            raise ValueError(f"mode must be one of {self._MODES}, got {mode!r}")
+        self._mode = mode
+        self._postings: dict[str, set[int]] = {}
+        for doc_id, doc in enumerate(documents):
+            for term in set(doc):
+                self._postings.setdefault(term, set()).add(doc_id)
+
+    def document_frequency(self, term: str) -> int:
+        """Number of objects containing ``term``."""
+        return len(self._postings.get(term, ()))
+
+    def __call__(self, a: str, b: str) -> float:
+        """Similarity in ``[0, 1]``; unknown terms yield 0 (or 1 if equal
+        and known — identical unknown terms yield 0 because we have no
+        evidence either occurs)."""
+        pa = self._postings.get(a)
+        pb = self._postings.get(b)
+        if not pa or not pb:
+            return 0.0
+        if a == b:
+            return 1.0
+        inter = len(pa & pb)
+        if inter == 0:
+            return 0.0
+        if self._mode == "jaccard":
+            return inter / len(pa | pb)
+        return inter / (len(pa) ** 0.5 * len(pb) ** 0.5)
+
+    def vocabulary(self) -> Sequence[str]:
+        """Terms with at least one occurrence."""
+        return tuple(self._postings)

@@ -1,0 +1,233 @@
+"""Porter stemmer.
+
+The paper runs a stemmer over Flickr tags before building the textual
+feature space ("A WordNet stemmer is used to do stemming",
+Section 5.1.3).  WordNet's morphy is not available offline, so we ship a
+complete implementation of the classic Porter (1980) suffix-stripping
+algorithm, which serves the same purpose: collapsing inflectional
+variants (``eating`` / ``eats`` / ``eaten`` -> one stem) so tag
+co-occurrence statistics are computed over stems rather than surface
+forms.
+
+The implementation follows the original paper's five steps, including
+the measure function *m()* over the consonant/vowel structure of the
+word.  It is deliberately dependency-free.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+
+class PorterStemmer:
+    """Stateless Porter (1980) stemmer.
+
+    Usage::
+
+        >>> PorterStemmer().stem("caresses")
+        'caress'
+        >>> PorterStemmer().stem("relational")
+        'relat'
+    """
+
+    _VOWELS = frozenset("aeiou")
+
+    # ------------------------------------------------------------------
+    # consonant / vowel structure helpers
+    # ------------------------------------------------------------------
+    def _is_consonant(self, word: str, i: int) -> bool:
+        ch = word[i]
+        if ch in self._VOWELS:
+            return False
+        if ch == "y":
+            # 'y' is a consonant when at position 0 or preceded by a vowel
+            return i == 0 or not self._is_consonant(word, i - 1)
+        return True
+
+    def _measure(self, stem: str) -> int:
+        """Return m(), the number of VC sequences in ``stem``.
+
+        The word is viewed as ``[C](VC)^m[V]`` where C and V are maximal
+        consonant and vowel runs.
+        """
+        m = 0
+        prev_was_vowel = False
+        for i in range(len(stem)):
+            is_cons = self._is_consonant(stem, i)
+            if is_cons and prev_was_vowel:
+                m += 1
+            prev_was_vowel = not is_cons
+        return m
+
+    def _contains_vowel(self, stem: str) -> bool:
+        return any(not self._is_consonant(stem, i) for i in range(len(stem)))
+
+    def _ends_double_consonant(self, word: str) -> bool:
+        return (
+            len(word) >= 2
+            and word[-1] == word[-2]
+            and self._is_consonant(word, len(word) - 1)
+        )
+
+    def _ends_cvc(self, word: str) -> bool:
+        """*o* condition: stem ends consonant-vowel-consonant, and the final
+        consonant is not w, x or y."""
+        if len(word) < 3:
+            return False
+        return (
+            self._is_consonant(word, len(word) - 3)
+            and not self._is_consonant(word, len(word) - 2)
+            and self._is_consonant(word, len(word) - 1)
+            and word[-1] not in "wxy"
+        )
+
+    # ------------------------------------------------------------------
+    # rule application
+    # ------------------------------------------------------------------
+    def _replace(self, word: str, suffix: str, repl: str, m_min: int) -> str | None:
+        """If ``word`` ends with ``suffix`` and the remaining stem has
+        measure > ``m_min``, return the word with the suffix replaced,
+        otherwise ``None`` (rule did not fire)."""
+        if not word.endswith(suffix):
+            return None
+        stem = word[: len(word) - len(suffix)]
+        if self._measure(stem) > m_min:
+            return stem + repl
+        return word  # suffix matched but condition failed: stop this step
+
+    def _step1a(self, word: str) -> str:
+        if word.endswith("sses"):
+            return word[:-2]
+        if word.endswith("ies"):
+            return word[:-2]
+        if word.endswith("ss"):
+            return word
+        if word.endswith("s"):
+            return word[:-1]
+        return word
+
+    def _step1b(self, word: str) -> str:
+        if word.endswith("eed"):
+            stem = word[:-3]
+            if self._measure(stem) > 0:
+                return word[:-1]
+            return word
+        flag = False
+        if word.endswith("ed") and self._contains_vowel(word[:-2]):
+            word = word[:-2]
+            flag = True
+        elif word.endswith("ing") and self._contains_vowel(word[:-3]):
+            word = word[:-3]
+            flag = True
+        if flag:
+            if word.endswith(("at", "bl", "iz")):
+                return word + "e"
+            if self._ends_double_consonant(word) and word[-1] not in "lsz":
+                return word[:-1]
+            if self._measure(word) == 1 and self._ends_cvc(word):
+                return word + "e"
+        return word
+
+    def _step1c(self, word: str) -> str:
+        if word.endswith("y") and self._contains_vowel(word[:-1]):
+            return word[:-1] + "i"
+        return word
+
+    _STEP2_RULES = (
+        ("ational", "ate"),
+        ("tional", "tion"),
+        ("enci", "ence"),
+        ("anci", "ance"),
+        ("izer", "ize"),
+        ("abli", "able"),
+        ("alli", "al"),
+        ("entli", "ent"),
+        ("eli", "e"),
+        ("ousli", "ous"),
+        ("ization", "ize"),
+        ("ation", "ate"),
+        ("ator", "ate"),
+        ("alism", "al"),
+        ("iveness", "ive"),
+        ("fulness", "ful"),
+        ("ousness", "ous"),
+        ("aliti", "al"),
+        ("iviti", "ive"),
+        ("biliti", "ble"),
+    )
+
+    _STEP3_RULES = (
+        ("icate", "ic"),
+        ("ative", ""),
+        ("alize", "al"),
+        ("iciti", "ic"),
+        ("ical", "ic"),
+        ("ful", ""),
+        ("ness", ""),
+    )
+
+    _STEP4_SUFFIXES = (
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+        "ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+    )
+
+    def _apply_rule_list(self, word: str, rules: tuple[tuple[str, str], ...]) -> str:
+        for suffix, repl in rules:
+            if word.endswith(suffix):
+                result = self._replace(word, suffix, repl, 0)
+                return result if result is not None else word
+        return word
+
+    def _step4(self, word: str) -> str:
+        for suffix in self._STEP4_SUFFIXES:
+            if word.endswith(suffix):
+                stem = word[: len(word) - len(suffix)]
+                if self._measure(stem) > 1:
+                    return stem
+                return word
+        if word.endswith("ion"):
+            stem = word[:-3]
+            if stem and stem[-1] in "st" and self._measure(stem) > 1:
+                return stem
+        return word
+
+    def _step5a(self, word: str) -> str:
+        if word.endswith("e"):
+            stem = word[:-1]
+            m = self._measure(stem)
+            if m > 1 or (m == 1 and not self._ends_cvc(stem)):
+                return stem
+        return word
+
+    def _step5b(self, word: str) -> str:
+        if word.endswith("ll") and self._measure(word) > 1:
+            return word[:-1]
+        return word
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def stem(self, word: str) -> str:
+        """Return the Porter stem of ``word`` (lower-cased).
+
+        Words of length <= 2 are returned unchanged (per the original
+        algorithm), as are tokens with non-alphabetic characters, which
+        on Flickr are typically camera tags or identifiers that
+        stemming would only mangle.
+        """
+        word = word.lower()
+        if len(word) <= 2 or not word.isalpha():
+            return word
+        word = self._step1a(word)
+        word = self._step1b(word)
+        word = self._step1c(word)
+        word = self._apply_rule_list(word, self._STEP2_RULES)
+        word = self._apply_rule_list(word, self._STEP3_RULES)
+        word = self._step4(word)
+        word = self._step5a(word)
+        word = self._step5b(word)
+        return word
+
+    def stem_all(self, words: Iterable[str]) -> list[str]:
+        """Stem every token in ``words``, preserving order."""
+        return [self.stem(w) for w in words]

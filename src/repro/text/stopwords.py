@@ -1,0 +1,75 @@
+"""Stop-word handling for tag normalization.
+
+The paper removes stop words from Flickr tags with "a snowball stop word
+list" before building the textual feature space (Section 5.1.3).  This
+module ships a self-contained English stop list derived from the snowball
+project's published list, plus a small :class:`StopwordFilter` wrapper so
+callers can extend or shrink the list per corpus.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+#: English stop words (snowball list).  Kept as a frozenset so membership
+#: checks are O(1) and the default list is immutable.
+SNOWBALL_ENGLISH: frozenset[str] = frozenset(
+    """
+    i me my myself we our ours ourselves you your yours yourself yourselves
+    he him his himself she her hers herself it its itself they them their
+    theirs themselves what which who whom this that these those am is are
+    was were be been being have has had having do does did doing a an the
+    and but if or because as until while of at by for with about against
+    between into through during before after above below to from up down
+    in out on off over under again further then once here there when where
+    why how all any both each few more most other some such no nor not
+    only own same so than too very s t can will just don should now d ll
+    m o re ve y ain aren couldn didn doesn hadn hasn haven isn ma mightn
+    mustn needn shan shouldn wasn weren won wouldn
+    """.split()
+)
+
+
+class StopwordFilter:
+    """Filter tokens against a stop list.
+
+    Parameters
+    ----------
+    words:
+        The stop list to use.  Defaults to :data:`SNOWBALL_ENGLISH`.
+    extra:
+        Additional corpus-specific stop words (e.g. camera model tags on
+        Flickr such as ``nikon`` that carry no topical signal).
+    """
+
+    def __init__(
+        self,
+        words: Iterable[str] | None = None,
+        extra: Iterable[str] = (),
+    ) -> None:
+        base = SNOWBALL_ENGLISH if words is None else frozenset(w.lower() for w in words)
+        self._words = frozenset(base) | frozenset(w.lower() for w in extra)
+
+    @property
+    def words(self) -> frozenset[str]:
+        """The effective stop list."""
+        return self._words
+
+    def is_stopword(self, token: str) -> bool:
+        """Return ``True`` when ``token`` (case-insensitively) is a stop word."""
+        return token.lower() in self._words
+
+    def filter(self, tokens: Iterable[str]) -> Iterator[str]:
+        """Yield the tokens that are *not* stop words, preserving order."""
+        for token in tokens:
+            if token.lower() not in self._words:
+                yield token
+
+    def __contains__(self, token: str) -> bool:
+        return self.is_stopword(token)
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StopwordFilter({len(self._words)} words)"

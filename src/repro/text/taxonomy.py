@@ -1,0 +1,194 @@
+"""IS-A taxonomy over a vocabulary — the WordNet substitute.
+
+The paper measures intra-textual correlation with the Wu–Palmer (WUP)
+similarity over WordNet's hypernym hierarchy.  WordNet's database files
+are not available in this offline environment, so this module provides a
+rooted IS-A taxonomy with the same algebraic structure WUP needs:
+
+* a single virtual root (``entity``),
+* synsets with named lemmas,
+* hypernym (parent) links forming a DAG (tree by construction here),
+* node depth and least-common-subsumer (LCS) queries.
+
+Two construction paths are supported:
+
+* :meth:`Taxonomy.from_edges` — build from explicit ``(child, parent)``
+  pairs, used by tests and by anyone with a real hierarchy at hand;
+* :meth:`Taxonomy.build_balanced` — build a depth-balanced tree over an
+  arbitrary vocabulary, used by the synthetic corpus generator.  Words
+  belonging to the same latent topic are placed under the same subtree
+  so that WUP similarity correlates with topical relatedness, which is
+  exactly the property the paper's FIG edge construction relies on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+#: Name of the synthetic root synset.
+ROOT = "entity"
+
+
+class TaxonomyError(ValueError):
+    """Raised for malformed taxonomies (cycles, unknown nodes, …)."""
+
+
+class Taxonomy:
+    """A rooted IS-A hierarchy supporting depth and LCS queries.
+
+    Parameters
+    ----------
+    parents:
+        Mapping from node name to its parent's name.  Exactly one node —
+        the root — must map to ``None``.
+    """
+
+    def __init__(self, parents: Mapping[str, str | None]) -> None:
+        roots = [n for n, p in parents.items() if p is None]
+        if len(roots) != 1:
+            raise TaxonomyError(f"expected exactly one root, found {len(roots)}")
+        self._root = roots[0]
+        self._parent: dict[str, str | None] = dict(parents)
+        for node, parent in self._parent.items():
+            if parent is not None and parent not in self._parent:
+                raise TaxonomyError(f"node {node!r} has unknown parent {parent!r}")
+        self._depth: dict[str, int] = {}
+        self._compute_depths()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(cls, edges: Iterable[tuple[str, str]], root: str = ROOT) -> "Taxonomy":
+        """Build from ``(child, parent)`` pairs.  ``root`` is added implicitly."""
+        parents: dict[str, str | None] = {root: None}
+        for child, parent in edges:
+            parents.setdefault(parent, root)
+            if child == root:
+                raise TaxonomyError("root may not appear as a child")
+            parents[child] = parent
+        return cls(parents)
+
+    @classmethod
+    def build_balanced(
+        cls,
+        groups: Sequence[Sequence[str]],
+        group_names: Sequence[str] | None = None,
+        branching: int = 8,
+    ) -> "Taxonomy":
+        """Build a depth-balanced taxonomy over topical word ``groups``.
+
+        Each group becomes a subtree under an intermediate "category"
+        synset; large groups are split into sub-branches of at most
+        ``branching`` leaves so depths stay comparable across groups —
+        WUP is depth-sensitive, and wildly uneven depths would bias the
+        similarity toward big topics.
+
+        Parameters
+        ----------
+        groups:
+            Topical word groups.  Words must be globally unique; a word
+            appearing in two groups keeps its first placement (WordNet
+            also gives each noun lemma one dominant synset in practice).
+        group_names:
+            Optional synset names for the category nodes.  Defaults to
+            ``category0``, ``category1``, …
+        branching:
+            Maximum leaves per intermediate branch node.
+        """
+        if branching < 2:
+            raise TaxonomyError("branching must be >= 2")
+        parents: dict[str, str | None] = {ROOT: None}
+        seen: set[str] = set()
+        for gi, group in enumerate(groups):
+            cat = group_names[gi] if group_names is not None else f"category{gi}"
+            if cat in parents:
+                raise TaxonomyError(f"duplicate category synset {cat!r}")
+            parents[cat] = ROOT
+            fresh = [w for w in group if w not in seen and w not in parents]
+            seen.update(fresh)
+            if len(fresh) <= branching:
+                for word in fresh:
+                    parents[word] = cat
+                continue
+            n_branches = (len(fresh) + branching - 1) // branching
+            for bi in range(n_branches):
+                branch = f"{cat}.b{bi}"
+                parents[branch] = cat
+                for word in fresh[bi * branching : (bi + 1) * branching]:
+                    parents[word] = branch
+        return cls(parents)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> str:
+        """The root synset name."""
+        return self._root
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def parent(self, node: str) -> str | None:
+        """Parent of ``node`` (``None`` for the root)."""
+        try:
+            return self._parent[node]
+        except KeyError:
+            raise TaxonomyError(f"unknown node {node!r}") from None
+
+    def depth(self, node: str) -> int:
+        """Depth of ``node``; the root has depth 1 (WordNet convention,
+        which keeps WUP strictly positive)."""
+        try:
+            return self._depth[node]
+        except KeyError:
+            raise TaxonomyError(f"unknown node {node!r}") from None
+
+    def path_to_root(self, node: str) -> list[str]:
+        """Nodes from ``node`` up to and including the root."""
+        if node not in self._parent:
+            raise TaxonomyError(f"unknown node {node!r}")
+        path = [node]
+        current: str | None = node
+        while (current := self._parent[current]) is not None:  # type: ignore[index]
+            path.append(current)
+        return path
+
+    def lcs(self, a: str, b: str) -> str:
+        """Least common subsumer (deepest common ancestor) of ``a`` and ``b``."""
+        ancestors_a = set(self.path_to_root(a))
+        current: str | None = b
+        while current is not None:
+            if current in ancestors_a:
+                return current
+            current = self._parent[current]
+        # Unreachable for a rooted tree, but keep the error for safety.
+        raise TaxonomyError(f"no common subsumer for {a!r} and {b!r}")  # pragma: no cover
+
+    def leaves(self) -> list[str]:
+        """All nodes that are not parents of any other node."""
+        internal = {p for p in self._parent.values() if p is not None}
+        return [n for n in self._parent if n not in internal]
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _compute_depths(self) -> None:
+        for node in self._parent:
+            if node in self._depth:
+                continue
+            # Walk up collecting unresolved nodes, then assign on the way back.
+            chain: list[str] = []
+            current: str | None = node
+            while current is not None and current not in self._depth:
+                chain.append(current)
+                current = self._parent[current]
+                if len(chain) > len(self._parent):
+                    raise TaxonomyError("cycle detected in taxonomy")
+            base = 0 if current is None else self._depth[current]
+            for offset, n in enumerate(reversed(chain), start=1):
+                self._depth[n] = base + offset

@@ -1,0 +1,51 @@
+"""Tokenization of raw social media text.
+
+Figure 1's Flickr record carries free text beyond tags — a title
+("Little muncher"), a description and user comments.  To fold those
+into the textual feature channel, raw strings must become tag-like
+tokens first.  This tokenizer handles the text actually found on social
+sites: punctuation, digits-in-words (camera models like ``d300``),
+apostrophes (``he's``), hash-tags and mixed case.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterator
+
+#: Words are letter runs, optionally with internal apostrophes/hyphens,
+#: or alphanumeric identifiers (camera models, user handles).
+_TOKEN_RE = re.compile(r"[#@]?[a-z0-9]+(?:['\-][a-z0-9]+)*", re.IGNORECASE)
+
+
+def tokenize(text: str, keep_markers: bool = False) -> list[str]:
+    """Split raw text into lower-case tokens.
+
+    Parameters
+    ----------
+    text:
+        Raw string (title, description, comment).
+    keep_markers:
+        Keep leading ``#``/``@`` markers on hashtags and mentions; by
+        default they are stripped so ``#sunset`` and ``sunset`` unify.
+
+    >>> tokenize("Little muncher, he's got a lovely broccoli!")
+    ['little', 'muncher', "he's", 'got', 'a', 'lovely', 'broccoli']
+    """
+    tokens = []
+    for match in _TOKEN_RE.finditer(text):
+        token = match.group(0).lower()
+        if not keep_markers:
+            token = token.lstrip("#@")
+        if token:
+            tokens.append(token)
+    return tokens
+
+
+def iter_sentences(text: str) -> Iterator[str]:
+    """Rough sentence split on ``.!?`` followed by whitespace — enough
+    to bound comment-level co-occurrence windows."""
+    for chunk in re.split(r"(?<=[.!?])\s+", text):
+        chunk = chunk.strip()
+        if chunk:
+            yield chunk

@@ -1,0 +1,123 @@
+"""Vocabulary construction for tag features.
+
+The paper's preprocessing (Section 5.1.3): stem tags, remove stop words,
+then drop tags whose corpus frequency is below 5 ("generally noise or
+typo").  :class:`VocabularyBuilder` implements that pipeline over raw tag
+lists and yields a :class:`Vocabulary` — an immutable string<->id
+mapping with corpus frequencies, used by the correlation tables and the
+baselines' vector-space models.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.text.stemmer import PorterStemmer
+from repro.text.stopwords import StopwordFilter
+
+
+class Vocabulary:
+    """Immutable term <-> integer-id mapping with corpus frequencies."""
+
+    def __init__(self, terms: Sequence[str], frequencies: Sequence[int] | None = None) -> None:
+        if len(set(terms)) != len(terms):
+            raise ValueError("vocabulary terms must be unique")
+        self._terms: tuple[str, ...] = tuple(terms)
+        self._index: dict[str, int] = {t: i for i, t in enumerate(self._terms)}
+        if frequencies is None:
+            self._freq: tuple[int, ...] = (0,) * len(self._terms)
+        else:
+            if len(frequencies) != len(terms):
+                raise ValueError("frequencies must align with terms")
+            self._freq = tuple(int(f) for f in frequencies)
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._index
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._terms)
+
+    def id_of(self, term: str) -> int:
+        """Integer id of ``term``; raises ``KeyError`` for unknown terms."""
+        return self._index[term]
+
+    def term_of(self, term_id: int) -> str:
+        """Term with integer id ``term_id``."""
+        return self._terms[term_id]
+
+    def frequency(self, term: str) -> int:
+        """Corpus frequency recorded at build time (0 if untracked)."""
+        return self._freq[self._index[term]]
+
+    def get(self, term: str) -> int | None:
+        """Id of ``term`` or ``None`` when out-of-vocabulary."""
+        return self._index.get(term)
+
+    @property
+    def terms(self) -> tuple[str, ...]:
+        return self._terms
+
+
+class VocabularyBuilder:
+    """Stem → stop-filter → frequency-threshold pipeline over tag lists.
+
+    Parameters
+    ----------
+    min_frequency:
+        Minimum corpus frequency for a stem to enter the vocabulary.
+        The paper uses 5 on the 236K-image corpus; scale it down for
+        smaller corpora.
+    stemmer:
+        Token normalizer; defaults to :class:`PorterStemmer`.  Pass
+        ``None`` to skip stemming (the synthetic generator emits already
+        canonical words).
+    stopwords:
+        Stop-word filter; pass ``None`` to skip filtering.
+    """
+
+    def __init__(
+        self,
+        min_frequency: int = 5,
+        stemmer: PorterStemmer | None = None,
+        stopwords: StopwordFilter | None = None,
+    ) -> None:
+        if min_frequency < 1:
+            raise ValueError("min_frequency must be >= 1")
+        self._min_frequency = min_frequency
+        self._stemmer = stemmer
+        self._stopwords = stopwords
+
+    def normalize(self, tokens: Iterable[str]) -> list[str]:
+        """Apply lowercase, stop-filter and stemming to ``tokens``."""
+        out: list[str] = []
+        for token in tokens:
+            token = token.strip().lower()
+            if not token:
+                continue
+            if self._stopwords is not None and token in self._stopwords:
+                continue
+            if self._stemmer is not None:
+                token = self._stemmer.stem(token)
+            out.append(token)
+        return out
+
+    def build(self, documents: Iterable[Iterable[str]]) -> Vocabulary:
+        """Build a :class:`Vocabulary` from an iterable of token lists.
+
+        Frequencies count *occurrences* (not document frequency), which
+        matches the paper's "tags with frequency less than 5" filter.
+        Terms are ordered by descending frequency, ties alphabetically,
+        so ids are deterministic.
+        """
+        counts: Counter[str] = Counter()
+        for doc in documents:
+            counts.update(self.normalize(doc))
+        kept = [(t, f) for t, f in counts.items() if f >= self._min_frequency]
+        kept.sort(key=lambda item: (-item[1], item[0]))
+        terms = [t for t, _ in kept]
+        freqs = [f for _, f in kept]
+        return Vocabulary(terms, freqs)

@@ -1,0 +1,56 @@
+"""Wu–Palmer (WUP) similarity over a :class:`~repro.text.taxonomy.Taxonomy`.
+
+The paper (Section 3.2) computes intra-textual correlation as
+``Cor(n1, n2) = WUP(n1, n2)``, citing Wu & Palmer (ACL 1994).  The
+measure is::
+
+    WUP(a, b) = 2 * depth(lcs(a, b)) / (depth(a) + depth(b))
+
+with depths counted from the taxonomy root (root depth = 1), so the
+value lies in ``(0, 1]`` and equals 1 iff ``a`` and ``b`` are the same
+node.  Out-of-vocabulary words get similarity 0 (they share no known
+hierarchy), except for exact string equality, which is 1 — two
+occurrences of the same unknown tag are still the same feature.
+"""
+
+from __future__ import annotations
+
+from repro.text.taxonomy import Taxonomy
+
+
+class WuPalmerSimilarity:
+    """WUP similarity with memoization over node pairs.
+
+    The FIG construction evaluates WUP for every candidate tag pair in a
+    corpus (O(|vocab|^2) in the worst case), so results are cached; the
+    cache key is the unordered pair.
+    """
+
+    def __init__(self, taxonomy: Taxonomy) -> None:
+        self._taxonomy = taxonomy
+        self._cache: dict[tuple[str, str], float] = {}
+
+    @property
+    def taxonomy(self) -> Taxonomy:
+        return self._taxonomy
+
+    def __call__(self, a: str, b: str) -> float:
+        """Return WUP similarity in ``[0, 1]``."""
+        if a == b:
+            return 1.0
+        if a not in self._taxonomy or b not in self._taxonomy:
+            return 0.0
+        key = (a, b) if a <= b else (b, a)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        lcs = self._taxonomy.lcs(a, b)
+        value = 2.0 * self._taxonomy.depth(lcs) / (
+            self._taxonomy.depth(a) + self._taxonomy.depth(b)
+        )
+        self._cache[key] = value
+        return value
+
+    def cache_size(self) -> int:
+        """Number of memoized pairs (for diagnostics)."""
+        return len(self._cache)

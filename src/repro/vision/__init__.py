@@ -1,0 +1,24 @@
+"""Vision substrate: synthetic rasters, block descriptors, k-means,
+visual-word codebooks (Sections 3.2 and 5.1.3 of the paper)."""
+
+from repro.vision.blocks import DESCRIPTOR_DIM, block_descriptor, block_grid, image_descriptors
+from repro.vision.image import SyntheticImage, TopicPalette, default_palettes, render_image
+from repro.vision.kmeans import KMeansResult, kmeans, kmeans_plus_plus
+from repro.vision.visual_words import PAPER_CODEBOOK_SIZE, VisualCodebook, word_names
+
+__all__ = [
+    "DESCRIPTOR_DIM",
+    "KMeansResult",
+    "PAPER_CODEBOOK_SIZE",
+    "SyntheticImage",
+    "TopicPalette",
+    "VisualCodebook",
+    "block_descriptor",
+    "block_grid",
+    "default_palettes",
+    "image_descriptors",
+    "kmeans",
+    "kmeans_plus_plus",
+    "render_image",
+    "word_names",
+]

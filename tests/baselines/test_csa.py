@@ -1,0 +1,56 @@
+"""Calibrated Score Averaging baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.csa import CalibratedScoreAveraging
+from repro.baselines.vectorspace import VectorSpace
+from repro.eval.oracle import TopicOracle
+from repro.eval.protocol import sample_queries
+
+
+@pytest.fixture(scope="module")
+def space(tiny_corpus):
+    return VectorSpace(tiny_corpus)
+
+
+def test_default_weights_uniform(space):
+    csa = CalibratedScoreAveraging(space)
+    np.testing.assert_allclose(csa.weights, [1 / 3] * 3)
+
+
+def test_fit_returns_convex_weights(space, tiny_corpus):
+    oracle = TopicOracle(tiny_corpus)
+    queries = sample_queries(tiny_corpus, n_queries=4, seed=55)
+    csa = CalibratedScoreAveraging(space, grid_steps=3).fit(queries, oracle, cutoff=5)
+    assert csa.weights.sum() == pytest.approx(1.0)
+    assert (csa.weights >= 0).all()
+
+
+def test_fit_never_hurts_on_training_metric(space, tiny_corpus):
+    oracle = TopicOracle(tiny_corpus)
+    queries = sample_queries(tiny_corpus, n_queries=4, seed=55)
+    csa = CalibratedScoreAveraging(space, grid_steps=3)
+    cache = [csa._modality_scores(q) for q in queries]
+    uniform = csa._mean_precision(queries, cache, np.full(3, 1 / 3), oracle, 5)
+    csa.fit(queries, oracle, cutoff=5)
+    fitted = csa._mean_precision(queries, cache, csa.weights, oracle, 5)
+    assert fitted >= uniform - 1e-9
+
+
+def test_search_interface(space, tiny_corpus):
+    csa = CalibratedScoreAveraging(space)
+    hits = csa.search(tiny_corpus[0], k=5)
+    assert len(hits) == 5
+
+
+def test_scores_are_weighted_average(space, tiny_corpus):
+    csa = CalibratedScoreAveraging(space)
+    scores = csa._score_all(tiny_corpus[0])
+    manual = csa._modality_scores(tiny_corpus[0]) @ csa.weights
+    np.testing.assert_allclose(scores, manual)
+
+
+def test_grid_steps_validation(space):
+    with pytest.raises(ValueError):
+        CalibratedScoreAveraging(space, grid_steps=1)

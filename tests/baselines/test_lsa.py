@@ -1,0 +1,64 @@
+"""LSA early-fusion baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.lsa import LSAFusionRetriever
+from repro.baselines.vectorspace import VectorSpace
+
+
+@pytest.fixture(scope="module")
+def lsa(tiny_corpus):
+    return LSAFusionRetriever(VectorSpace(tiny_corpus), n_components=24)
+
+
+def test_components_capped_by_rank(tiny_corpus):
+    small = LSAFusionRetriever(VectorSpace(tiny_corpus), n_components=10_000)
+    assert small.n_components < 10_000
+
+
+def test_fold_in_is_unit_vector(lsa, tiny_corpus):
+    latent = lsa.fold_in(tiny_corpus[0])
+    assert latent.shape == (lsa.n_components,)
+    assert np.linalg.norm(latent) == pytest.approx(1.0)
+
+
+def test_self_scores_near_top(lsa, tiny_corpus):
+    """Fold-in of a corpus object lands near its own document vector."""
+    hits = lsa.search(tiny_corpus[0], k=5, exclude_query=False)
+    ids = [h.object_id for h in hits]
+    assert tiny_corpus[0].object_id in ids
+
+
+def test_scores_bounded_by_one(lsa, tiny_corpus):
+    scores = lsa._score_all(tiny_corpus[1])
+    assert (scores <= 1.0 + 1e-9).all()
+    assert (scores >= -1.0 - 1e-9).all()
+
+
+def test_latent_space_groups_topics(lsa, tiny_corpus):
+    """Same-topic objects are closer in latent space than cross-topic,
+    on average — the point of LSA."""
+    from repro.eval.oracle import TopicOracle
+
+    oracle = TopicOracle(tiny_corpus)
+    same, cross = [], []
+    for query in list(tiny_corpus)[:10]:
+        scores = lsa._score_all(query)
+        for i, obj in enumerate(tiny_corpus):
+            if obj.object_id == query.object_id:
+                continue
+            (same if oracle.relevant(query.object_id, obj.object_id) else cross).append(
+                scores[i]
+            )
+    assert np.mean(same) > np.mean(cross)
+
+
+def test_rejects_degenerate_corpus():
+    from repro.core.objects import MediaObject
+    from repro.social.corpus import Corpus
+    from repro.social.users import SocialGraph
+
+    corpus = Corpus(objects=[MediaObject.build("only", tags=["x"])], social=SocialGraph({}))
+    with pytest.raises(ValueError):
+        LSAFusionRetriever(VectorSpace(corpus))

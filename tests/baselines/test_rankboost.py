@@ -1,0 +1,115 @@
+"""RankBoost late-fusion baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.rankboost import RankBoostRetriever, WeakRanker
+from repro.baselines.vectorspace import VectorSpace
+from repro.core.objects import ALL_TYPES
+from repro.eval.oracle import TopicOracle
+from repro.eval.protocol import sample_queries
+
+
+@pytest.fixture(scope="module")
+def space(tiny_corpus):
+    return VectorSpace(tiny_corpus)
+
+
+@pytest.fixture(scope="module")
+def fitted(space, tiny_corpus):
+    oracle = TopicOracle(tiny_corpus)
+    queries = sample_queries(tiny_corpus, n_queries=6, seed=77)
+    return RankBoostRetriever(space, rounds=10).fit(queries, oracle)
+
+
+def test_fit_selects_rankers(fitted):
+    assert fitted.is_fitted
+    assert 1 <= len(fitted.rankers) <= 10
+    for ranker in fitted.rankers:
+        assert 0 <= ranker.modality < len(ALL_TYPES)
+        assert np.isfinite(ranker.alpha)
+
+
+def test_unfitted_falls_back_to_average(space, tiny_corpus):
+    rb = RankBoostRetriever(space)
+    assert not rb.is_fitted
+    scores = rb._score_all(tiny_corpus[0])
+    assert scores.shape == (len(tiny_corpus),)
+
+
+def test_search_interface(fitted, tiny_corpus):
+    hits = fitted.search(tiny_corpus[0], k=5)
+    assert len(hits) == 5
+    assert tiny_corpus[0].object_id not in [h.object_id for h in hits]
+
+
+def test_fitted_beats_chance(fitted, tiny_corpus):
+    """Boosted fusion must retrieve same-topic objects above chance."""
+    oracle = TopicOracle(tiny_corpus)
+    rel = total = 0
+    for query in list(tiny_corpus)[:8]:
+        for h in fitted.search(query, k=5):
+            total += 1
+            rel += oracle.relevant(query.object_id, h.object_id)
+    assert rel / total > 1 / 3  # chance is ~2 topics of 6
+
+
+def test_weak_ranker_stump_evaluation():
+    ranker = WeakRanker(modality=1, threshold=0.5, alpha=1.0)
+    scores = np.array([[0.0, 0.6], [0.0, 0.4]])
+    np.testing.assert_array_equal(ranker.evaluate(scores), [1.0, 0.0])
+
+
+def test_weak_ranker_continuous_evaluation():
+    ranker = WeakRanker(modality=0, threshold=None, alpha=1.0)
+    scores = np.array([[0.3, 0.0], [0.9, 0.0]])
+    np.testing.assert_array_equal(ranker.evaluate(scores), [0.3, 0.9])
+
+
+def test_modality_scores_normalized(space, tiny_corpus):
+    rb = RankBoostRetriever(space)
+    scores = rb._modality_scores(tiny_corpus[0])
+    assert scores.shape == (len(tiny_corpus), 3)
+    assert scores.min() >= 0.0 and scores.max() <= 1.0
+
+
+def test_degenerate_training_keeps_fallback(space, tiny_corpus):
+    """Training with zero queries must not crash nor pretend to fit."""
+    oracle = TopicOracle(tiny_corpus)
+    rb = RankBoostRetriever(space).fit([], oracle)
+    assert not rb.is_fitted
+
+
+def test_rounds_validation(space):
+    with pytest.raises(ValueError):
+        RankBoostRetriever(space, rounds=0)
+
+
+def test_modality_of_maps_back():
+    assert RankBoostRetriever.modality_of(0) == ALL_TYPES[0]
+
+
+def test_r_statistic_prefers_separating_ranker():
+    """r(h)=1 for a ranker scoring all relevant 1 and all irrelevant 0."""
+    h = np.array([1.0, 1.0, 0.0, 0.0])
+    v = np.full(4, 0.25)
+    rel = np.array([True, True, False, False])
+    qid = np.zeros(4, dtype=int)
+    r = RankBoostRetriever._weighted_r(h, v, rel, qid)
+    assert r == pytest.approx(1.0)
+
+
+def test_r_statistic_zero_for_constant_ranker():
+    h = np.ones(4)
+    v = np.full(4, 0.25)
+    rel = np.array([True, False, True, False])
+    qid = np.zeros(4, dtype=int)
+    assert RankBoostRetriever._weighted_r(h, v, rel, qid) == pytest.approx(0.0)
+
+
+def test_r_statistic_negative_for_inverted_ranker():
+    h = np.array([0.0, 0.0, 1.0, 1.0])
+    v = np.full(4, 0.25)
+    rel = np.array([True, True, False, False])
+    qid = np.zeros(4, dtype=int)
+    assert RankBoostRetriever._weighted_r(h, v, rel, qid) == pytest.approx(-1.0)

@@ -1,0 +1,55 @@
+"""Profile-as-query recommendation adapter."""
+
+import pytest
+
+from repro.baselines.recommend import ProfileRecommender
+from repro.baselines.single import SingleFeatureRetriever
+from repro.baselines.vectorspace import VectorSpace
+from repro.core.objects import FeatureType
+from repro.social.temporal import TemporalSplit
+
+
+@pytest.fixture(scope="module")
+def adapter(rec_corpus):
+    space = VectorSpace(rec_corpus)
+    base = SingleFeatureRetriever(space, FeatureType.TEXT)
+    return ProfileRecommender(base, rec_corpus)
+
+
+def test_name_passthrough(adapter):
+    assert adapter.name == "Text"
+
+
+def test_default_split_is_paper_default(adapter, rec_corpus):
+    assert adapter.split == TemporalSplit.paper_default(rec_corpus.n_months)
+
+
+def test_recommendations_are_eval_window_objects(adapter, rec_corpus):
+    user = rec_corpus.favorite_users()[0]
+    hits = adapter.recommend(user, k=10)
+    assert hits
+    for h in hits:
+        assert rec_corpus.get(h.object_id).timestamp in adapter.split.evaluation
+
+
+def test_unknown_user_raises(adapter):
+    with pytest.raises(ValueError):
+        adapter.recommend("nobody", k=5)
+
+
+def test_recommendations_sorted(adapter, rec_corpus):
+    user = rec_corpus.favorite_users()[1]
+    hits = adapter.recommend(user, k=10)
+    scores = [h.score for h in hits]
+    assert scores == sorted(scores, reverse=True)
+
+
+def test_profile_objects_can_still_appear_if_in_window(adapter, rec_corpus):
+    """The adapter never leaks profile objects: profile-window objects
+    are outside the evaluation window by construction."""
+    user = rec_corpus.favorite_users()[0]
+    profile_ids = {
+        e.object_id for e in rec_corpus.favorites_of(user, adapter.split.profile)
+    }
+    hits = adapter.recommend(user, k=20)
+    assert profile_ids.isdisjoint({h.object_id for h in hits})

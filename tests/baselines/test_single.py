@@ -1,0 +1,61 @@
+"""Single-modality retrievers."""
+
+import pytest
+
+from repro.baselines.single import SingleFeatureRetriever
+from repro.baselines.vectorspace import VectorSpace
+from repro.core.objects import FeatureType
+
+
+@pytest.fixture(scope="module")
+def space(tiny_corpus):
+    return VectorSpace(tiny_corpus)
+
+
+def test_names(space):
+    assert SingleFeatureRetriever(space, FeatureType.TEXT).name == "Text"
+    assert SingleFeatureRetriever(space, FeatureType.VISUAL).name == "Visual"
+    assert SingleFeatureRetriever(space, FeatureType.USER).name == "User"
+
+
+def test_search_returns_sorted_topk(space, tiny_corpus):
+    r = SingleFeatureRetriever(space, FeatureType.TEXT)
+    hits = r.search(tiny_corpus[0], k=5)
+    assert len(hits) == 5
+    scores = [h.score for h in hits]
+    assert scores == sorted(scores, reverse=True)
+
+
+def test_query_excluded(space, tiny_corpus):
+    r = SingleFeatureRetriever(space, FeatureType.TEXT)
+    hits = r.search(tiny_corpus[0], k=10)
+    assert tiny_corpus[0].object_id not in [h.object_id for h in hits]
+
+
+def test_self_retrieval_with_inclusion(space, tiny_corpus):
+    r = SingleFeatureRetriever(space, FeatureType.TEXT)
+    hits = r.search(tiny_corpus[0], k=1, exclude_query=False)
+    assert hits[0].object_id == tiny_corpus[0].object_id
+    assert hits[0].score == pytest.approx(1.0)
+
+
+def test_candidate_restriction(space, tiny_corpus):
+    r = SingleFeatureRetriever(space, FeatureType.TEXT)
+    rows = [1, 2, 3]
+    hits = r.search(tiny_corpus[0], k=10, candidate_rows=rows)
+    allowed = {tiny_corpus[i].object_id for i in rows}
+    assert {h.object_id for h in hits} <= allowed
+    assert len(hits) == 3
+
+
+def test_empty_candidate_rows(space, tiny_corpus):
+    r = SingleFeatureRetriever(space, FeatureType.TEXT)
+    assert r.search(tiny_corpus[0], k=5, candidate_rows=[]) == []
+
+
+def test_modality_isolation(space, tiny_corpus):
+    """A text retriever must rank by tags only: an object sharing only
+    users with the query gets score 0."""
+    r = SingleFeatureRetriever(space, FeatureType.TEXT)
+    scores = r._score_all(tiny_corpus[0].restricted_to([FeatureType.USER]))
+    assert (scores == 0).all()

@@ -1,0 +1,63 @@
+"""Tensor-product (TP) fusion baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.tensor import TensorProductRetriever
+from repro.baselines.vectorspace import VectorSpace
+from repro.core.objects import FeatureType, MediaObject
+
+
+@pytest.fixture(scope="module")
+def space(tiny_corpus):
+    return VectorSpace(tiny_corpus)
+
+
+@pytest.fixture(scope="module")
+def tp(space):
+    return TensorProductRetriever(space)
+
+
+def test_scores_nonnegative(tp, tiny_corpus):
+    scores = tp._score_all(tiny_corpus[0])
+    assert (scores >= 0).all()
+
+
+def test_product_semantics(tp, space, tiny_corpus):
+    """TP score equals the product of raw per-modality cosines + ε."""
+    query = tiny_corpus[0]
+    raw = tp._raw
+    expected = np.ones(len(tiny_corpus))
+    for ftype in FeatureType:
+        expected *= raw.cosine_scores(query, ftype) + tp._epsilon
+    np.testing.assert_allclose(tp._score_all(query), expected)
+
+
+def test_zero_modality_punished_multiplicatively(tp, tiny_corpus):
+    """A candidate with no overlap in one modality scores near ε times
+    the rest — the no-pruning failure mode."""
+    query = tiny_corpus[0]
+    text_only = query.restricted_to([FeatureType.TEXT])
+    scores = tp._score_all(text_only)
+    # user and visual cosines are 0 for a text-only query -> every
+    # candidate's score is at most (1+eps) * eps^2
+    assert scores.max() <= (1 + tp._epsilon) * tp._epsilon**2 + 1e-12
+
+
+def test_search_interface(tp, tiny_corpus):
+    hits = tp.search(tiny_corpus[2], k=4)
+    assert len(hits) == 4
+    assert tiny_corpus[2].object_id not in [h.object_id for h in hits]
+
+
+def test_epsilon_validation(space):
+    with pytest.raises(ValueError):
+        TensorProductRetriever(space, epsilon=0.0)
+
+
+def test_uses_unweighted_kernels(space, tiny_corpus):
+    """The raw space must carry no IDF: a frequent and a rare tag get
+    equal weight in the TP kernels (Basilico & Hofmann have no feature
+    reweighting)."""
+    tp = TensorProductRetriever(space)
+    assert tp._raw._use_idf is False

@@ -1,0 +1,109 @@
+"""Vector space: TF-IDF matrices, fold-in, profiles."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.vectorspace import VectorSpace, union_object
+from repro.core.objects import Feature, FeatureType, MediaObject
+from repro.social.corpus import Corpus
+from repro.social.users import SocialGraph
+
+
+@pytest.fixture(scope="module")
+def space():
+    objects = [
+        MediaObject.build("o1", tags=["sun", "sea"], users=["u1"]),
+        MediaObject.build("o2", tags=["sun"], users=["u1", "u2"]),
+        MediaObject.build("o3", tags=["city"], visual_words=["vw0", "vw0"]),
+    ]
+    return VectorSpace(Corpus(objects=objects, social=SocialGraph({})))
+
+
+def test_column_counts(space):
+    assert space.n_columns(FeatureType.TEXT) == 3
+    assert space.n_columns(FeatureType.USER) == 2
+    assert space.n_columns(FeatureType.VISUAL) == 1
+
+
+def test_rows_are_normalized(space):
+    for ftype in FeatureType:
+        m = space.matrix(ftype)
+        norms = np.sqrt(np.asarray(m.multiply(m).sum(axis=1)).ravel())
+        for norm in norms:
+            assert norm == pytest.approx(1.0) or norm == pytest.approx(0.0)
+
+
+def test_vector_matches_matrix_row(space):
+    obj = space.corpus[0]
+    vec = space.vector(obj, FeatureType.TEXT)
+    row = space.matrix(FeatureType.TEXT)[0]
+    np.testing.assert_allclose(vec.toarray(), row.toarray())
+
+
+def test_cosine_scores_self_is_one(space):
+    scores = space.cosine_scores(space.corpus[0], FeatureType.TEXT)
+    assert scores[0] == pytest.approx(1.0)
+
+
+def test_cosine_scores_disjoint_zero(space):
+    scores = space.cosine_scores(space.corpus[2], FeatureType.TEXT)
+    assert scores[1] == pytest.approx(0.0)  # city vs sun
+
+
+def test_oov_features_dropped(space):
+    foreign = MediaObject.build("x", tags=["neverseen"])
+    vec = space.vector(foreign, FeatureType.TEXT)
+    assert vec.nnz == 0
+
+
+def test_stacked_matrix_width(space):
+    stacked = space.stacked_matrix()
+    assert stacked.shape == (3, 3 + 1 + 2)
+
+
+def test_stacked_vector_width(space):
+    v = space.stacked_vector(space.corpus[1])
+    assert v.shape == (1, 6)
+
+
+def test_idf_downweights_common_terms():
+    objects = [
+        MediaObject.build(f"o{i}", tags=["common"] + (["rare"] if i == 0 else []))
+        for i in range(10)
+    ]
+    space = VectorSpace(Corpus(objects=objects, social=SocialGraph({})))
+    vec = space.vector(objects[0], FeatureType.TEXT).toarray().ravel()
+    cols = {f.name: i for f, i in space._columns[FeatureType.TEXT].items()}
+    assert vec[cols["rare"]] > vec[cols["common"]]
+
+
+def test_no_idf_mode():
+    objects = [MediaObject.build("a", tags=["x", "y"]), MediaObject.build("b", tags=["x"])]
+    space = VectorSpace(Corpus(objects=objects, social=SocialGraph({})), use_idf=False)
+    vec = space.vector(objects[0], FeatureType.TEXT).toarray().ravel()
+    # raw counts, both 1, normalized equally
+    assert vec[vec > 0][0] == pytest.approx(vec[vec > 0][1])
+
+
+# ----------------------------------------------------------------------
+# union_object (the "big object" profile)
+# ----------------------------------------------------------------------
+def test_union_accumulates_frequencies():
+    h = [
+        MediaObject.build("a", tags=["x"], timestamp=1),
+        MediaObject.build("b", tags=["x", "y"], timestamp=2),
+    ]
+    u = union_object(h)
+    assert u.frequency(Feature.text("x")) == 2
+    assert u.frequency(Feature.text("y")) == 1
+    assert u.timestamp == 2  # latest
+
+
+def test_union_rejects_empty():
+    with pytest.raises(ValueError):
+        union_object([])
+
+
+def test_union_custom_id():
+    u = union_object([MediaObject.build("a", tags=["x"])], object_id="profile:me")
+    assert u.object_id == "profile:me"

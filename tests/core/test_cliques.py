@@ -1,0 +1,146 @@
+"""Clique model and enumeration (vs brute force)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cliques import Clique, enumerate_cliques
+from repro.core.objects import Feature
+
+T = Feature.text
+U = Feature.user
+
+
+# ----------------------------------------------------------------------
+# Clique dataclass
+# ----------------------------------------------------------------------
+def test_clique_sorts_features():
+    c = Clique(features=(T("b"), T("a")))
+    assert c.features == (T("a"), T("b"))
+
+
+def test_clique_equality_order_independent():
+    assert Clique((T("a"), U("u"))) == Clique((U("u"), T("a")))
+    assert hash(Clique((T("a"), U("u")))) == hash(Clique((U("u"), T("a"))))
+
+
+def test_clique_size_excludes_root():
+    assert Clique((T("a"), T("b"))).size == 2  # |c| - 1 in paper notation
+
+
+def test_clique_key_roundtrip():
+    c = Clique((T("sunset"), U("u1")), timestamp=3)
+    back = Clique.from_key(c.key, timestamp=3)
+    assert back == c and back.timestamp == 3
+
+
+def test_clique_key_deterministic():
+    assert Clique((U("u"), T("a"))).key == "T:a|U:u"
+
+
+def test_empty_clique_rejected():
+    with pytest.raises(ValueError):
+        Clique(features=())
+
+
+def test_with_timestamp():
+    c = Clique((T("a"),))
+    assert c.timestamp is None
+    assert c.with_timestamp(5).timestamp == 5
+
+
+def test_clique_iter_len():
+    c = Clique((T("a"), T("b")))
+    assert list(c) == [T("a"), T("b")]
+    assert len(c) == 2
+
+
+# ----------------------------------------------------------------------
+# enumeration
+# ----------------------------------------------------------------------
+def _features(n):
+    return [T(f"f{i}") for i in range(n)]
+
+
+def _adjacency(nodes, edges):
+    adj = {n: set() for n in nodes}
+    for a, b in edges:
+        adj[a].add(b)
+        adj[b].add(a)
+    return {n: frozenset(s) for n, s in adj.items()}
+
+
+def test_isolated_nodes_give_singletons():
+    nodes = _features(3)
+    result = enumerate_cliques(nodes, _adjacency(nodes, []), max_size=3)
+    assert sorted(result) == sorted((n,) for n in nodes)
+
+
+def test_triangle_gives_all_subsets():
+    nodes = _features(3)
+    edges = list(itertools.combinations(nodes, 2))
+    result = enumerate_cliques(nodes, _adjacency(nodes, edges), max_size=3)
+    assert len(result) == 3 + 3 + 1  # singletons + pairs + triangle
+
+
+def test_path_graph_has_no_triangle():
+    a, b, c = _features(3)
+    result = enumerate_cliques([a, b, c], _adjacency([a, b, c], [(a, b), (b, c)]), max_size=3)
+    assert (a, b, c) not in result
+    assert (a, b) in result and (b, c) in result
+    assert (a, c) not in result
+
+
+def test_max_size_caps_enumeration():
+    nodes = _features(4)
+    edges = list(itertools.combinations(nodes, 2))  # K4
+    result = enumerate_cliques(nodes, _adjacency(nodes, edges), max_size=2)
+    assert all(len(c) <= 2 for c in result)
+    assert len(result) == 4 + 6
+
+
+def test_max_size_one_gives_nodes_only():
+    nodes = _features(5)
+    edges = [(nodes[0], nodes[1])]
+    result = enumerate_cliques(nodes, _adjacency(nodes, edges), max_size=1)
+    assert sorted(result) == sorted((n,) for n in nodes)
+
+
+def test_invalid_max_size():
+    with pytest.raises(ValueError):
+        enumerate_cliques([], {}, max_size=0)
+
+
+def test_no_duplicates():
+    nodes = _features(5)
+    edges = list(itertools.combinations(nodes, 2))
+    result = enumerate_cliques(nodes, _adjacency(nodes, edges), max_size=3)
+    assert len(result) == len(set(result))
+
+
+def _brute_force(nodes, adjacency, max_size):
+    out = []
+    for size in range(1, max_size + 1):
+        for combo in itertools.combinations(nodes, size):
+            if all(
+                b in adjacency.get(a, frozenset())
+                for a, b in itertools.combinations(combo, 2)
+            ):
+                out.append(tuple(sorted(combo)))
+    return sorted(out)
+
+
+@settings(deadline=None, max_examples=60)
+@given(st.data())
+def test_enumeration_matches_brute_force(data):
+    n = data.draw(st.integers(1, 8))
+    nodes = _features(n)
+    possible = list(itertools.combinations(range(n), 2))
+    chosen = data.draw(st.lists(st.sampled_from(possible), unique=True, max_size=len(possible))) if possible else []
+    edges = [(nodes[i], nodes[j]) for i, j in chosen]
+    adjacency = _adjacency(nodes, edges)
+    max_size = data.draw(st.integers(1, 4))
+    result = sorted(tuple(sorted(c)) for c in enumerate_cliques(nodes, adjacency, max_size))
+    assert result == _brute_force(nodes, adjacency, max_size)

@@ -1,0 +1,95 @@
+"""k-medoids clustering over MRF similarity."""
+
+import numpy as np
+import pytest
+
+from repro.core.clustering import ClusteringResult, cluster_purity, k_medoids, pairwise_similarity
+
+
+# ----------------------------------------------------------------------
+# k_medoids on hand-built matrices
+# ----------------------------------------------------------------------
+def _block_similarity(sizes, within=1.0, across=0.1):
+    n = sum(sizes)
+    m = np.full((n, n), across)
+    offset = 0
+    for size in sizes:
+        m[offset : offset + size, offset : offset + size] = within
+        offset += size
+    return m
+
+
+def test_recovers_block_structure():
+    sim = _block_similarity([4, 4, 4])
+    result = k_medoids(sim, k=3, rng=np.random.default_rng(0))
+    truth = [0] * 4 + [1] * 4 + [2] * 4
+    assert cluster_purity(result.labels, truth) == 1.0
+
+
+def test_k_one_single_cluster():
+    sim = _block_similarity([6])
+    result = k_medoids(sim, k=1, rng=np.random.default_rng(0))
+    assert set(result.labels) == {0}
+    assert len(result.medoids) == 1
+
+
+def test_total_similarity_reported():
+    sim = _block_similarity([3, 3])
+    result = k_medoids(sim, k=2, rng=np.random.default_rng(1))
+    assert result.total_similarity == pytest.approx(6.0)  # each member sim-1 to its medoid
+
+
+def test_invalid_inputs():
+    sim = _block_similarity([4])
+    with pytest.raises(ValueError):
+        k_medoids(sim, k=0, rng=np.random.default_rng(0))
+    with pytest.raises(ValueError):
+        k_medoids(sim, k=5, rng=np.random.default_rng(0))
+    with pytest.raises(ValueError):
+        k_medoids(np.zeros((2, 3)), k=1, rng=np.random.default_rng(0))
+
+
+def test_deterministic_given_rng():
+    sim = _block_similarity([5, 5])
+    a = k_medoids(sim, k=2, rng=np.random.default_rng(3))
+    b = k_medoids(sim, k=2, rng=np.random.default_rng(3))
+    assert a == b
+    assert isinstance(a, ClusteringResult)
+
+
+def test_purity_validation():
+    with pytest.raises(ValueError):
+        cluster_purity([], [])
+    with pytest.raises(ValueError):
+        cluster_purity([0], [0, 1])
+
+
+def test_purity_partial():
+    # cluster 0: classes {a, a, b} -> 2 correct; cluster 1: {b} -> 1
+    assert cluster_purity([0, 0, 0, 1], [0, 0, 1, 1]) == pytest.approx(0.75)
+
+
+# ----------------------------------------------------------------------
+# end to end over MRF similarity
+# ----------------------------------------------------------------------
+def test_pairwise_similarity_matrix(tiny_corpus, correlations):
+    objects = list(tiny_corpus)[:12]
+    matrix = pairwise_similarity(objects, correlations)
+    assert matrix.shape == (12, 12)
+    np.testing.assert_allclose(matrix, matrix.T)
+    assert (matrix >= 0).all()
+
+
+def test_clustering_groups_topics(tiny_corpus, correlations):
+    """Same-topic objects should co-cluster far above chance."""
+    by_topic = {}
+    for obj in tiny_corpus:
+        by_topic.setdefault(tiny_corpus.topics(obj.object_id)[0], []).append(obj)
+    picked_topics = sorted(t for t, objs in by_topic.items() if len(objs) >= 6)[:3]
+    objects, truth = [], []
+    for t in picked_topics:
+        objects.extend(by_topic[t][:6])
+        truth.extend([t] * 6)
+    matrix = pairwise_similarity(objects, correlations)
+    result = k_medoids(matrix, k=len(picked_topics), rng=np.random.default_rng(5))
+    assert cluster_purity(result.labels, truth) > 0.6

@@ -1,0 +1,247 @@
+"""Correlation statistics: Eq. 1 cosine, Eq. 8 CorS, table dispatch."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.correlation import CorrelationModel, OccurrenceStats
+from repro.core.objects import Feature, FeatureType, MediaObject
+from repro.social.users import SocialGraph
+
+T = Feature.text
+V = Feature.visual
+U = Feature.user
+
+
+def make_stats():
+    objects = [
+        MediaObject.build("o1", tags=["sun", "sea"], users=["u1"]),
+        MediaObject.build("o2", tags=["sun"], users=["u1", "u2"]),
+        MediaObject.build("o3", tags=["sea"], users=["u2"]),
+        MediaObject.build("o4", tags=["city"]),
+    ]
+    return OccurrenceStats(objects)
+
+
+# ----------------------------------------------------------------------
+# Eq. 1 — co-occurrence cosine
+# ----------------------------------------------------------------------
+def test_cosine_exact_value():
+    stats = make_stats()
+    # sun in {o1, o2}, u1 in {o1, o2}: identical binary vectors
+    assert stats.cooccurrence_cosine(T("sun"), U("u1")) == pytest.approx(1.0)
+
+
+def test_cosine_partial_overlap():
+    stats = make_stats()
+    # sun {o1,o2}, sea {o1,o3}: dot 1, norms sqrt2 each
+    assert stats.cooccurrence_cosine(T("sun"), T("sea")) == pytest.approx(0.5)
+
+
+def test_cosine_disjoint_is_zero():
+    stats = make_stats()
+    assert stats.cooccurrence_cosine(T("city"), U("u1")) == 0.0
+
+
+def test_cosine_unknown_feature_zero():
+    stats = make_stats()
+    assert stats.cooccurrence_cosine(T("ghost"), T("sun")) == 0.0
+
+
+def test_cosine_respects_frequency():
+    objects = [
+        MediaObject.build("a", tags=["x"], visual_words=["v"] * 3),
+        MediaObject.build("b", tags=["x"], visual_words=["v"]),
+    ]
+    stats = OccurrenceStats(objects)
+    # x = (1,1), v = (3,1): cos = 4 / (sqrt2 * sqrt10)
+    expected = 4 / (math.sqrt(2) * math.sqrt(10))
+    assert stats.cooccurrence_cosine(T("x"), V("v")) == pytest.approx(expected)
+
+
+def test_cosine_symmetry():
+    stats = make_stats()
+    assert stats.cooccurrence_cosine(T("sun"), T("sea")) == stats.cooccurrence_cosine(
+        T("sea"), T("sun")
+    )
+
+
+# ----------------------------------------------------------------------
+# moments and document frequency
+# ----------------------------------------------------------------------
+def test_moments_include_zeros():
+    stats = make_stats()
+    mean, std = stats.moments(T("sun"))
+    assert mean == pytest.approx(0.5)  # 2 occurrences over 4 objects
+    assert std == pytest.approx(0.5)   # Bernoulli(0.5)
+
+
+def test_moments_unknown_feature():
+    stats = make_stats()
+    assert stats.moments(T("ghost")) == (0.0, 0.0)
+
+
+def test_document_frequency():
+    stats = make_stats()
+    assert stats.document_frequency(T("sun")) == 2
+    assert stats.document_frequency(T("ghost")) == 0
+
+
+# ----------------------------------------------------------------------
+# Eq. 8 — CorS
+# ----------------------------------------------------------------------
+def test_cors_singleton_is_neutral():
+    stats = make_stats()
+    assert stats.cors([T("sun")]) == 1.0
+
+
+def test_cors_pair_equals_pearson():
+    stats = make_stats()
+    # Verify against a direct Pearson computation over dense vectors.
+    sun = np.array([1, 1, 0, 0], dtype=float)
+    u1 = np.array([1, 1, 0, 0], dtype=float)
+    expected = np.corrcoef(sun, u1)[0, 1]
+    assert stats.cors([T("sun"), U("u1")]) == pytest.approx(expected)
+
+
+def test_cors_negative_clamps_to_zero():
+    stats = make_stats()
+    # sun {o1,o2} vs u2 {o2,o3}: slight negative? compute directly
+    sun = np.array([1, 1, 0, 0], dtype=float)
+    city = np.array([0, 0, 0, 1], dtype=float)
+    assert np.corrcoef(sun, city)[0, 1] < 0
+    assert stats.cors([T("sun"), T("city")]) == 0.0
+
+
+def test_cors_empty_rejected():
+    stats = make_stats()
+    with pytest.raises(ValueError):
+        stats.cors([])
+
+
+def test_cors_zero_variance_feature_gives_zero():
+    objects = [
+        MediaObject.build("a", tags=["always", "x"]),
+        MediaObject.build("b", tags=["always"]),
+    ]
+    stats = OccurrenceStats(objects)
+    # 'always' appears once in every object -> zero variance
+    assert stats.cors([T("always"), T("x")]) == 0.0
+
+
+def test_cors_triple_matches_dense_computation():
+    objects = [
+        MediaObject.build("a", tags=["x", "y"], users=["u"]),
+        MediaObject.build("b", tags=["x", "y"], users=["u"]),
+        MediaObject.build("c", tags=["x"]),
+        MediaObject.build("d", tags=["y"]),
+        MediaObject.build("e", users=["u"]),
+        MediaObject.build("f"),
+    ]
+    # 'f' has no features: a corpus object contributing only zeros
+    objects[5] = MediaObject.build("f", tags=["zzz"])
+    stats = OccurrenceStats(objects)
+    vecs = {
+        "x": np.array([1, 1, 1, 0, 0, 0], float),
+        "y": np.array([1, 1, 0, 1, 0, 0], float),
+        "u": np.array([1, 1, 0, 0, 1, 0], float),
+    }
+    z = {k: (v - v.mean()) / v.std() for k, v in vecs.items()}
+    expected = float(np.mean(z["x"] * z["y"] * z["u"]))
+    got = stats.cors([T("x"), T("y"), U("u")])
+    assert got == pytest.approx(max(expected, 0.0))
+
+
+@settings(deadline=None, max_examples=30)
+@given(st.data())
+def test_cors_pair_matches_numpy_pearson(data):
+    """Sparse CorS equals dense Pearson for random pairs."""
+    n = data.draw(st.integers(3, 12))
+    a = data.draw(st.lists(st.integers(0, 3), min_size=n, max_size=n))
+    b = data.draw(st.lists(st.integers(0, 3), min_size=n, max_size=n))
+    objects = [
+        MediaObject.build(
+            f"o{i}",
+            tags=["a"] * a[i],
+            users=["b"] * b[i],
+        )
+        for i in range(n)
+    ]
+    # skip degenerate objects (empty feature bags are fine for stats)
+    stats = OccurrenceStats(objects)
+    av, bv = np.array(a, float), np.array(b, float)
+    if av.std() == 0 or bv.std() == 0:
+        assert stats.cors([T("a"), U("b")]) == 0.0
+    else:
+        expected = max(float(np.corrcoef(av, bv)[0, 1]), 0.0)
+        assert stats.cors([T("a"), U("b")]) == pytest.approx(expected, abs=1e-9)
+
+
+# ----------------------------------------------------------------------
+# CorrelationModel dispatch
+# ----------------------------------------------------------------------
+def make_model(**kwargs):
+    stats = make_stats()
+    return CorrelationModel(stats=stats, **kwargs)
+
+
+def test_identity_correlation_is_one():
+    model = make_model()
+    assert model.cor(T("sun"), T("sun")) == 1.0
+
+
+def test_inter_type_uses_cosine():
+    model = make_model()
+    assert model.cor(T("sun"), U("u1")) == pytest.approx(1.0)
+
+
+def test_intra_text_uses_supplied_similarity():
+    model = make_model(text_similarity=lambda a, b: 0.42)
+    assert model.cor(T("sun"), T("sea")) == 0.42
+
+
+def test_intra_text_falls_back_to_cosine():
+    model = make_model()
+    assert model.cor(T("sun"), T("sea")) == pytest.approx(0.5)
+
+
+def test_intra_user_uses_social_graph():
+    social = SocialGraph({"u1": ["g"], "u2": ["g"], "u3": []})
+    model = make_model(social=social)
+    assert model.cor(U("u1"), U("u2")) == 1.0
+    assert model.cor(U("u1"), U("u3")) == 0.0
+
+
+def test_threshold_table_keys_canonical():
+    assert CorrelationModel.table_key(FeatureType.USER, FeatureType.TEXT) == ("T", "U")
+    assert CorrelationModel.table_key(FeatureType.TEXT, FeatureType.USER) == ("T", "U")
+
+
+def test_thresholds_default_and_override():
+    model = make_model(thresholds={("T", "T"): 0.9}, default_threshold=0.3)
+    assert model.threshold(FeatureType.TEXT, FeatureType.TEXT) == 0.9
+    assert model.threshold(FeatureType.TEXT, FeatureType.USER) == 0.3
+    model.set_threshold(FeatureType.TEXT, FeatureType.USER, 0.7)
+    assert model.threshold(FeatureType.USER, FeatureType.TEXT) == 0.7
+
+
+def test_correlated_uses_strict_threshold():
+    model = make_model(text_similarity=lambda a, b: 0.5, thresholds={("T", "T"): 0.5})
+    assert not model.correlated(T("a"), T("b"))  # equal is not above
+
+
+def test_cor_is_cached():
+    calls = []
+
+    def sim(a, b):
+        calls.append((a, b))
+        return 0.5
+
+    model = make_model(text_similarity=sim)
+    model.cor(T("sun"), T("sea"))
+    model.cor(T("sea"), T("sun"))
+    assert len(calls) == 1
+    assert model.cache_size() == 1

@@ -1,0 +1,146 @@
+"""Feature Interaction Graph construction (object and profile forms)."""
+
+import pytest
+
+from repro.core.correlation import CorrelationModel, OccurrenceStats
+from repro.core.fig import FeatureInteractionGraph
+from repro.core.objects import Feature, MediaObject
+
+T = Feature.text
+U = Feature.user
+
+
+class FixedCorrelations(CorrelationModel):
+    """Correlation model whose pairwise values are set explicitly."""
+
+    def __init__(self, pairs, threshold=0.5):
+        super().__init__(
+            stats=OccurrenceStats([]),
+            text_similarity=None,
+            default_threshold=threshold,
+        )
+        self._pairs = {frozenset(p): v for p, v in pairs.items()}
+
+    def _compute_cor(self, a, b):
+        return self._pairs.get(frozenset((a, b)), 0.0)
+
+
+def test_from_object_nodes_are_distinct_features():
+    obj = MediaObject.build("o", tags=["a", "b"], users=["u"])
+    fig = FeatureInteractionGraph.from_object(obj, FixedCorrelations({}))
+    assert set(fig.nodes) == {T("a"), T("b"), U("u")}
+    assert fig.source_id == "o"
+    assert not fig.is_profile
+
+
+def test_edges_follow_threshold():
+    obj = MediaObject.build("o", tags=["a", "b", "c"])
+    cor = FixedCorrelations({(T("a"), T("b")): 0.9, (T("b"), T("c")): 0.4})
+    fig = FeatureInteractionGraph.from_object(obj, cor)
+    assert fig.has_edge(T("a"), T("b"))
+    assert not fig.has_edge(T("b"), T("c"))  # below threshold
+    assert fig.n_edges() == 1
+
+
+def test_neighbours():
+    obj = MediaObject.build("o", tags=["a", "b", "c"])
+    cor = FixedCorrelations({(T("a"), T("b")): 0.9, (T("a"), T("c")): 0.9})
+    fig = FeatureInteractionGraph.from_object(obj, cor)
+    assert fig.neighbours(T("a")) == {T("b"), T("c")}
+    assert fig.neighbours(T("b")) == {T("a")}
+    assert fig.neighbours(T("zzz")) == frozenset()
+
+
+def test_cliques_of_object_fig():
+    obj = MediaObject.build("o", tags=["a", "b"])
+    cor = FixedCorrelations({(T("a"), T("b")): 0.9})
+    cliques = FeatureInteractionGraph.from_object(obj, cor).cliques(max_size=2)
+    keys = {c.key for c in cliques}
+    assert keys == {"T:a", "T:b", "T:a|T:b"}
+    assert all(c.timestamp is None for c in cliques)
+
+
+def test_edge_to_unknown_node_rejected():
+    with pytest.raises(ValueError):
+        FeatureInteractionGraph(nodes=[T("a")], edges=[(T("a"), T("ghost"))])
+
+
+def test_self_loops_ignored():
+    fig = FeatureInteractionGraph(nodes=[T("a")], edges=[(T("a"), T("a"))])
+    assert fig.n_edges() == 0
+
+
+def test_contains_and_len():
+    fig = FeatureInteractionGraph(nodes=[T("a"), T("b")], edges=[])
+    assert T("a") in fig and T("z") not in fig
+    assert len(fig) == 2
+
+
+# ----------------------------------------------------------------------
+# profile FIGs (Section 4)
+# ----------------------------------------------------------------------
+def _history():
+    return [
+        MediaObject.build("h1", tags=["a", "b"], timestamp=0),
+        MediaObject.build("h2", tags=["b", "c"], timestamp=1),
+        MediaObject.build("h3", tags=["a", "b"], timestamp=2),
+    ]
+
+
+def test_profile_edges_only_within_objects():
+    # a-c correlated globally, but never co-occur in one history object:
+    # the Section 4 constraint must suppress that edge.
+    cor = FixedCorrelations(
+        {(T("a"), T("b")): 0.9, (T("b"), T("c")): 0.9, (T("a"), T("c")): 0.9}
+    )
+    fig = FeatureInteractionGraph.from_profile(_history(), cor)
+    assert fig.is_profile
+    assert fig.has_edge(T("a"), T("b"))
+    assert fig.has_edge(T("b"), T("c"))
+    assert not fig.has_edge(T("a"), T("c"))
+
+
+def test_profile_empty_history_rejected():
+    with pytest.raises(ValueError):
+        FeatureInteractionGraph.from_profile([], FixedCorrelations({}))
+
+
+def test_profile_clique_occurrences_track_every_appearance():
+    cor = FixedCorrelations({(T("a"), T("b")): 0.9})
+    fig = FeatureInteractionGraph.from_profile(_history(), cor)
+    occ = fig.clique_occurrences(max_size=2)
+    assert occ[(T("a"), T("b"))] == (0, 2)   # h1 and h3
+    assert occ[(T("b"),)] == (0, 1, 2)       # all three favorites
+    assert occ[(T("c"),)] == (1,)
+
+
+def test_profile_cliques_carry_most_recent_timestamp():
+    cor = FixedCorrelations({(T("a"), T("b")): 0.9})
+    fig = FeatureInteractionGraph.from_profile(_history(), cor)
+    by_key = {c.key: c for c in fig.cliques(max_size=2)}
+    assert by_key["T:a|T:b"].timestamp == 2
+    assert by_key["T:c"].timestamp == 1
+
+
+def test_object_fig_has_no_occurrences():
+    obj = MediaObject.build("o", tags=["a"])
+    fig = FeatureInteractionGraph.from_object(obj, FixedCorrelations({}))
+    with pytest.raises(ValueError):
+        fig.clique_occurrences()
+
+
+def test_profile_cross_object_triangle_not_formed():
+    """A triangle whose edges come from different favorites must not
+    produce a cross-object clique: no single object contains all three."""
+    history = [
+        MediaObject.build("h1", tags=["a", "b"], timestamp=0),
+        MediaObject.build("h2", tags=["b", "c"], timestamp=0),
+        MediaObject.build("h3", tags=["a", "c"], timestamp=0),
+    ]
+    cor = FixedCorrelations(
+        {(T("a"), T("b")): 0.9, (T("b"), T("c")): 0.9, (T("a"), T("c")): 0.9}
+    )
+    fig = FeatureInteractionGraph.from_profile(history, cor)
+    occ = fig.clique_occurrences(max_size=3)
+    assert (T("a"), T("b"), T("c")) not in occ
+    assert (T("a"), T("b")) in occ

@@ -1,0 +1,104 @@
+"""Model-level invariants of the MRF similarity (property tests)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cliques import Clique
+from repro.core.correlation import CorrelationModel, OccurrenceStats
+from repro.core.mrf import CliqueScorer, MRFParameters
+from repro.core.objects import Feature, MediaObject
+
+T = Feature.text
+
+
+class UnitCorrelations(CorrelationModel):
+    """All pairs correlate 0.5, all cliques CorS 1 — isolates the
+    potential's structural behaviour from corpus statistics."""
+
+    def __init__(self):
+        super().__init__(stats=OccurrenceStats([]))
+
+    def _compute_cor(self, a, b):
+        return 0.5
+
+    def cors(self, features):
+        return 1.0
+
+
+@st.composite
+def bags(draw):
+    n = draw(st.integers(1, 6))
+    names = [f"t{i}" for i in range(n)]
+    counts = draw(st.lists(st.integers(1, 4), min_size=n, max_size=n))
+    return {T(name): c for name, c in zip(names, counts)}
+
+
+@settings(deadline=None, max_examples=50)
+@given(bag=bags(), alpha=st.floats(0.0, 1.0))
+def test_potential_nonnegative_and_bounded(bag, alpha):
+    """0 <= P(c|O) <= 1 for any object and clique under bounded Cor."""
+    scorer = CliqueScorer(UnitCorrelations(), MRFParameters(alpha=alpha))
+    obj = MediaObject(object_id="o", features=bag)
+    clique = Clique((next(iter(bag)),))
+    p = scorer.joint_probability(clique, obj)
+    assert 0.0 <= p <= 1.0 + 1e-9
+
+
+@settings(deadline=None, max_examples=50)
+@given(extra=st.integers(1, 5))
+def test_score_monotone_in_matching_frequency_at_alpha_one(extra):
+    """With α=1 (pure frequency), raising a matching feature's share of
+    the object raises the singleton clique's probability."""
+    scorer = CliqueScorer(UnitCorrelations(), MRFParameters(alpha=1.0))
+    clique = Clique((T("hit"),))
+    low = MediaObject.build("low", tags=["hit"] + ["miss"] * 5)
+    high = MediaObject.build("high", tags=["hit"] * (1 + extra) + ["miss"] * 5)
+    assert scorer.joint_probability(clique, high) > scorer.joint_probability(clique, low)
+
+
+def test_score_additive_over_cliques():
+    scorer = CliqueScorer(UnitCorrelations(), MRFParameters(alpha=1.0))
+    obj = MediaObject.build("o", tags=["a", "b"])
+    c1, c2 = Clique((T("a"),)), Clique((T("b"),))
+    total = scorer.score([c1, c2], obj)
+    assert total == pytest.approx(
+        scorer.potential(c1, obj) + scorer.potential(c2, obj)
+    )
+
+
+@settings(deadline=None, max_examples=30)
+@given(delta=st.floats(0.0625, 1.0), age=st.integers(0, 6))
+def test_temporal_potential_decays_geometrically(delta, age):
+    scorer = CliqueScorer(
+        UnitCorrelations(), MRFParameters(lambdas={1: 1.0}, alpha=1.0, delta=delta)
+    )
+    obj = MediaObject.build("o", tags=["a"])
+    now = 6
+    fresh = scorer.potential(Clique((T("a"),), timestamp=now), obj, current_month=now)
+    aged = scorer.potential(Clique((T("a"),), timestamp=now - age), obj, current_month=now)
+    assert aged == pytest.approx(fresh * delta**age)
+
+
+def test_zero_alpha_score_independent_of_matching_frequency():
+    """With α=0 only the smoothing term counts: duplicating the clique
+    feature inside the object must not change P through the freq path
+    (the smoothing set is over distinct features)."""
+    scorer = CliqueScorer(UnitCorrelations(), MRFParameters(alpha=0.0))
+    clique = Clique((T("hit"),))
+    one = MediaObject.build("one", tags=["hit", "other"])
+    many = MediaObject.build("many", tags=["hit"] * 4 + ["other"])
+    assert scorer.joint_probability(clique, one) == pytest.approx(
+        scorer.joint_probability(clique, many)
+    )
+
+
+@settings(deadline=None, max_examples=30)
+@given(bag=bags())
+def test_engine_scan_scores_deterministic(bag):
+    """Scoring the same (cliques, object) twice yields identical
+    values — caches must be transparent."""
+    scorer = CliqueScorer(UnitCorrelations(), MRFParameters())
+    obj = MediaObject(object_id="o", features=bag)
+    cliques = [Clique((f,)) for f in bag]
+    assert scorer.score(cliques, obj) == scorer.score(cliques, obj)

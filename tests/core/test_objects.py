@@ -1,0 +1,119 @@
+"""Object model: features, bags, restriction."""
+
+import pytest
+
+from repro.core.objects import ALL_TYPES, Feature, FeatureType, MediaObject
+
+
+# ----------------------------------------------------------------------
+# Feature
+# ----------------------------------------------------------------------
+def test_feature_key_roundtrip():
+    for f in (Feature.text("sunset"), Feature.visual("vw3"), Feature.user("u1")):
+        assert Feature.from_key(f.key) == f
+
+
+def test_feature_key_format():
+    assert Feature.text("sunset").key == "T:sunset"
+    assert Feature.visual("vw3").key == "V:vw3"
+    assert Feature.user("u1").key == "U:u1"
+
+
+def test_feature_namespacing():
+    assert Feature.text("sunset") != Feature.user("sunset")
+
+
+def test_feature_from_key_rejects_malformed():
+    with pytest.raises(ValueError):
+        Feature.from_key("sunset")
+    with pytest.raises(ValueError):
+        Feature.from_key("T:")
+    with pytest.raises(ValueError):
+        Feature.from_key("X:thing")
+
+
+def test_feature_ordering_is_stable():
+    features = [Feature.user("b"), Feature.text("a"), Feature.visual("c")]
+    assert sorted(features) == sorted(features, key=lambda f: (f.ftype.value, f.name))
+
+
+def test_feature_name_with_colon_roundtrips():
+    f = Feature.text("a:b")
+    assert Feature.from_key(f.key) == f
+
+
+# ----------------------------------------------------------------------
+# MediaObject
+# ----------------------------------------------------------------------
+def test_build_accumulates_frequencies():
+    obj = MediaObject.build("o", tags=["sun"], visual_words=["vw1", "vw1", "vw2"])
+    assert obj.frequency(Feature.visual("vw1")) == 2
+    assert obj.frequency(Feature.visual("vw2")) == 1
+    assert obj.frequency(Feature.text("sun")) == 1
+
+
+def test_len_counts_occurrences():
+    obj = MediaObject.build("o", tags=["a"], visual_words=["v", "v"], users=["u"])
+    assert len(obj) == 4  # |O_i| of Eq. 7
+
+
+def test_frequency_of_absent_feature_is_zero():
+    obj = MediaObject.build("o", tags=["a"])
+    assert obj.frequency(Feature.text("b")) == 0
+
+
+def test_contains_and_iter():
+    obj = MediaObject.build("o", tags=["a"], users=["u"])
+    assert Feature.text("a") in obj
+    assert Feature.text("z") not in obj
+    assert set(obj) == {Feature.text("a"), Feature.user("u")}
+
+
+def test_distinct_features_sorted():
+    obj = MediaObject.build("o", tags=["b", "a"], users=["u"])
+    feats = obj.distinct_features()
+    assert feats == tuple(sorted(feats))
+
+
+def test_features_of_type():
+    obj = MediaObject.build("o", tags=["a"], visual_words=["v"], users=["u"])
+    assert obj.features_of_type(FeatureType.TEXT) == (Feature.text("a"),)
+    assert obj.features_of_type(FeatureType.VISUAL) == (Feature.visual("v"),)
+    assert obj.features_of_type(FeatureType.USER) == (Feature.user("u"),)
+
+
+def test_restricted_to_keeps_id_timestamp():
+    obj = MediaObject.build("o", tags=["a"], users=["u"], timestamp=4)
+    r = obj.restricted_to([FeatureType.TEXT])
+    assert r.object_id == "o"
+    assert r.timestamp == 4
+    assert set(r) == {Feature.text("a")}
+
+
+def test_restricted_to_multiple_types():
+    obj = MediaObject.build("o", tags=["a"], visual_words=["v"], users=["u"])
+    r = obj.restricted_to([FeatureType.TEXT, FeatureType.USER])
+    assert Feature.visual("v") not in r
+    assert len(r.distinct_features()) == 2
+
+
+def test_rejects_nonpositive_counts():
+    with pytest.raises(ValueError):
+        MediaObject(object_id="o", features={Feature.text("a"): 0})
+
+
+def test_rejects_non_feature_keys():
+    with pytest.raises(TypeError):
+        MediaObject(object_id="o", features={"a": 1})
+
+
+def test_describe_mentions_all_modalities():
+    obj = MediaObject.build("o", tags=["a"], visual_words=["v"], users=["u"], timestamp=2)
+    text = obj.describe()
+    assert "o" in text and "t=2" in text
+    for part in ("text", "visual", "user"):
+        assert part in text
+
+
+def test_all_types_constant():
+    assert ALL_TYPES == (FeatureType.TEXT, FeatureType.VISUAL, FeatureType.USER)

@@ -1,0 +1,54 @@
+"""Parallel exact scan: equivalence with the serial scan."""
+
+import pytest
+
+from repro.core.parallel import ParallelScanner
+
+
+def _rounded(results):
+    return [(r.object_id, round(r.score, 9)) for r in results]
+
+
+def test_single_worker_matches_scan_mode(engine, tiny_corpus):
+    scanner = ParallelScanner(engine, n_workers=1)
+    query = tiny_corpus[0]
+    assert _rounded(scanner.search(query, k=8)) == _rounded(
+        engine.search(query, k=8, mode="scan")
+    )
+
+
+def test_two_workers_match_scan_mode(engine, tiny_corpus):
+    scanner = ParallelScanner(engine, n_workers=2)
+    query = tiny_corpus[3]
+    assert _rounded(scanner.search(query, k=8)) == _rounded(
+        engine.search(query, k=8, mode="scan")
+    )
+
+
+def test_exclude_query(engine, tiny_corpus):
+    scanner = ParallelScanner(engine, n_workers=1)
+    query = tiny_corpus[0]
+    assert query.object_id not in {r.object_id for r in scanner.search(query, k=20)}
+    included = scanner.search(query, k=1, exclude_query=False)
+    assert included[0].object_id == query.object_id
+
+
+def test_small_corpus_runs_inline(engine, tiny_corpus):
+    # fewer objects than 2*workers: the pool must be skipped
+    scanner = ParallelScanner(engine, n_workers=1000)
+    assert scanner.search(tiny_corpus[0], k=3)
+
+
+def test_invalid_workers(engine):
+    with pytest.raises(ValueError):
+        ParallelScanner(engine, n_workers=0)
+
+
+def test_default_workers_positive(engine):
+    assert ParallelScanner(engine).n_workers >= 1
+
+
+def test_split_covers_everything(engine, tiny_corpus):
+    shards = ParallelScanner._split(list(tiny_corpus), 3)
+    flattened = [o.object_id for shard in shards for o in shard]
+    assert flattened == [o.object_id for o in tiny_corpus]

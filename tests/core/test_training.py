@@ -1,0 +1,119 @@
+"""Coordinate-ascent training and threshold sweeps."""
+
+import pytest
+
+from repro.core.mrf import MRFParameters
+from repro.core.training import CoordinateAscentTrainer, train_edge_threshold
+
+
+def test_finds_known_optimum_alpha():
+    """Objective peaked at alpha=0.7: the trainer must land there."""
+
+    def objective(params: MRFParameters) -> float:
+        return 1.0 - abs(params.alpha - 0.7)
+
+    trainer = CoordinateAscentTrainer(objective, alpha_grid=(0.1, 0.3, 0.5, 0.7, 0.9))
+    result = trainer.train()
+    assert result.params.alpha == 0.7
+    assert result.objective == pytest.approx(1.0)
+
+
+def test_finds_known_optimum_lambda_profile():
+    """Objective rewards all weight on pair cliques."""
+
+    def objective(params: MRFParameters) -> float:
+        return params.lambdas.get(2, 0.0)
+
+    result = CoordinateAscentTrainer(objective).train()
+    assert result.params.lambdas[2] == pytest.approx(max(result.params.lambdas.values()))
+    assert result.params.lambdas[2] > 0.9
+
+
+def test_lambdas_stay_normalized():
+    def objective(params: MRFParameters) -> float:
+        return params.lambdas.get(1, 0.0) + 0.5 * params.lambdas.get(3, 0.0)
+
+    result = CoordinateAscentTrainer(objective).train()
+    assert sum(result.params.lambdas.values()) == pytest.approx(1.0)
+
+
+def test_history_records_improvements():
+    def objective(params: MRFParameters) -> float:
+        return 1.0 - abs(params.alpha - 0.9)
+
+    result = CoordinateAscentTrainer(objective, alpha_grid=(0.5, 0.9)).train()
+    assert result.n_steps >= 1
+    assert result.history[-1].objective == result.objective
+    # objectives along the history are non-decreasing
+    objectives = [s.objective for s in result.history]
+    assert objectives == sorted(objectives)
+
+
+def test_stops_when_no_improvement():
+    calls = []
+
+    def objective(params: MRFParameters) -> float:
+        calls.append(1)
+        return 0.5  # flat surface
+
+    CoordinateAscentTrainer(objective, max_rounds=10).train()
+    # 1 initial + one pass over coordinates: flat -> stops after round 1
+    per_round = 3 * 8 + 5  # lambda grid per size + alpha grid (some skipped)
+    assert len(calls) <= 1 + per_round + 1
+
+
+def test_delta_trained_only_when_grid_given():
+    def objective(params: MRFParameters) -> float:
+        return 1.0 - abs(params.delta - 0.4)
+
+    untouched = CoordinateAscentTrainer(objective).train()
+    assert untouched.params.delta == 1.0  # default, never explored
+
+    trained = CoordinateAscentTrainer(objective, delta_grid=(1.0, 0.6, 0.4)).train()
+    assert trained.params.delta == 0.4
+
+
+def test_initial_params_respected():
+    def objective(params: MRFParameters) -> float:
+        return 0.0  # flat: initial point survives
+
+    initial = MRFParameters(lambdas={1: 0.5, 2: 0.5}, alpha=0.3)
+    result = CoordinateAscentTrainer(objective).train(initial)
+    assert result.params.alpha == 0.3
+    assert set(result.params.lambdas) == {1, 2}
+
+
+def test_invalid_max_rounds():
+    with pytest.raises(ValueError):
+        CoordinateAscentTrainer(lambda p: 0.0, max_rounds=0)
+
+
+def test_train_edge_threshold_picks_best():
+    best, score = train_edge_threshold(lambda t: -abs(t - 0.3), grid=(0.1, 0.3, 0.5))
+    assert best == 0.3
+    assert score == 0.0
+
+
+def test_train_edge_threshold_empty_grid():
+    with pytest.raises(ValueError):
+        train_edge_threshold(lambda t: t, grid=())
+
+
+def test_end_to_end_training_improves_or_matches(engine, tiny_corpus):
+    """Training on the real engine never returns a worse objective than
+    the starting point."""
+    from repro.eval.oracle import TopicOracle
+    from repro.eval.protocol import evaluate_retrieval, sample_queries
+
+    oracle = TopicOracle(tiny_corpus)
+    queries = sample_queries(tiny_corpus, n_queries=4, seed=3)
+
+    def objective(params: MRFParameters) -> float:
+        system = engine.with_params(params)
+        return evaluate_retrieval(system, queries, oracle, cutoffs=(5,))[5]
+
+    baseline = objective(MRFParameters())
+    result = CoordinateAscentTrainer(
+        objective, lambda_grid=(0.1, 0.85), alpha_grid=(0.3, 0.7), max_rounds=1
+    ).train()
+    assert result.objective >= baseline

@@ -1,0 +1,112 @@
+"""Rank metrics: exact values and properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.eval.metrics import (
+    average_precision,
+    mean_average_precision,
+    ndcg_at_n,
+    precision_at_n,
+    recall_at_n,
+    reciprocal_rank,
+)
+
+REL = {"r1", "r2", "r3"}
+
+
+def is_rel(oid):
+    return oid in REL
+
+
+def test_precision_at_n_exact():
+    ranked = ["r1", "x", "r2", "y", "z"]
+    assert precision_at_n(ranked, is_rel, 1) == 1.0
+    assert precision_at_n(ranked, is_rel, 2) == 0.5
+    assert precision_at_n(ranked, is_rel, 5) == pytest.approx(0.4)
+
+
+def test_precision_short_list_penalized():
+    assert precision_at_n(["r1"], is_rel, 10) == pytest.approx(0.1)
+
+
+def test_precision_invalid_n():
+    with pytest.raises(ValueError):
+        precision_at_n([], is_rel, 0)
+
+
+def test_recall_at_n():
+    ranked = ["r1", "x", "r2"]
+    assert recall_at_n(ranked, is_rel, 3, n_relevant=3) == pytest.approx(2 / 3)
+    assert recall_at_n(ranked, is_rel, 1, n_relevant=3) == pytest.approx(1 / 3)
+    assert recall_at_n(ranked, is_rel, 3, n_relevant=0) == 0.0
+
+
+def test_average_precision_exact():
+    ranked = ["r1", "x", "r2"]
+    # hits at ranks 1 and 3: (1/1 + 2/3) / 2 over retrieved relevant
+    assert average_precision(ranked, is_rel) == pytest.approx((1 + 2 / 3) / 2)
+
+
+def test_average_precision_with_total_relevant():
+    ranked = ["r1", "x", "r2"]
+    assert average_precision(ranked, is_rel, n_relevant=3) == pytest.approx((1 + 2 / 3) / 3)
+
+
+def test_average_precision_no_hits():
+    assert average_precision(["x", "y"], is_rel) == 0.0
+
+
+def test_map_averages():
+    rankings = [["r1"], ["x"]]
+    fns = [is_rel, is_rel]
+    assert mean_average_precision(rankings, fns) == pytest.approx(0.5)
+
+
+def test_map_validates_alignment():
+    with pytest.raises(ValueError):
+        mean_average_precision([["a"]], [is_rel, is_rel])
+
+
+def test_map_empty():
+    assert mean_average_precision([], []) == 0.0
+
+
+def test_ndcg_perfect_ranking_is_one():
+    assert ndcg_at_n(["r1", "r2", "x"], is_rel, 3) == pytest.approx(1.0)
+
+
+def test_ndcg_penalizes_late_hits():
+    early = ndcg_at_n(["r1", "x", "y"], is_rel, 3)
+    late = ndcg_at_n(["x", "y", "r1"], is_rel, 3)
+    assert early > late > 0
+
+
+def test_ndcg_no_hits():
+    assert ndcg_at_n(["x"], is_rel, 5) == 0.0
+
+
+def test_reciprocal_rank():
+    assert reciprocal_rank(["x", "r1"], is_rel) == 0.5
+    assert reciprocal_rank(["r2"], is_rel) == 1.0
+    assert reciprocal_rank(["x"], is_rel) == 0.0
+
+
+@given(st.lists(st.sampled_from(["r1", "r2", "x", "y", "z"]), unique=True, min_size=1),
+       st.integers(1, 10))
+def test_precision_bounds(ranked, n):
+    value = precision_at_n(ranked, is_rel, n)
+    assert 0.0 <= value <= 1.0
+
+
+@given(st.lists(st.sampled_from(["r1", "r2", "r3", "x", "y"]), unique=True, min_size=1))
+def test_ndcg_bounds(ranked):
+    assert 0.0 <= ndcg_at_n(ranked, is_rel, len(ranked)) <= 1.0
+
+
+@given(st.lists(st.sampled_from(["r1", "r2", "x", "y"]), unique=True, min_size=2))
+def test_precision_monotone_prefix_consistency(ranked):
+    """P@n * n (hit count) is non-decreasing in n."""
+    hits = [precision_at_n(ranked, is_rel, n) * n for n in range(1, len(ranked) + 1)]
+    assert all(b >= a - 1e-9 for a, b in zip(hits, hits[1:]))

@@ -1,0 +1,87 @@
+"""Relevance oracles."""
+
+from repro.core.objects import MediaObject
+from repro.eval.oracle import FavoriteOracle, TopicOracle
+from repro.social.corpus import Corpus, FavoriteEvent
+from repro.social.temporal import MonthWindow
+from repro.social.users import SocialGraph
+
+
+def make_corpus():
+    objects = [
+        MediaObject.build("o1", tags=["a"], timestamp=0),
+        MediaObject.build("o2", tags=["b"], timestamp=1),
+        MediaObject.build("o3", tags=["c"], timestamp=4),
+        MediaObject.build("o4", tags=["d"], timestamp=5),
+    ]
+    return Corpus(
+        objects=objects,
+        social=SocialGraph({}),
+        topics_of={"o1": (0,), "o2": (0, 1), "o3": (2,), "o4": (1,)},
+        favorites=[
+            FavoriteEvent("alice", "o1", 0),
+            FavoriteEvent("alice", "o3", 4),
+            FavoriteEvent("bob", "o4", 5),
+        ],
+        n_months=6,
+    )
+
+
+def test_topic_oracle_shared_topic():
+    oracle = TopicOracle(make_corpus())
+    assert oracle.relevant("o1", "o2")       # share topic 0
+    assert oracle.relevant("o2", "o4")       # share topic 1
+    assert not oracle.relevant("o1", "o3")
+
+
+def test_topic_oracle_symmetry():
+    oracle = TopicOracle(make_corpus())
+    assert oracle.relevant("o1", "o2") == oracle.relevant("o2", "o1")
+
+
+def test_topic_oracle_unknown_objects_never_relevant():
+    oracle = TopicOracle(make_corpus())
+    assert not oracle.relevant("ghost", "o1")
+    assert not oracle.relevant("o1", "ghost")
+
+
+def test_topic_oracle_relevance_fn():
+    oracle = TopicOracle(make_corpus())
+    fn = oracle.relevance_fn("o1")
+    assert fn("o2") and not fn("o3")
+
+
+def test_topic_oracle_n_relevant():
+    oracle = TopicOracle(make_corpus())
+    assert oracle.n_relevant("o1") == 1          # o2 only (self excluded)
+    assert oracle.n_relevant("o1", exclude_self=False) == 2
+
+
+def test_favorite_oracle_window_filter():
+    corpus = make_corpus()
+    oracle = FavoriteOracle(corpus, MonthWindow(3, 6))
+    assert oracle.relevant("alice", "o3")
+    assert not oracle.relevant("alice", "o1")  # outside window
+    assert oracle.relevant("bob", "o4")
+
+
+def test_favorite_oracle_unknown_user():
+    oracle = FavoriteOracle(make_corpus(), MonthWindow(0, 6))
+    assert not oracle.relevant("carol", "o1")
+    assert oracle.n_relevant("carol") == 0
+
+
+def test_favorite_oracle_users():
+    oracle = FavoriteOracle(make_corpus(), MonthWindow(3, 6))
+    assert oracle.users() == ("alice", "bob")
+
+
+def test_favorite_oracle_n_relevant():
+    oracle = FavoriteOracle(make_corpus(), MonthWindow(0, 6))
+    assert oracle.n_relevant("alice") == 2
+
+
+def test_favorite_oracle_relevance_fn():
+    oracle = FavoriteOracle(make_corpus(), MonthWindow(3, 6))
+    fn = oracle.relevance_fn("alice")
+    assert fn("o3") and not fn("o4")

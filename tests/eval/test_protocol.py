@@ -1,0 +1,114 @@
+"""Experiment protocol helpers."""
+
+import pytest
+
+from repro.core.mrf import MRFParameters
+from repro.core.retrieval import RankedResult
+from repro.eval.oracle import TopicOracle
+from repro.eval.protocol import (
+    PrecisionReport,
+    evaluate_recommendation,
+    evaluate_retrieval,
+    make_retrieval_objective,
+    sample_queries,
+)
+
+
+class StubSystem:
+    """Returns a fixed ranking regardless of query."""
+
+    def __init__(self, ranking):
+        self._ranking = ranking
+
+    def search(self, query, k=10):
+        return [RankedResult(object_id=o, score=1.0 / (i + 1)) for i, o in enumerate(self._ranking[:k])]
+
+
+class StubRecommender:
+    def __init__(self, rankings):
+        self._rankings = rankings
+
+    def recommend(self, user, k=10):
+        if user not in self._rankings:
+            raise ValueError("no profile")
+        return [RankedResult(object_id=o, score=1.0) for o in self._rankings[user][:k]]
+
+
+def test_sample_queries_deterministic(tiny_corpus):
+    a = sample_queries(tiny_corpus, n_queries=5, seed=9)
+    b = sample_queries(tiny_corpus, n_queries=5, seed=9)
+    assert [o.object_id for o in a] == [o.object_id for o in b]
+
+
+def test_sample_queries_respects_min_features(tiny_corpus):
+    queries = sample_queries(tiny_corpus, n_queries=10, seed=1, min_features=8)
+    assert all(len(q.distinct_features()) >= 8 for q in queries)
+
+
+def test_sample_queries_caps_at_population(tiny_corpus):
+    queries = sample_queries(tiny_corpus, n_queries=10_000, seed=0)
+    assert len(queries) <= len(tiny_corpus)
+
+
+def test_sample_queries_impossible_filter(tiny_corpus):
+    with pytest.raises(ValueError):
+        sample_queries(tiny_corpus, min_features=10_000)
+
+
+def test_evaluate_retrieval_exact(tiny_corpus):
+    oracle = TopicOracle(tiny_corpus)
+    query = tiny_corpus[0]
+    relevant = [
+        o.object_id
+        for o in tiny_corpus
+        if oracle.relevant(query.object_id, o.object_id) and o.object_id != query.object_id
+    ]
+    irrelevant = [
+        o.object_id for o in tiny_corpus if not oracle.relevant(query.object_id, o.object_id)
+    ]
+    system = StubSystem(relevant[:2] + irrelevant[:2])
+    report = evaluate_retrieval(system, [query], oracle, cutoffs=(2, 4))
+    assert report[2] == 1.0
+    assert report[4] == 0.5
+
+
+def test_evaluate_retrieval_requires_queries(tiny_corpus):
+    with pytest.raises(ValueError):
+        evaluate_retrieval(StubSystem([]), [], TopicOracle(tiny_corpus))
+
+
+def test_report_format_row():
+    report = PrecisionReport(precision={5: 0.5, 10: 0.25})
+    row = report.format_row("X")
+    assert "P@5=0.500" in row and "P@10=0.250" in row
+
+
+def test_evaluate_recommendation_skips_unservable(rec_corpus):
+    from repro.eval.oracle import FavoriteOracle
+    from repro.social.temporal import TemporalSplit
+
+    split = TemporalSplit.paper_default(rec_corpus.n_months)
+    oracle = FavoriteOracle(rec_corpus, split.evaluation)
+    users = list(oracle.users())
+    rankings = {users[0]: [e.object_id for e in rec_corpus.favorites_of(users[0], split.evaluation)][:10]}
+    system = StubRecommender(rankings)
+    report = evaluate_recommendation(system, users, oracle, cutoffs=(5,))
+    # only the servable user is averaged; their list is all relevant
+    assert report[5] == 1.0
+
+
+def test_evaluate_recommendation_no_servable_user(rec_corpus):
+    from repro.eval.oracle import FavoriteOracle
+    from repro.social.temporal import MonthWindow
+
+    oracle = FavoriteOracle(rec_corpus, MonthWindow(3, 6))
+    with pytest.raises(ValueError):
+        evaluate_recommendation(StubRecommender({}), ["x"], oracle)
+
+
+def test_make_retrieval_objective(engine, tiny_corpus):
+    oracle = TopicOracle(tiny_corpus)
+    queries = sample_queries(tiny_corpus, n_queries=3, seed=2)
+    objective = make_retrieval_objective(engine.with_params, queries, oracle, cutoff=5)
+    value = objective(MRFParameters())
+    assert 0.0 <= value <= 1.0

@@ -1,0 +1,90 @@
+"""Paired significance tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.significance import (
+    ComparisonResult,
+    paired_bootstrap_ci,
+    paired_permutation_test,
+)
+
+
+def test_identical_samples_not_significant():
+    a = [0.5, 0.6, 0.7, 0.4]
+    result = paired_permutation_test(a, a)
+    assert result.mean_difference == 0.0
+    assert result.p_value > 0.9
+    assert not result.significant
+
+
+def test_clear_difference_is_significant():
+    rng = np.random.default_rng(1)
+    b = rng.uniform(0.3, 0.5, size=40)
+    a = b + 0.2  # consistent +0.2 advantage
+    result = paired_permutation_test(a, b)
+    assert result.significant
+    assert result.mean_difference == pytest.approx(0.2)
+
+
+def test_two_sided():
+    rng = np.random.default_rng(2)
+    a = rng.uniform(0.3, 0.5, size=40)
+    b = a + 0.2
+    result = paired_permutation_test(a, b)
+    assert result.significant
+    assert result.mean_difference == pytest.approx(-0.2)
+
+
+def test_p_value_never_zero():
+    a = [1.0] * 10
+    b = [0.0] * 10
+    result = paired_permutation_test(a, b, n_permutations=100)
+    assert 0 < result.p_value <= 1
+
+
+def test_validates_input():
+    with pytest.raises(ValueError):
+        paired_permutation_test([1.0], [1.0, 2.0])
+    with pytest.raises(ValueError):
+        paired_permutation_test([], [])
+
+
+def test_deterministic_given_seed():
+    a = [0.5, 0.7, 0.6]
+    b = [0.4, 0.8, 0.5]
+    r1 = paired_permutation_test(a, b, seed=9)
+    r2 = paired_permutation_test(a, b, seed=9)
+    assert r1.p_value == r2.p_value
+
+
+def test_format_row():
+    result = ComparisonResult(0.5, 0.4, 0.1, 0.01, 20)
+    row = result.format_row("FIG vs LSA")
+    assert "FIG vs LSA" in row and "p=0.0100*" in row
+
+
+def test_bootstrap_ci_contains_true_difference():
+    rng = np.random.default_rng(3)
+    b = rng.uniform(0.0, 1.0, size=200)
+    a = b + 0.15 + rng.normal(0, 0.02, size=200)
+    lo, hi = paired_bootstrap_ci(a, b)
+    assert lo < 0.15 < hi
+    assert hi - lo < 0.05  # tight with 200 pairs and small noise
+
+
+def test_bootstrap_ci_validation():
+    with pytest.raises(ValueError):
+        paired_bootstrap_ci([1.0], [1.0], confidence=1.5)
+    with pytest.raises(ValueError):
+        paired_bootstrap_ci([], [])
+
+
+@settings(deadline=None, max_examples=20)
+@given(st.lists(st.floats(0, 1, allow_nan=False, width=32), min_size=2, max_size=30))
+def test_p_value_in_unit_interval(values):
+    shifted = [v * 0.9 for v in values]
+    result = paired_permutation_test(values, shifted, n_permutations=200)
+    assert 0 < result.p_value <= 1

@@ -1,0 +1,49 @@
+"""Timing harness."""
+
+import time
+
+import pytest
+
+from repro.core.retrieval import RankedResult
+from repro.eval.timing import TimingReport, time_per_query
+
+
+class SleepySystem:
+    def __init__(self, seconds):
+        self._seconds = seconds
+        self.calls = 0
+
+    def search(self, query, k=10):
+        self.calls += 1
+        time.sleep(self._seconds)
+        return [RankedResult(object_id="x", score=1.0)]
+
+
+def test_measures_positive_latency():
+    report = time_per_query(SleepySystem(0.002), queries=["q1", "q2"], warmup=False)
+    assert report.mean >= 0.002
+    assert report.minimum <= report.mean <= report.maximum
+    assert report.n_queries == 2
+
+
+def test_warmup_adds_one_call():
+    system = SleepySystem(0.0)
+    time_per_query(system, queries=["q1", "q2"], warmup=True)
+    assert system.calls == 3
+
+
+def test_no_warmup():
+    system = SleepySystem(0.0)
+    time_per_query(system, queries=["q1"], warmup=False)
+    assert system.calls == 1
+
+
+def test_requires_queries():
+    with pytest.raises(ValueError):
+        time_per_query(SleepySystem(0.0), queries=[])
+
+
+def test_format_row_mentions_stats():
+    report = TimingReport(mean=0.001, minimum=0.0005, maximum=0.002, n_queries=3)
+    row = report.format_row("FIG")
+    assert "FIG" in row and "mean=" in row and "ms" in row

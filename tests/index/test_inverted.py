@@ -1,0 +1,96 @@
+"""Clique inverted index: correctness of postings against FIGs."""
+
+import pytest
+
+from repro.core.cliques import Clique
+from repro.core.fig import FeatureInteractionGraph
+from repro.core.objects import Feature
+from repro.index.inverted import CliqueInvertedIndex
+
+T = Feature.text
+
+
+@pytest.fixture(scope="module")
+def built(tiny_corpus, correlations):
+    index = CliqueInvertedIndex(correlations, max_clique_size=3)
+    index.build(tiny_corpus)
+    return index
+
+
+def test_counts(built, tiny_corpus):
+    assert built.n_objects == len(tiny_corpus)
+    assert len(built) > 0
+
+
+def test_every_object_clique_indexed(built, tiny_corpus, correlations):
+    """Cross-check a few objects: each of their cliques' postings must
+    contain the object."""
+    for obj in list(tiny_corpus)[:5]:
+        fig = FeatureInteractionGraph.from_object(obj, correlations)
+        for clique in fig.cliques(max_size=3):
+            posting = built.lookup(clique)
+            assert posting is not None
+            assert obj.object_id in posting
+
+
+def test_lookup_unknown_clique(built):
+    assert built.lookup(Clique((T("never-seen"),))) is None
+    assert Clique((T("never-seen"),)) not in built
+
+
+def test_lookup_fills_cors_lazily(built, tiny_corpus, correlations):
+    fig = FeatureInteractionGraph.from_object(tiny_corpus[0], correlations)
+    clique = fig.cliques(max_size=1)[0]
+    posting = built.lookup(clique)
+    assert posting.cors is not None
+    assert posting.cors == pytest.approx(correlations.cors(clique.features))
+
+
+def test_lookup_by_key_string(built, tiny_corpus, correlations):
+    fig = FeatureInteractionGraph.from_object(tiny_corpus[0], correlations)
+    clique = fig.cliques(max_size=1)[0]
+    assert built.lookup(clique.key) is built.lookup(clique)
+
+
+def test_candidates_union(built, tiny_corpus, correlations):
+    fig = FeatureInteractionGraph.from_object(tiny_corpus[0], correlations)
+    cliques = fig.cliques(max_size=2)
+    candidates = built.candidates(cliques)
+    assert tiny_corpus[0].object_id in candidates
+    # union over per-clique postings
+    manual = set()
+    for c in cliques:
+        posting = built.lookup(c)
+        if posting:
+            manual.update(posting.object_ids)
+    assert candidates == manual
+
+
+def test_postings_have_no_duplicates(built):
+    for posting in built.iter_postings():
+        ids = posting.object_ids
+        assert len(ids) == len(set(ids))
+
+
+def test_stats_consistent(built):
+    stats = built.stats()
+    assert stats["n_objects"] == built.n_objects
+    assert stats["n_cliques"] == len(built)
+    assert stats["total_postings"] >= stats["n_cliques"]
+    assert stats["max_posting_length"] >= stats["avg_posting_length"]
+
+
+def test_incremental_add(tiny_corpus, correlations):
+    index = CliqueInvertedIndex(correlations, max_clique_size=2)
+    n1 = index.add_object(tiny_corpus[0])
+    assert n1 > 0
+    assert index.n_objects == 1
+    index.add_object(tiny_corpus[1])
+    assert index.n_objects == 2
+
+
+def test_max_clique_size_respected(tiny_corpus, correlations):
+    index = CliqueInvertedIndex(correlations, max_clique_size=1)
+    index.build(list(tiny_corpus)[:10])
+    for posting in index.iter_postings():
+        assert "|" not in posting.key  # singletons only

@@ -1,0 +1,40 @@
+"""Posting list semantics."""
+
+from repro.index.postings import Posting
+
+
+def test_add_and_iterate_in_order():
+    p = Posting("T:a")
+    p.add("o1")
+    p.add("o2")
+    assert list(p) == ["o1", "o2"]
+    assert p.object_ids == ("o1", "o2")
+
+
+def test_tail_dedup():
+    p = Posting("T:a")
+    p.add("o1")
+    p.add("o1")  # repeated tail add must not duplicate
+    assert len(p) == 1
+
+
+def test_contains():
+    p = Posting("T:a")
+    p.add("o1")
+    assert "o1" in p
+    assert "o2" not in p
+
+
+def test_cors_lazy_then_set():
+    p = Posting("T:a")
+    assert p.cors is None
+    p.set_cors(0.75)
+    assert p.cors == 0.75
+
+
+def test_cors_eager():
+    assert Posting("T:a", cors=0.5).cors == 0.5
+
+
+def test_key():
+    assert Posting("T:a|U:u").key == "T:a|U:u"

@@ -1,0 +1,103 @@
+"""Fagin's Threshold Algorithm: exactness vs brute force + early stop."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.threshold import SortedListSource, sorted_access_count, threshold_algorithm
+
+
+def _brute_force_topk(sources, k):
+    ids = set()
+    for s in sources:
+        ids.update(oid for oid, _ in (s.entry(i) for i in range(len(s))))
+    totals = {oid: sum(s.score(oid) for s in sources) for oid in ids}
+    ranked = sorted(totals.items(), key=lambda kv: (-kv[1], kv[0]))
+    return ranked[:k]
+
+
+def test_single_source():
+    src = SortedListSource([("a", 3.0), ("b", 1.0), ("c", 2.0)])
+    assert threshold_algorithm([src], k=2) == [("a", 3.0), ("c", 2.0)]
+
+
+def test_missing_scores_zero():
+    s1 = SortedListSource([("a", 1.0), ("b", 0.5)])
+    s2 = SortedListSource([("b", 1.0)])
+    result = threshold_algorithm([s1, s2], k=2)
+    assert result[0] == ("b", 1.5)
+    assert result[1] == ("a", 1.0)
+
+
+def test_k_larger_than_universe():
+    src = SortedListSource([("a", 1.0)])
+    assert threshold_algorithm([src], k=10) == [("a", 1.0)]
+
+
+def test_empty_sources():
+    assert threshold_algorithm([], k=3) == []
+    assert threshold_algorithm([SortedListSource([])], k=3) == []
+
+
+def test_invalid_k():
+    with pytest.raises(ValueError):
+        threshold_algorithm([SortedListSource([])], k=0)
+
+
+def test_duplicate_ids_in_source_rejected():
+    with pytest.raises(ValueError):
+        SortedListSource([("a", 1.0), ("a", 2.0)])
+
+
+def test_source_sorted_access():
+    src = SortedListSource([("a", 1.0), ("b", 3.0), ("c", 2.0)])
+    assert src.entry(0) == ("b", 3.0)
+    assert src.entry(1) == ("c", 2.0)
+    assert src.score("a") == 1.0
+    assert src.score("zzz") == 0.0
+
+
+def test_early_termination_depth():
+    """One dominant object lets TA stop far before exhausting lists."""
+    n = 100
+    s1 = SortedListSource([("top", 100.0)] + [(f"x{i}", 1.0 - i * 1e-4) for i in range(n)])
+    s2 = SortedListSource([("top", 100.0)] + [(f"x{i}", 1.0 - i * 1e-4) for i in range(n)])
+    depth = sorted_access_count([s1, s2], k=1)
+    assert depth <= 3
+
+
+def test_results_sorted_and_unique():
+    sources = [
+        SortedListSource([(f"o{i}", float(i % 7)) for i in range(20)]),
+        SortedListSource([(f"o{i}", float((i * 3) % 5)) for i in range(0, 20, 2)]),
+    ]
+    result = threshold_algorithm(sources, k=10)
+    ids = [oid for oid, _ in result]
+    scores = [s for _, s in result]
+    assert len(ids) == len(set(ids))
+    assert scores == sorted(scores, reverse=True)
+
+
+@settings(deadline=None, max_examples=60)
+@given(st.data())
+def test_matches_brute_force(data):
+    """TA returns exactly the brute-force top-k (scores always; ids up
+    to ties at the k-th score)."""
+    n_sources = data.draw(st.integers(1, 4))
+    universe = [f"o{i}" for i in range(data.draw(st.integers(1, 15)))]
+    sources = []
+    for _ in range(n_sources):
+        members = data.draw(st.lists(st.sampled_from(universe), unique=True, min_size=0))
+        entries = [
+            (m, data.draw(st.floats(0.0, 10.0, allow_nan=False, width=32))) for m in members
+        ]
+        sources.append(SortedListSource(entries))
+    k = data.draw(st.integers(1, 10))
+    got = threshold_algorithm(sources, k=k)
+    expected = _brute_force_topk(sources, k)
+    assert [s for _, s in got] == pytest.approx([s for _, s in expected])
+    # ids must agree wherever scores are strictly distinct
+    exp_scores = [s for _, s in expected]
+    for i, (oid, score) in enumerate(got):
+        if exp_scores.count(score) == 1:
+            assert oid == expected[i][0]

@@ -1,0 +1,115 @@
+"""Corpus container: access, subsets, windows, favorites."""
+
+import pytest
+
+from repro.core.objects import FeatureType, MediaObject
+from repro.social.corpus import Corpus, FavoriteEvent
+from repro.social.temporal import MonthWindow
+from repro.social.users import SocialGraph
+
+
+def make_corpus():
+    objects = [
+        MediaObject.build("o1", tags=["sun"], users=["u1"], timestamp=0),
+        MediaObject.build("o2", tags=["sea"], users=["u2"], timestamp=1),
+        MediaObject.build("o3", tags=["sun", "sea"], users=["u1"], timestamp=2),
+    ]
+    favorites = [
+        FavoriteEvent("alice", "o1", 0),
+        FavoriteEvent("alice", "o3", 2),
+        FavoriteEvent("bob", "o2", 1),
+    ]
+    return Corpus(
+        objects=objects,
+        social=SocialGraph({"u1": ["g"], "u2": ["g"]}),
+        topics_of={"o1": (0,), "o2": (1,), "o3": (0, 1)},
+        favorites=favorites,
+        n_months=3,
+    )
+
+
+def test_basic_access():
+    c = make_corpus()
+    assert len(c) == 3
+    assert c[0].object_id == "o1"
+    assert c.get("o2").object_id == "o2"
+    assert c.index_of("o3") == 2
+    assert "o1" in c and "ghost" not in c
+
+
+def test_duplicate_ids_rejected():
+    obj = MediaObject.build("dup", tags=["x"])
+    with pytest.raises(ValueError):
+        Corpus(objects=[obj, obj], social=SocialGraph({}))
+
+
+def test_unknown_favorite_object_rejected():
+    with pytest.raises(ValueError):
+        Corpus(
+            objects=[MediaObject.build("o1", tags=["x"])],
+            social=SocialGraph({}),
+            favorites=[FavoriteEvent("a", "ghost", 0)],
+        )
+
+
+def test_topics_lookup():
+    c = make_corpus()
+    assert c.topics("o3") == (0, 1)
+    assert c.topics("ghost") == ()
+
+
+def test_favorites_of_with_window():
+    c = make_corpus()
+    events = c.favorites_of("alice", window=MonthWindow(0, 1))
+    assert [e.object_id for e in events] == ["o1"]
+    all_events = c.favorites_of("alice")
+    assert [e.object_id for e in all_events] == ["o1", "o3"]
+
+
+def test_favorites_sorted_by_month():
+    c = make_corpus()
+    events = c.favorites_of("alice")
+    assert [e.month for e in events] == sorted(e.month for e in events)
+
+
+def test_favorite_users():
+    assert make_corpus().favorite_users() == ("alice", "bob")
+
+
+def test_objects_in_window():
+    c = make_corpus()
+    assert [o.object_id for o in c.objects_in_window(MonthWindow(1, 3))] == ["o2", "o3"]
+
+
+def test_subset_is_prefix_and_drops_dangling_favorites():
+    c = make_corpus()
+    sub = c.subset(2)
+    assert len(sub) == 2
+    assert [o.object_id for o in sub] == ["o1", "o2"]
+    assert all(e.object_id in ("o1", "o2") for e in sub.favorites)
+    assert sub.topics("o1") == (0,)
+    assert sub.topics("o3") == ()
+
+
+def test_subset_bounds_checked():
+    c = make_corpus()
+    with pytest.raises(ValueError):
+        c.subset(0)
+    with pytest.raises(ValueError):
+        c.subset(4)
+
+
+def test_restricted_to_types_drops_other_modalities():
+    c = make_corpus()
+    text_only = c.restricted_to_types([FeatureType.TEXT])
+    for obj in text_only:
+        assert all(f.ftype == FeatureType.TEXT for f in obj.features)
+    # ground truth and favorites survive
+    assert text_only.topics("o1") == (0,)
+    assert len(text_only.favorites) == 3
+
+
+def test_restricted_preserves_ids_and_order():
+    c = make_corpus()
+    r = c.restricted_to_types([FeatureType.USER])
+    assert [o.object_id for o in r] == [o.object_id for o in c]

@@ -1,0 +1,241 @@
+"""Synthetic Flickr generator: structure, determinism, planted signal."""
+
+import numpy as np
+import pytest
+
+from repro.core.objects import FeatureType
+from repro.social.generator import GeneratorConfig, SyntheticFlickr
+from repro.social.temporal import TemporalSplit
+
+SMALL = GeneratorConfig(
+    n_objects=100,
+    n_topics=5,
+    n_users=40,
+    n_groups=10,
+    tags_per_topic=15,
+    n_common_tags=10,
+    n_noise_tags=20,
+    visual_words_per_topic=6,
+    n_common_visual_words=6,
+    n_noise_visual_words=10,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return SyntheticFlickr(SMALL, seed=9).generate_retrieval_corpus()
+
+
+def test_object_count(corpus):
+    assert len(corpus) == 100
+
+
+def test_every_object_has_all_context(corpus):
+    assert corpus.taxonomy is not None
+    assert corpus.codebook is not None
+    assert len(corpus.social.users) > 0
+
+
+def test_every_object_has_ground_truth(corpus):
+    for obj in corpus:
+        topics = corpus.topics(obj.object_id)
+        assert 1 <= len(topics) <= 2
+        assert all(0 <= t < SMALL.n_topics for t in topics)
+
+
+def test_objects_have_three_modalities_mostly(corpus):
+    with_all = sum(
+        1
+        for obj in corpus
+        if all(obj.features_of_type(t) for t in FeatureType)
+    )
+    assert with_all > len(corpus) * 0.8
+
+
+def test_timestamps_within_months(corpus):
+    assert all(0 <= obj.timestamp < SMALL.n_months for obj in corpus)
+
+
+def test_tags_are_in_taxonomy(corpus):
+    # Every topical or common tag must resolve in the taxonomy; only
+    # noise tags may be out (they are in the 'misc' category, so even
+    # they resolve).
+    for obj in list(corpus)[:20]:
+        for f in obj.features_of_type(FeatureType.TEXT):
+            assert f.name in corpus.taxonomy
+
+
+def test_visual_words_resolve_in_codebook(corpus):
+    n_words = len(corpus.codebook)
+    for obj in list(corpus)[:20]:
+        for f in obj.features_of_type(FeatureType.VISUAL):
+            assert f.name.startswith("vw")
+            assert 0 <= int(f.name[2:]) < n_words
+
+
+def test_users_resolve_in_social_graph(corpus):
+    known = set(corpus.social.users)
+    for obj in list(corpus)[:20]:
+        for f in obj.features_of_type(FeatureType.USER):
+            assert f.name in known
+
+
+def test_determinism_same_seed():
+    a = SyntheticFlickr(SMALL, seed=3).generate_retrieval_corpus()
+    b = SyntheticFlickr(SMALL, seed=3).generate_retrieval_corpus()
+    for oa, ob in zip(a, b):
+        assert oa.object_id == ob.object_id
+        assert oa.features == ob.features
+        assert oa.timestamp == ob.timestamp
+
+
+def test_different_seeds_differ():
+    a = SyntheticFlickr(SMALL, seed=3).generate_retrieval_corpus()
+    b = SyntheticFlickr(SMALL, seed=4).generate_retrieval_corpus()
+    assert any(oa.features != ob.features for oa, ob in zip(a, b))
+
+
+def test_same_topic_objects_share_more_tags(corpus):
+    """The planted signal: same-topic pairs overlap more than cross-topic."""
+    from collections import defaultdict
+
+    by_topic = defaultdict(list)
+    for obj in corpus:
+        by_topic[corpus.topics(obj.object_id)[0]].append(obj)
+    topics = [t for t, objs in by_topic.items() if len(objs) >= 3][:3]
+
+    def tag_overlap(a, b):
+        ta = {f.name for f in a.features_of_type(FeatureType.TEXT)}
+        tb = {f.name for f in b.features_of_type(FeatureType.TEXT)}
+        return len(ta & tb)
+
+    same = np.mean([
+        tag_overlap(by_topic[t][0], by_topic[t][1]) for t in topics
+    ])
+    cross = np.mean([
+        tag_overlap(by_topic[topics[i]][0], by_topic[topics[(i + 1) % len(topics)]][0])
+        for i in range(len(topics))
+    ])
+    assert same >= cross
+
+
+def test_validation_rejects_bad_config():
+    with pytest.raises(ValueError):
+        GeneratorConfig(n_objects=0)
+    with pytest.raises(ValueError):
+        GeneratorConfig(visual_mode="magic")
+    with pytest.raises(ValueError):
+        GeneratorConfig(text_noise=1.5)
+    with pytest.raises(ValueError):
+        GeneratorConfig(text_noise=0.5, text_common=0.4, text_confusion=0.3)
+    with pytest.raises(ValueError):
+        GeneratorConfig(visual_noise=0.6, visual_common=0.3, visual_confusion=0.3)
+
+
+# ----------------------------------------------------------------------
+# recommendation corpus
+# ----------------------------------------------------------------------
+REC = GeneratorConfig(
+    n_objects=150,
+    n_topics=5,
+    n_users=40,
+    n_groups=10,
+    tags_per_topic=15,
+    n_common_tags=10,
+    n_noise_tags=20,
+    visual_words_per_topic=6,
+    n_common_visual_words=6,
+    n_noise_visual_words=10,
+    n_tracked_users=4,
+)
+
+
+@pytest.fixture(scope="module")
+def rec_corpus():
+    return SyntheticFlickr(REC, seed=21).generate_recommendation_corpus()
+
+
+def test_rec_requires_tracked_users():
+    with pytest.raises(ValueError):
+        SyntheticFlickr(SMALL, seed=1).generate_recommendation_corpus()
+
+
+def test_rec_has_favorites_for_each_tracked_user(rec_corpus):
+    users = rec_corpus.favorite_users()
+    assert len(users) == REC.n_tracked_users
+    assert all(u.startswith("tracked") for u in users)
+
+
+def test_rec_favorites_reference_corpus_objects(rec_corpus):
+    for event in rec_corpus.favorites:
+        assert event.object_id in rec_corpus
+        assert 0 <= event.month < REC.n_months
+
+
+def test_rec_eval_window_favorites_hidden_from_features(rec_corpus):
+    """The leak-free protocol: a tracked user never appears in the
+    feature bag of an object they only favorited in the eval window."""
+    split = TemporalSplit.paper_default(rec_corpus.n_months)
+    profile_favs = {
+        (e.user, e.object_id) for e in rec_corpus.favorites if e.month in split.profile
+    }
+    for event in rec_corpus.favorites:
+        if event.month not in split.evaluation:
+            continue
+        if (event.user, event.object_id) in profile_favs:
+            continue  # visible via the profile-window event, fine
+        obj = rec_corpus.get(event.object_id)
+        users = {f.name for f in obj.features_of_type(FeatureType.USER)}
+        assert event.user not in users
+
+
+def test_rec_profile_window_favorites_visible(rec_corpus):
+    """Profile-window favoriting is public history: at least some
+    tracked users appear on the objects they favorited early."""
+    split = TemporalSplit.paper_default(rec_corpus.n_months)
+    visible = 0
+    for event in rec_corpus.favorites:
+        if event.month in split.profile:
+            obj = rec_corpus.get(event.object_id)
+            users = {f.name for f in obj.features_of_type(FeatureType.USER)}
+            if event.user in users:
+                visible += 1
+    assert visible > 0
+
+
+def test_rec_tracked_users_join_groups(rec_corpus):
+    for user in rec_corpus.favorite_users():
+        assert user in rec_corpus.social
+
+
+def test_rec_deterministic(rec_corpus):
+    again = SyntheticFlickr(REC, seed=21).generate_recommendation_corpus()
+    assert [e for e in again.favorites] == [e for e in rec_corpus.favorites]
+
+
+# ----------------------------------------------------------------------
+# render mode (full vision pipeline)
+# ----------------------------------------------------------------------
+def test_render_mode_runs_full_pipeline():
+    cfg = GeneratorConfig(
+        n_objects=10,
+        n_topics=3,
+        n_users=15,
+        n_groups=6,
+        tags_per_topic=10,
+        n_common_tags=5,
+        n_noise_tags=10,
+        visual_words_per_topic=4,
+        n_common_visual_words=4,
+        n_noise_visual_words=4,
+        visual_mode="render",
+        image_size=32,
+        block_size=16,
+    )
+    corpus = SyntheticFlickr(cfg, seed=2).generate_retrieval_corpus()
+    assert len(corpus) == 10
+    for obj in corpus:
+        visual = obj.features_of_type(FeatureType.VISUAL)
+        assert visual  # rendered, block-decomposed, quantized
+        total_blocks = sum(obj.frequency(f) for f in visual)
+        assert total_blocks == (32 // 16) ** 2

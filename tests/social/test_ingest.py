@@ -1,0 +1,147 @@
+"""Raw-record ingestion into a Corpus."""
+
+import pytest
+
+from repro.core.objects import Feature, FeatureType
+from repro.social.ingest import IngestConfig, IngestError, ingest_records
+
+RECORDS = [
+    {
+        "id": "img1",
+        "title": "Little muncher",
+        "description": "hamster eating broccoli",
+        "comments": ["what a cutie!"],
+        "tags": ["hamster", "broccoli", "pet"],
+        "uploader": "bunny",
+        "favorited_by": ["jen", "kiwi"],
+        "groups_of_users": {"bunny": ["hammie-lovers"], "jen": ["hammie-lovers"]},
+        "visual_words": [3, 3, 7],
+        "month": 1,
+    },
+    {
+        "id": "img2",
+        "title": "Hamster portrait",
+        "tags": ["hamster", "pet"],
+        "uploader": "bunny",
+        "month": 2,
+    },
+    {
+        "id": "img3",
+        "title": "City at night",
+        "tags": ["city", "night", "skyline"],
+        "uploader": "walker",
+        "favorited_by": ["jen"],
+        "month": 4,
+    },
+]
+
+
+@pytest.fixture(scope="module")
+def ingested():
+    return ingest_records(RECORDS, IngestConfig(min_tag_frequency=2))
+
+
+def test_all_records_ingested(ingested):
+    corpus, report = ingested
+    assert len(corpus) == 3
+    assert report.n_records == 3
+    assert report.n_skipped == 0
+
+
+def test_frequency_threshold_applied(ingested):
+    corpus, _ = ingested
+    img1 = corpus.get("img1")
+    # 'hamster' appears in all records (title+tags) -> kept (stemmed)
+    assert Feature.text("hamster") in img1
+    # 'broccoli' appears twice in img1 only... tags + description = 2 -> kept
+    assert Feature.text("broccoli") in img1
+
+
+def test_rare_terms_dropped(ingested):
+    corpus, report = ingested
+    img3 = corpus.get("img3")
+    # 'skyline' occurs once in the corpus: below min_tag_frequency=2
+    assert Feature.text("skylin") not in img3
+    assert Feature.text("skyline") not in img3
+    assert report.n_tag_occurrences_dropped > 0
+
+
+def test_stopwords_removed(ingested):
+    corpus, _ = ingested
+    img3 = corpus.get("img3")
+    assert Feature.text("at") not in img3
+
+
+def test_users_ingested(ingested):
+    corpus, _ = ingested
+    img1 = corpus.get("img1")
+    names = {f.name for f in img1.features_of_type(FeatureType.USER)}
+    assert names == {"bunny", "jen", "kiwi"}
+
+
+def test_visual_words_ingested_with_counts(ingested):
+    corpus, _ = ingested
+    img1 = corpus.get("img1")
+    assert img1.frequency(Feature.visual("vw3")) == 2
+    assert img1.frequency(Feature.visual("vw7")) == 1
+
+
+def test_months_preserved(ingested):
+    corpus, _ = ingested
+    assert corpus.get("img3").timestamp == 4
+
+
+def test_social_graph_built(ingested):
+    corpus, _ = ingested
+    assert corpus.social.share_group("bunny", "jen")
+    assert not corpus.social.share_group("bunny", "walker")
+    assert "kiwi" in corpus.social  # favoriter with no groups still known
+
+
+def test_duplicate_ids_skipped():
+    corpus, report = ingest_records(
+        [{"id": "a", "tags": ["x", "x"]}, {"id": "a", "tags": ["y"]}],
+        IngestConfig(min_tag_frequency=1),
+    )
+    assert len(corpus) == 1
+    assert report.n_skipped == 1
+    assert report.warnings
+
+
+def test_missing_id_skipped():
+    corpus, report = ingest_records([{"tags": ["x"]}], IngestConfig(min_tag_frequency=1))
+    assert len(corpus) == 0
+    assert report.n_skipped == 1
+
+
+def test_month_out_of_range_rejected():
+    with pytest.raises(IngestError):
+        ingest_records([{"id": "a", "month": 99}])
+
+
+def test_favorites_attached():
+    corpus, _ = ingest_records(
+        RECORDS,
+        IngestConfig(min_tag_frequency=1),
+        favorites=[{"user": "jen", "object": "img3", "month": 4}],
+    )
+    assert corpus.favorites_of("jen")[0].object_id == "img3"
+
+
+def test_comments_channel_optional():
+    with_comments, _ = ingest_records(
+        RECORDS, IngestConfig(min_tag_frequency=1, use_comments=True)
+    )
+    img1 = with_comments.get("img1")
+    assert Feature.text("cuti") in img1 or Feature.text("cutie") in img1
+
+
+def test_ingested_corpus_drives_engine():
+    """End to end: raw records -> corpus -> FIG retrieval."""
+    from repro.core.retrieval import RetrievalEngine
+
+    corpus, _ = ingest_records(RECORDS, IngestConfig(min_tag_frequency=1))
+    engine = RetrievalEngine(corpus)
+    hits = engine.search(corpus.get("img1"), k=2)
+    # the other hamster picture beats the city picture
+    assert hits[0].object_id == "img2"

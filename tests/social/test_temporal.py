@@ -1,0 +1,74 @@
+"""Month windows, splits and the decay factor (Eq. 10)."""
+
+import pytest
+
+from repro.social.temporal import MonthWindow, TemporalSplit, decay_weight
+
+
+def test_window_membership():
+    w = MonthWindow(2, 5)
+    assert 2 in w and 4 in w
+    assert 1 not in w and 5 not in w
+
+
+def test_window_len_and_months():
+    w = MonthWindow(0, 3)
+    assert len(w) == 3
+    assert list(w.months()) == [0, 1, 2]
+
+
+def test_empty_window_rejected():
+    with pytest.raises(ValueError):
+        MonthWindow(3, 3)
+    with pytest.raises(ValueError):
+        MonthWindow(4, 2)
+
+
+def test_paper_default_split():
+    split = TemporalSplit.paper_default(6)
+    assert split.profile == MonthWindow(0, 3)
+    assert split.evaluation == MonthWindow(3, 6)
+
+
+def test_split_odd_months():
+    split = TemporalSplit.paper_default(5)
+    assert split.profile == MonthWindow(0, 2)
+    assert split.evaluation == MonthWindow(2, 5)
+
+
+def test_split_rejects_overlap():
+    with pytest.raises(ValueError):
+        TemporalSplit(MonthWindow(0, 4), MonthWindow(3, 6))
+
+
+def test_split_rejects_too_few_months():
+    with pytest.raises(ValueError):
+        TemporalSplit.paper_default(1)
+
+
+def test_decay_weight_values():
+    assert decay_weight(0, 0.5) == 1.0
+    assert decay_weight(1, 0.5) == 0.5
+    assert decay_weight(3, 0.5) == 0.125
+
+
+def test_no_decay_at_delta_one():
+    for months in range(5):
+        assert decay_weight(months, 1.0) == 1.0
+
+
+def test_decay_monotone_in_age():
+    weights = [decay_weight(m, 0.7) for m in range(6)]
+    assert weights == sorted(weights, reverse=True)
+
+
+def test_decay_rejects_future_timestamps():
+    with pytest.raises(ValueError):
+        decay_weight(-1, 0.5)
+
+
+def test_decay_rejects_bad_delta():
+    with pytest.raises(ValueError):
+        decay_weight(1, 0.0)
+    with pytest.raises(ValueError):
+        decay_weight(1, 1.5)

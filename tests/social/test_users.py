@@ -1,0 +1,73 @@
+"""Social graph: group co-membership correlation (Section 3.2)."""
+
+from repro.social.users import SocialGraph
+
+
+def graph():
+    return SocialGraph(
+        {
+            "alice": ["pets", "food"],
+            "bob": ["pets"],
+            "carol": ["food"],
+            "dave": [],
+        }
+    )
+
+
+def test_share_group_positive():
+    assert graph().share_group("alice", "bob")
+    assert graph().share_group("alice", "carol")
+
+
+def test_share_group_negative():
+    assert not graph().share_group("bob", "carol")
+
+
+def test_identity_always_shares():
+    g = graph()
+    assert g.share_group("dave", "dave")
+    assert g.similarity("dave", "dave") == 1.0
+
+
+def test_similarity_is_binary():
+    g = graph()
+    assert g.similarity("alice", "bob") == 1.0
+    assert g.similarity("bob", "carol") == 0.0
+
+
+def test_unknown_users_never_correlate():
+    g = graph()
+    assert not g.share_group("alice", "stranger")
+    assert g.similarity("stranger", "other") == 0.0
+    assert g.groups_of("stranger") == frozenset()
+
+
+def test_groupless_user_isolated():
+    g = graph()
+    assert not g.share_group("dave", "alice")
+
+
+def test_members_of():
+    g = graph()
+    assert g.members_of("pets") == {"alice", "bob"}
+    assert g.members_of("ghosts") == frozenset()
+
+
+def test_users_and_groups_sorted():
+    g = graph()
+    assert g.users == ("alice", "bob", "carol", "dave")
+    assert g.groups == ("food", "pets")
+
+
+def test_contains():
+    g = graph()
+    assert "alice" in g
+    assert "stranger" not in g
+
+
+def test_jaccard_similarity():
+    g = graph()
+    assert g.jaccard_similarity("alice", "bob") == 0.5  # {pets} / {pets, food}
+    assert g.jaccard_similarity("bob", "carol") == 0.0
+    assert g.jaccard_similarity("dave", "dave") == 1.0
+    assert g.jaccard_similarity("dave", "alice") == 0.0  # empty vs nonempty

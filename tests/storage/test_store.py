@@ -1,0 +1,95 @@
+"""On-disk round trips for corpora and parameters."""
+
+import json
+
+import pytest
+
+from repro.core.mrf import MRFParameters
+from repro.core.objects import FeatureType
+from repro.storage.store import StorageError, load_corpus, load_params, save_corpus, save_params
+
+
+def test_corpus_roundtrip(tmp_path, rec_corpus):
+    path = save_corpus(rec_corpus, tmp_path / "corpus")
+    loaded = load_corpus(path)
+    assert len(loaded) == len(rec_corpus)
+    for a, b in zip(loaded, rec_corpus):
+        assert a.object_id == b.object_id
+        assert a.timestamp == b.timestamp
+        assert a.features == b.features
+    assert loaded.favorites == rec_corpus.favorites
+    assert loaded.n_months == rec_corpus.n_months
+
+
+def test_corpus_roundtrip_ground_truth(tmp_path, rec_corpus):
+    loaded = load_corpus(save_corpus(rec_corpus, tmp_path / "c"))
+    for obj in rec_corpus:
+        assert loaded.topics(obj.object_id) == rec_corpus.topics(obj.object_id)
+
+
+def test_corpus_roundtrip_social(tmp_path, rec_corpus):
+    loaded = load_corpus(save_corpus(rec_corpus, tmp_path / "c"))
+    users = rec_corpus.social.users[:10]
+    for u in users:
+        assert loaded.social.groups_of(u) == rec_corpus.social.groups_of(u)
+
+
+def test_corpus_roundtrip_taxonomy(tmp_path, rec_corpus):
+    loaded = load_corpus(save_corpus(rec_corpus, tmp_path / "c"))
+    some_tag = next(
+        f.name
+        for obj in rec_corpus
+        for f in obj.features_of_type(FeatureType.TEXT)
+    )
+    assert loaded.taxonomy is not None
+    assert loaded.taxonomy.depth(some_tag) == rec_corpus.taxonomy.depth(some_tag)
+
+
+def test_corpus_roundtrip_codebook(tmp_path, rec_corpus):
+    import numpy as np
+
+    loaded = load_corpus(save_corpus(rec_corpus, tmp_path / "c"))
+    assert loaded.codebook is not None
+    np.testing.assert_array_equal(loaded.codebook.centroids, rec_corpus.codebook.centroids)
+    assert loaded.codebook.similarity_scale == rec_corpus.codebook.similarity_scale
+
+
+def test_loaded_corpus_is_queryable(tmp_path, rec_corpus):
+    """A loaded corpus must drive the full engine pipeline."""
+    from repro.core.retrieval import RetrievalEngine
+
+    loaded = load_corpus(save_corpus(rec_corpus, tmp_path / "c"))
+    engine = RetrievalEngine(loaded.subset(40))
+    hits = engine.search(loaded[0], k=3)
+    assert len(hits) == 3
+
+
+def test_load_missing_directory(tmp_path):
+    with pytest.raises(StorageError):
+        load_corpus(tmp_path / "nope")
+
+
+def test_load_bad_version(tmp_path, rec_corpus):
+    path = save_corpus(rec_corpus, tmp_path / "c")
+    meta = json.loads((path / "meta.json").read_text())
+    meta["format_version"] = 999
+    (path / "meta.json").write_text(json.dumps(meta))
+    with pytest.raises(StorageError):
+        load_corpus(path)
+
+
+def test_params_roundtrip(tmp_path):
+    params = MRFParameters(lambdas={1: 0.5, 2: 0.3, 3: 0.2}, alpha=0.7, use_cors=False, delta=0.4)
+    path = save_params(params, tmp_path / "params.json")
+    loaded = load_params(path)
+    assert loaded.lambdas == params.lambdas
+    assert loaded.alpha == params.alpha
+    assert loaded.use_cors == params.use_cors
+    assert loaded.delta == params.delta
+
+
+def test_params_bad_version(tmp_path):
+    path = tmp_path / "p.json"
+    path.write_text(json.dumps({"format_version": 999}))
+    with pytest.raises(StorageError):
+        load_params(path)

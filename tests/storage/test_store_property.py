@@ -1,0 +1,82 @@
+"""Property-based round trips for the storage layer."""
+
+import string
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.mrf import MRFParameters
+from repro.core.objects import MediaObject
+from repro.social.corpus import Corpus, FavoriteEvent
+from repro.social.users import SocialGraph
+from repro.storage.store import load_corpus, load_params, save_corpus, save_params
+
+_name = st.text(alphabet=string.ascii_lowercase + string.digits, min_size=1, max_size=8)
+
+
+@st.composite
+def corpora(draw):
+    n = draw(st.integers(1, 6))
+    objects = []
+    ids = draw(st.lists(_name, min_size=n, max_size=n, unique=True))
+    for i in range(n):
+        objects.append(
+            MediaObject.build(
+                ids[i],
+                tags=draw(st.lists(_name, max_size=4)),
+                visual_words=[f"vw{w}" for w in draw(st.lists(st.integers(0, 9), max_size=4))],
+                users=draw(st.lists(_name, max_size=3)),
+                timestamp=draw(st.integers(0, 5)),
+            )
+        )
+    memberships = {
+        u: draw(st.lists(_name, max_size=2))
+        for u in draw(st.lists(_name, max_size=3, unique=True))
+    }
+    favorites = []
+    if objects and draw(st.booleans()):
+        favorites.append(
+            FavoriteEvent(user="u", object_id=objects[0].object_id, month=objects[0].timestamp)
+        )
+    topics = {o.object_id: (draw(st.integers(0, 3)),) for o in objects}
+    return Corpus(
+        objects=objects,
+        social=SocialGraph(memberships),
+        topics_of=topics,
+        favorites=favorites,
+        n_months=6,
+    )
+
+
+@settings(deadline=None, max_examples=25, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(corpus=corpora())
+def test_corpus_roundtrip_property(tmp_path, corpus):
+    loaded = load_corpus(save_corpus(corpus, tmp_path / "c"))
+    assert len(loaded) == len(corpus)
+    for a, b in zip(loaded, corpus):
+        assert a.object_id == b.object_id
+        assert dict(a.features) == dict(b.features)
+        assert a.timestamp == b.timestamp
+    assert loaded.favorites == corpus.favorites
+    for obj in corpus:
+        assert loaded.topics(obj.object_id) == corpus.topics(obj.object_id)
+    for user in corpus.social.users:
+        assert loaded.social.groups_of(user) == corpus.social.groups_of(user)
+
+
+@settings(deadline=None, max_examples=25, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(
+    weights=st.dictionaries(st.integers(1, 4), st.floats(0.0, 1.0), min_size=1),
+    alpha=st.floats(0.0, 1.0),
+    delta=st.floats(0.0625, 1.0),
+    use_cors=st.booleans(),
+)
+def test_params_roundtrip_property(tmp_path, weights, alpha, delta, use_cors):
+    if all(w == 0 for w in weights.values()):
+        weights[1] = 0.5
+    params = MRFParameters(lambdas=weights, alpha=alpha, use_cors=use_cors, delta=delta)
+    loaded = load_params(save_params(params, tmp_path / "p.json"))
+    assert loaded.lambdas == params.lambdas
+    assert loaded.alpha == params.alpha
+    assert loaded.delta == params.delta
+    assert loaded.use_cors == params.use_cors

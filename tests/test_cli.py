@@ -1,0 +1,90 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.storage.store import save_corpus
+
+
+@pytest.fixture(scope="module")
+def corpus_dir(tmp_path_factory, tiny_corpus):
+    path = tmp_path_factory.mktemp("cli") / "corpus"
+    save_corpus(tiny_corpus, path)
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def rec_dir(tmp_path_factory, rec_corpus):
+    path = tmp_path_factory.mktemp("cli") / "rec"
+    save_corpus(rec_corpus, path)
+    return str(path)
+
+
+def test_generate_writes_corpus(tmp_path, capsys):
+    out = tmp_path / "generated"
+    code = main(["generate", "--objects", "40", "--topics", "4", "--users", "30",
+                 "--out", str(out)])
+    assert code == 0
+    assert (out / "meta.json").exists()
+    assert "wrote 40 objects" in capsys.readouterr().out
+
+
+def test_generate_recommendation_requires_tracked(tmp_path, capsys):
+    code = main(["generate", "--objects", "40", "--recommendation", "--out", str(tmp_path / "x")])
+    assert code == 2
+    assert "tracked-users" in capsys.readouterr().err
+
+
+def test_generate_recommendation_corpus(tmp_path, capsys):
+    out = tmp_path / "rec"
+    code = main(["generate", "--objects", "80", "--topics", "4", "--users", "30",
+                 "--tracked-users", "2", "--recommendation", "--out", str(out)])
+    assert code == 0
+
+
+def test_info(corpus_dir, capsys):
+    assert main(["info", corpus_dir]) == 0
+    out = capsys.readouterr().out
+    assert "objects" in out and "users" in out and "avg features" in out
+
+
+def test_search(corpus_dir, tiny_corpus, capsys):
+    query_id = tiny_corpus[0].object_id
+    assert main(["search", corpus_dir, "--query", query_id, "--k", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "query:" in out
+    assert out.count("score=") == 3
+
+
+def test_search_scan_mode(corpus_dir, tiny_corpus, capsys):
+    query_id = tiny_corpus[1].object_id
+    assert main(["search", corpus_dir, "--query", query_id, "--k", "2", "--mode", "scan"]) == 0
+
+
+def test_search_unknown_query(corpus_dir, capsys):
+    assert main(["search", corpus_dir, "--query", "ghost"]) == 2
+    assert "unknown object id" in capsys.readouterr().err
+
+
+def test_recommend(rec_dir, rec_corpus, capsys):
+    user = rec_corpus.favorite_users()[0]
+    assert main(["recommend", rec_dir, "--user", user, "--k", "3", "--delta", "0.5"]) == 0
+    out = capsys.readouterr().out
+    assert "FIG-T" in out
+    assert out.count("score=") == 3
+
+
+def test_recommend_unknown_user(rec_dir, capsys):
+    assert main(["recommend", rec_dir, "--user", "nobody"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_evaluate(corpus_dir, capsys):
+    assert main(["evaluate", corpus_dir, "--queries", "4", "--cutoffs", "3", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "P@3=" in out and "P@5=" in out
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])

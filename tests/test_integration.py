@@ -1,0 +1,92 @@
+"""End-to-end integration: the pipelines of Figure 3 and Section 4 on a
+small synthetic corpus, checking cross-module behaviour rather than
+statistics (statistical shape checks live in benchmarks/)."""
+
+import pytest
+
+from repro.core.mrf import MRFParameters
+from repro.core.objects import FeatureType
+from repro.core.recommendation import Recommender
+from repro.core.retrieval import RetrievalEngine
+from repro.eval.oracle import FavoriteOracle, TopicOracle
+from repro.eval.protocol import evaluate_recommendation, evaluate_retrieval, sample_queries
+from repro.social.temporal import TemporalSplit
+
+
+def test_full_retrieval_pipeline_above_chance(engine, tiny_corpus):
+    oracle = TopicOracle(tiny_corpus)
+    queries = sample_queries(tiny_corpus, n_queries=8, seed=5)
+    report = evaluate_retrieval(engine, queries, oracle, cutoffs=(5,))
+    # ~2/6 dominant topics per object -> chance well below 0.45
+    assert report[5] > 0.45
+
+
+def test_fusion_beats_worst_single_modality(engine, tiny_corpus):
+    """Fig. 5's headline at test scale: full FIG >= the weakest single
+    modality by a clear margin."""
+    oracle = TopicOracle(tiny_corpus)
+    queries = sample_queries(tiny_corpus, n_queries=8, seed=5)
+    full = evaluate_retrieval(engine, queries, oracle, cutoffs=(5,))[5]
+    singles = []
+    for ftype in FeatureType:
+        restricted = tiny_corpus.restricted_to_types([ftype])
+        single_engine = RetrievalEngine(restricted, build_index=False)
+        restricted_queries = [restricted.get(q.object_id) for q in queries]
+        singles.append(
+            evaluate_retrieval(
+                _ScanOnly(single_engine), restricted_queries, oracle, cutoffs=(5,)
+            )[5]
+        )
+    assert full >= min(singles)
+
+
+class _ScanOnly:
+    """Adapter forcing scan mode (index-free engines)."""
+
+    def __init__(self, engine):
+        self._engine = engine
+
+    def search(self, query, k=10):
+        return self._engine.search(query, k=k, mode="scan")
+
+
+def test_full_recommendation_pipeline_above_chance(recommender, rec_corpus):
+    split = recommender.split
+    oracle = FavoriteOracle(rec_corpus, split.evaluation)
+    users = oracle.users()
+    report = evaluate_recommendation(recommender, users, oracle, cutoffs=(5,))
+    n_candidates = len(recommender.candidates)
+    chance = sum(oracle.n_relevant(u) for u in users) / len(users) / n_candidates
+    assert report[5] > 2 * chance
+
+
+def test_temporal_recommender_runs_all_deltas(recommender, rec_corpus):
+    user = rec_corpus.favorite_users()[0]
+    for delta in (1.0, 0.6, 0.2):
+        hits = recommender.with_params(MRFParameters(delta=delta)).recommend(user, k=5)
+        assert len(hits) == 5
+
+
+def test_engine_and_recommender_share_corpus_semantics(rec_corpus):
+    """The same corpus drives both applications (Figure 3 + Section 4)."""
+    engine = RetrievalEngine(rec_corpus.subset(60))
+    hits = engine.search(rec_corpus[0], k=3)
+    assert len(hits) == 3
+    rec = Recommender(
+        rec_corpus, split=TemporalSplit.paper_default(rec_corpus.n_months), build_index=False
+    )
+    user = rec_corpus.favorite_users()[0]
+    assert rec.recommend(user, k=3, mode="scan")
+
+
+def test_storage_roundtrip_preserves_rankings(tmp_path, tiny_corpus):
+    """Saving and reloading a corpus must not change retrieval output."""
+    from repro.storage.store import load_corpus, save_corpus
+
+    loaded = load_corpus(save_corpus(tiny_corpus, tmp_path / "c"))
+    e1 = RetrievalEngine(tiny_corpus)
+    e2 = RetrievalEngine(loaded)
+    q1, q2 = tiny_corpus[0], loaded[0]
+    r1 = [(h.object_id, round(h.score, 9)) for h in e1.search(q1, k=5)]
+    r2 = [(h.object_id, round(h.score, 9)) for h in e2.search(q2, k=5)]
+    assert r1 == r2

@@ -1,0 +1,65 @@
+"""Term co-occurrence similarity (the paper-sanctioned WUP alternative)."""
+
+import pytest
+
+from repro.text.cooccurrence import CooccurrenceSimilarity
+
+DOCS = [
+    ["sunset", "beach", "sea"],
+    ["sunset", "beach"],
+    ["sunset", "mountain"],
+    ["city", "night"],
+]
+
+
+def test_jaccard_exact():
+    sim = CooccurrenceSimilarity(DOCS, mode="jaccard")
+    # beach in {0,1}, sunset in {0,1,2}: inter 2, union 3
+    assert sim("beach", "sunset") == pytest.approx(2 / 3)
+
+
+def test_cosine_exact():
+    sim = CooccurrenceSimilarity(DOCS, mode="cosine")
+    assert sim("beach", "sunset") == pytest.approx(2 / (2**0.5 * 3**0.5))
+
+
+def test_disjoint_terms_zero():
+    sim = CooccurrenceSimilarity(DOCS)
+    assert sim("sea", "night") == 0.0
+
+
+def test_identity_of_known_term():
+    sim = CooccurrenceSimilarity(DOCS)
+    assert sim("sunset", "sunset") == 1.0
+
+
+def test_unknown_terms_zero_even_if_equal():
+    sim = CooccurrenceSimilarity(DOCS)
+    assert sim("unicorn", "unicorn") == 0.0
+    assert sim("unicorn", "sunset") == 0.0
+
+
+def test_symmetry():
+    sim = CooccurrenceSimilarity(DOCS)
+    assert sim("beach", "mountain") == sim("mountain", "beach")
+
+
+def test_duplicates_in_document_counted_once():
+    sim = CooccurrenceSimilarity([["a", "a", "b"]])
+    assert sim.document_frequency("a") == 1
+
+
+def test_document_frequency():
+    sim = CooccurrenceSimilarity(DOCS)
+    assert sim.document_frequency("sunset") == 3
+    assert sim.document_frequency("unicorn") == 0
+
+
+def test_vocabulary_lists_seen_terms():
+    sim = CooccurrenceSimilarity([["a", "b"]])
+    assert set(sim.vocabulary()) == {"a", "b"}
+
+
+def test_invalid_mode_rejected():
+    with pytest.raises(ValueError):
+        CooccurrenceSimilarity(DOCS, mode="dice")

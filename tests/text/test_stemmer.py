@@ -1,0 +1,141 @@
+"""Porter stemmer: published example cases and structural properties."""
+
+import string
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.stemmer import PorterStemmer
+
+
+@pytest.fixture(scope="module")
+def stemmer():
+    return PorterStemmer()
+
+
+# Classic cases from Porter's 1980 paper and the reference vocabulary.
+PORTER_CASES = [
+    ("caresses", "caress"),
+    ("ponies", "poni"),
+    ("ties", "ti"),
+    ("caress", "caress"),
+    ("cats", "cat"),
+    ("feed", "feed"),
+    ("agreed", "agre"),
+    ("plastered", "plaster"),
+    ("bled", "bled"),
+    ("motoring", "motor"),
+    ("sing", "sing"),
+    ("conflated", "conflat"),
+    ("troubled", "troubl"),
+    ("sized", "size"),
+    ("hopping", "hop"),
+    ("tanned", "tan"),
+    ("falling", "fall"),
+    ("hissing", "hiss"),
+    ("fizzed", "fizz"),
+    ("failing", "fail"),
+    ("filing", "file"),
+    ("happy", "happi"),
+    ("sky", "sky"),
+    ("relational", "relat"),
+    ("conditional", "condit"),
+    ("rational", "ration"),
+    ("valenci", "valenc"),
+    ("hesitanci", "hesit"),
+    ("digitizer", "digit"),
+    ("conformabli", "conform"),
+    ("radicalli", "radic"),
+    ("differentli", "differ"),
+    ("vileli", "vile"),
+    ("analogousli", "analog"),
+    ("vietnamization", "vietnam"),
+    ("predication", "predic"),
+    ("operator", "oper"),
+    ("feudalism", "feudal"),
+    ("decisiveness", "decis"),
+    ("hopefulness", "hope"),
+    ("callousness", "callous"),
+    ("formaliti", "formal"),
+    ("sensitiviti", "sensit"),
+    ("sensibiliti", "sensibl"),
+    ("triplicate", "triplic"),
+    ("formative", "form"),
+    ("formalize", "formal"),
+    ("electriciti", "electr"),
+    ("electrical", "electr"),
+    ("hopeful", "hope"),
+    ("goodness", "good"),
+    ("revival", "reviv"),
+    ("allowance", "allow"),
+    ("inference", "infer"),
+    ("airliner", "airlin"),
+    ("gyroscopic", "gyroscop"),
+    ("adjustable", "adjust"),
+    ("defensible", "defens"),
+    ("irritant", "irrit"),
+    ("replacement", "replac"),
+    ("adjustment", "adjust"),
+    ("dependent", "depend"),
+    ("adoption", "adopt"),
+    ("homologou", "homolog"),
+    ("communism", "commun"),
+    ("activate", "activ"),
+    ("angulariti", "angular"),
+    ("homologous", "homolog"),
+    ("effective", "effect"),
+    ("bowdlerize", "bowdler"),
+    ("probate", "probat"),
+    ("rate", "rate"),
+    ("cease", "ceas"),
+    ("controll", "control"),
+    ("roll", "roll"),
+]
+
+
+@pytest.mark.parametrize("word,expected", PORTER_CASES)
+def test_porter_reference_cases(stemmer, word, expected):
+    assert stemmer.stem(word) == expected
+
+
+def test_short_words_unchanged(stemmer):
+    for word in ("a", "is", "by", "ox"):
+        assert stemmer.stem(word) == word
+
+
+def test_lowercases_input(stemmer):
+    assert stemmer.stem("Hamsters") == stemmer.stem("hamsters")
+
+
+def test_non_alpha_tokens_pass_through(stemmer):
+    assert stemmer.stem("d300") == "d300"
+    assert stemmer.stem("new-york") == "new-york"
+
+
+def test_stem_all_preserves_order(stemmer):
+    assert stemmer.stem_all(["cats", "dogs"]) == ["cat", "dog"]
+
+
+def test_plural_and_gerund_conflate(stemmer):
+    """The reason the pipeline stems: inflections share one stem."""
+    assert stemmer.stem("eating") == stemmer.stem("eats")
+    assert stemmer.stem("connected") == stemmer.stem("connecting") == stemmer.stem("connection")
+
+
+@given(st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=20))
+def test_stem_never_longer_than_word(word):
+    assert len(PorterStemmer().stem(word)) <= len(word)
+
+
+@given(st.text(alphabet=string.ascii_lowercase, min_size=3, max_size=20))
+def test_stem_is_nonempty_and_lowercase(word):
+    stem = PorterStemmer().stem(word)
+    assert stem
+    assert stem == stem.lower()
+
+
+@given(st.text(alphabet=string.ascii_letters, min_size=1, max_size=20))
+def test_stem_case_insensitive(word):
+    s = PorterStemmer()
+    assert s.stem(word) == s.stem(word.lower())

@@ -1,0 +1,51 @@
+"""Stop-word filter behaviour."""
+
+from repro.text.stopwords import SNOWBALL_ENGLISH, StopwordFilter
+
+
+def test_default_list_contains_core_words():
+    f = StopwordFilter()
+    for word in ("the", "and", "is", "of", "a"):
+        assert f.is_stopword(word)
+
+
+def test_case_insensitive():
+    f = StopwordFilter()
+    assert f.is_stopword("The")
+    assert f.is_stopword("AND")
+
+
+def test_content_words_pass():
+    f = StopwordFilter()
+    for word in ("hamster", "sunset", "broccoli"):
+        assert not f.is_stopword(word)
+
+
+def test_filter_preserves_order():
+    f = StopwordFilter()
+    assert list(f.filter(["the", "hamster", "is", "eating"])) == ["hamster", "eating"]
+
+
+def test_extra_words_extend_default():
+    f = StopwordFilter(extra=["nikon", "Canon"])
+    assert f.is_stopword("nikon")
+    assert f.is_stopword("canon")  # lowercased
+    assert f.is_stopword("the")  # default retained
+
+
+def test_custom_list_replaces_default():
+    f = StopwordFilter(words=["foo"])
+    assert f.is_stopword("foo")
+    assert not f.is_stopword("the")
+
+
+def test_contains_and_len():
+    f = StopwordFilter(words=["a", "b"])
+    assert "a" in f
+    assert "c" not in f
+    assert len(f) == 2
+
+
+def test_default_list_is_frozen():
+    assert isinstance(SNOWBALL_ENGLISH, frozenset)
+    assert len(SNOWBALL_ENGLISH) > 100

@@ -1,0 +1,151 @@
+"""Taxonomy structure, depth and LCS queries."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.taxonomy import ROOT, Taxonomy, TaxonomyError
+
+
+@pytest.fixture
+def animal_taxonomy():
+    return Taxonomy.from_edges(
+        [
+            ("animal", ROOT),
+            ("plant", ROOT),
+            ("mammal", "animal"),
+            ("rodent", "mammal"),
+            ("hamster", "rodent"),
+            ("squirrel", "rodent"),
+            ("dog", "mammal"),
+            ("vegetable", "plant"),
+            ("broccoli", "vegetable"),
+        ]
+    )
+
+
+def test_root_depth_is_one(animal_taxonomy):
+    assert animal_taxonomy.depth(ROOT) == 1
+
+
+def test_depths_increase_down_the_tree(animal_taxonomy):
+    assert animal_taxonomy.depth("animal") == 2
+    assert animal_taxonomy.depth("mammal") == 3
+    assert animal_taxonomy.depth("rodent") == 4
+    assert animal_taxonomy.depth("hamster") == 5
+
+
+def test_path_to_root(animal_taxonomy):
+    assert animal_taxonomy.path_to_root("hamster") == [
+        "hamster", "rodent", "mammal", "animal", ROOT,
+    ]
+
+
+def test_lcs_siblings(animal_taxonomy):
+    assert animal_taxonomy.lcs("hamster", "squirrel") == "rodent"
+
+
+def test_lcs_cousins(animal_taxonomy):
+    assert animal_taxonomy.lcs("hamster", "dog") == "mammal"
+
+
+def test_lcs_across_branches(animal_taxonomy):
+    assert animal_taxonomy.lcs("hamster", "broccoli") == ROOT
+
+
+def test_lcs_with_ancestor(animal_taxonomy):
+    assert animal_taxonomy.lcs("hamster", "mammal") == "mammal"
+
+
+def test_lcs_identity(animal_taxonomy):
+    assert animal_taxonomy.lcs("dog", "dog") == "dog"
+
+
+def test_unknown_node_raises(animal_taxonomy):
+    with pytest.raises(TaxonomyError):
+        animal_taxonomy.depth("unicorn")
+    with pytest.raises(TaxonomyError):
+        animal_taxonomy.parent("unicorn")
+    with pytest.raises(TaxonomyError):
+        animal_taxonomy.path_to_root("unicorn")
+
+
+def test_leaves(animal_taxonomy):
+    assert set(animal_taxonomy.leaves()) == {"hamster", "squirrel", "dog", "broccoli"}
+
+
+def test_contains_and_len(animal_taxonomy):
+    assert "hamster" in animal_taxonomy
+    assert "unicorn" not in animal_taxonomy
+    assert len(animal_taxonomy) == 10  # 9 named + root
+
+
+def test_rejects_multiple_roots():
+    with pytest.raises(TaxonomyError):
+        Taxonomy({"a": None, "b": None})
+
+
+def test_rejects_no_root():
+    with pytest.raises(TaxonomyError):
+        Taxonomy({"a": "b", "b": "a"})
+
+
+def test_rejects_unknown_parent():
+    with pytest.raises(TaxonomyError):
+        Taxonomy({"root": None, "a": "ghost"})
+
+
+def test_rejects_cycle():
+    with pytest.raises(TaxonomyError):
+        Taxonomy({"root": None, "a": "b", "b": "c", "c": "a"})
+
+
+def test_rejects_root_as_child():
+    with pytest.raises(TaxonomyError):
+        Taxonomy.from_edges([(ROOT, "x")])
+
+
+# ----------------------------------------------------------------------
+# balanced construction
+# ----------------------------------------------------------------------
+def test_build_balanced_groups_under_categories():
+    tax = Taxonomy.build_balanced([["a", "b"], ["c", "d"]])
+    assert tax.lcs("a", "b") == "category0"
+    assert tax.lcs("c", "d") == "category1"
+    assert tax.lcs("a", "c") == ROOT
+
+
+def test_build_balanced_custom_names():
+    tax = Taxonomy.build_balanced([["a"], ["b"]], group_names=["x", "y"])
+    assert tax.parent("a") == "x"
+    assert tax.parent("b") == "y"
+
+
+def test_build_balanced_splits_large_groups():
+    words = [f"w{i}" for i in range(20)]
+    tax = Taxonomy.build_balanced([words], branching=8)
+    # all leaves reachable, same depth, grouped under branch nodes
+    depths = {tax.depth(w) for w in words}
+    assert depths == {4}  # root -> category -> branch -> leaf
+    assert tax.lcs("w0", "w1") == "category0.b0"
+    assert tax.lcs("w0", "w19") == "category0"
+
+
+def test_build_balanced_duplicate_words_keep_first_placement():
+    tax = Taxonomy.build_balanced([["a", "b"], ["b", "c"]])
+    assert tax.parent("b") == "category0"
+
+
+def test_build_balanced_rejects_small_branching():
+    with pytest.raises(TaxonomyError):
+        Taxonomy.build_balanced([["a"]], branching=1)
+
+
+@given(st.lists(st.lists(st.integers(0, 50).map(lambda i: f"w{i}"), min_size=1, max_size=12),
+                min_size=1, max_size=5))
+def test_build_balanced_every_word_reachable(groups):
+    tax = Taxonomy.build_balanced(groups)
+    for group in groups:
+        for word in group:
+            # every word has a path ending at the root
+            assert tax.path_to_root(word)[-1] == ROOT

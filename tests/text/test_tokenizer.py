@@ -1,0 +1,50 @@
+"""Raw-text tokenizer."""
+
+from repro.text.tokenizer import iter_sentences, tokenize
+
+
+def test_basic_words():
+    assert tokenize("Little muncher") == ["little", "muncher"]
+
+
+def test_punctuation_stripped():
+    assert tokenize("aww, what a cutie! ^__^") == ["aww", "what", "a", "cutie"]
+
+
+def test_apostrophes_kept_inside_words():
+    assert tokenize("he's got broccoli") == ["he's", "got", "broccoli"]
+
+
+def test_hyphenated_words():
+    assert tokenize("new-york skyline") == ["new-york", "skyline"]
+
+
+def test_alphanumeric_identifiers():
+    assert tokenize("shot on a Nikon D300") == ["shot", "on", "a", "nikon", "d300"]
+
+
+def test_hashtags_unify_by_default():
+    assert tokenize("#sunset at the beach") == ["sunset", "at", "the", "beach"]
+
+
+def test_hashtags_kept_when_requested():
+    assert tokenize("#sunset @bob", keep_markers=True) == ["#sunset", "@bob"]
+
+
+def test_empty_and_symbol_only():
+    assert tokenize("") == []
+    assert tokenize("!!! ---") == []
+
+
+def test_unicode_ignored_gracefully():
+    # non-ASCII letters are skipped rather than crashing
+    assert "cafe" not in tokenize("☕☕☕")
+
+
+def test_iter_sentences():
+    text = "First one. Second one! Third?"
+    assert list(iter_sentences(text)) == ["First one.", "Second one!", "Third?"]
+
+
+def test_iter_sentences_single():
+    assert list(iter_sentences("no terminator here")) == ["no terminator here"]

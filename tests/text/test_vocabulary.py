@@ -1,0 +1,97 @@
+"""Vocabulary construction pipeline (stem -> stop-filter -> threshold)."""
+
+import pytest
+
+from repro.text.stemmer import PorterStemmer
+from repro.text.stopwords import StopwordFilter
+from repro.text.vocabulary import Vocabulary, VocabularyBuilder
+
+
+# ----------------------------------------------------------------------
+# Vocabulary container
+# ----------------------------------------------------------------------
+def test_vocabulary_roundtrip_ids():
+    v = Vocabulary(["sunset", "beach", "tree"])
+    for term in v:
+        assert v.term_of(v.id_of(term)) == term
+
+
+def test_vocabulary_rejects_duplicates():
+    with pytest.raises(ValueError):
+        Vocabulary(["a", "a"])
+
+
+def test_vocabulary_frequencies_align():
+    v = Vocabulary(["a", "b"], [5, 3])
+    assert v.frequency("a") == 5
+    assert v.frequency("b") == 3
+
+
+def test_vocabulary_rejects_misaligned_frequencies():
+    with pytest.raises(ValueError):
+        Vocabulary(["a", "b"], [1])
+
+
+def test_vocabulary_get_returns_none_for_oov():
+    v = Vocabulary(["a"])
+    assert v.get("b") is None
+    assert v.get("a") == 0
+
+
+def test_vocabulary_contains_len_iter():
+    v = Vocabulary(["a", "b"])
+    assert "a" in v and "c" not in v
+    assert len(v) == 2
+    assert list(v) == ["a", "b"]
+
+
+# ----------------------------------------------------------------------
+# VocabularyBuilder
+# ----------------------------------------------------------------------
+def test_frequency_threshold_drops_rare_terms():
+    builder = VocabularyBuilder(min_frequency=2)
+    vocab = builder.build([["cat", "dog"], ["cat"], ["typo"]])
+    assert "cat" in vocab
+    assert "typo" not in vocab
+    assert "dog" not in vocab
+
+
+def test_threshold_counts_occurrences_not_documents():
+    builder = VocabularyBuilder(min_frequency=2)
+    vocab = builder.build([["cat", "cat"]])  # twice in one document
+    assert "cat" in vocab
+
+
+def test_stemming_merges_variants():
+    builder = VocabularyBuilder(min_frequency=2, stemmer=PorterStemmer())
+    vocab = builder.build([["eating"], ["eats"]])
+    assert len(vocab) == 1
+    assert vocab.frequency("eat") == 2
+
+
+def test_stopwords_removed():
+    builder = VocabularyBuilder(min_frequency=1, stopwords=StopwordFilter())
+    vocab = builder.build([["the", "hamster"]])
+    assert "the" not in vocab
+    assert "hamster" in vocab
+
+
+def test_terms_ordered_by_frequency_then_alpha():
+    builder = VocabularyBuilder(min_frequency=1)
+    vocab = builder.build([["b", "a", "c"], ["c"]])
+    assert vocab.terms == ("c", "a", "b")
+
+
+def test_normalize_strips_and_lowercases():
+    builder = VocabularyBuilder(min_frequency=1)
+    assert builder.normalize(["  Sunset ", ""]) == ["sunset"]
+
+
+def test_rejects_nonpositive_threshold():
+    with pytest.raises(ValueError):
+        VocabularyBuilder(min_frequency=0)
+
+
+def test_empty_corpus_yields_empty_vocab():
+    vocab = VocabularyBuilder(min_frequency=1).build([])
+    assert len(vocab) == 0

@@ -1,0 +1,69 @@
+"""Block decomposition and the 16-D descriptor."""
+
+import numpy as np
+import pytest
+
+from repro.vision.blocks import DESCRIPTOR_DIM, block_descriptor, block_grid, image_descriptors
+from repro.vision.image import SyntheticImage
+
+
+def test_grid_shape():
+    pixels = np.zeros((64, 64, 3))
+    blocks = block_grid(pixels, block=16)
+    assert blocks.shape == (16, 16, 16, 3)
+
+
+def test_grid_drops_partial_blocks():
+    pixels = np.zeros((40, 70, 3))
+    blocks = block_grid(pixels, block=16)
+    assert blocks.shape == ((40 // 16) * (70 // 16), 16, 16, 3)
+
+
+def test_grid_preserves_content():
+    pixels = np.arange(32 * 32 * 3, dtype=float).reshape(32, 32, 3)
+    blocks = block_grid(pixels, block=16)
+    np.testing.assert_array_equal(blocks[0], pixels[:16, :16])
+    np.testing.assert_array_equal(blocks[1], pixels[:16, 16:32])
+    np.testing.assert_array_equal(blocks[2], pixels[16:, :16])
+
+
+def test_grid_rejects_small_images():
+    with pytest.raises(ValueError):
+        block_grid(np.zeros((8, 8, 3)), block=16)
+
+
+def test_grid_rejects_bad_shape():
+    with pytest.raises(ValueError):
+        block_grid(np.zeros((32, 32)), block=16)
+
+
+def test_descriptor_dimension():
+    block = np.random.default_rng(0).uniform(size=(16, 16, 3))
+    assert block_descriptor(block).shape == (DESCRIPTOR_DIM,)
+    assert DESCRIPTOR_DIM == 16  # fixed by the paper (16-D visual words)
+
+
+def test_descriptor_constant_block():
+    block = np.full((16, 16, 3), 0.25)
+    d = block_descriptor(block)
+    np.testing.assert_allclose(d[0:3], 0.25)   # channel means
+    np.testing.assert_allclose(d[3:6], 0.0)    # channel stds
+    np.testing.assert_allclose(d[6:9], 0.0)    # hi-bin fraction (0.25 < 0.5)
+    np.testing.assert_allclose(d[9:12], 1.0)   # lo-bin fraction
+    np.testing.assert_allclose(d[12:], 0.0)    # no gradients, no range
+
+
+def test_descriptor_separates_textures():
+    flat = np.full((16, 16, 3), 0.5)
+    stripes = np.zeros((16, 16, 3))
+    stripes[::2] = 1.0
+    d_flat = block_descriptor(flat)
+    d_stripes = block_descriptor(stripes)
+    assert d_stripes[13] > d_flat[13]  # vertical gradient energy
+    assert d_stripes[15] > d_flat[15]  # luminance range
+
+
+def test_image_descriptors_stacks_blocks():
+    img = SyntheticImage(pixels=np.random.default_rng(1).uniform(size=(48, 48, 3)))
+    descriptors = image_descriptors(img, block=16)
+    assert descriptors.shape == (9, DESCRIPTOR_DIM)

@@ -1,0 +1,71 @@
+"""Synthetic image rendering."""
+
+import numpy as np
+import pytest
+
+from repro.vision.image import TopicPalette, default_palettes, render_image
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(5)
+
+
+@pytest.fixture
+def palettes(rng):
+    return default_palettes(4, rng)
+
+
+def test_default_palettes_shape(palettes):
+    assert len(palettes) == 4
+    for p in palettes:
+        assert p.base_colors.shape == (3, 3)
+        assert (p.base_colors >= 0).all() and (p.base_colors <= 1).all()
+        assert p.texture_freq > 0
+
+
+def test_palette_rejects_bad_colors():
+    with pytest.raises(ValueError):
+        TopicPalette(base_colors=np.zeros((3, 4)), texture_freq=1.0)
+
+
+def test_render_shape_and_range(palettes, rng):
+    img = render_image(np.array([1.0, 0, 0, 0]), palettes, rng, size=64, block=16)
+    assert img.pixels.shape == (64, 64, 3)
+    assert img.height == img.width == 64
+    assert (img.pixels >= 0).all() and (img.pixels <= 1).all()
+
+
+def test_render_normalizes_mixture(palettes, rng):
+    img = render_image(np.array([2.0, 2.0, 0, 0]), palettes, rng)
+    np.testing.assert_allclose(img.topic_mixture, [0.5, 0.5, 0, 0])
+
+
+def test_render_rejects_mismatched_weights(palettes, rng):
+    with pytest.raises(ValueError):
+        render_image(np.array([1.0, 0.0]), palettes, rng)
+
+
+def test_render_rejects_zero_mass(palettes, rng):
+    with pytest.raises(ValueError):
+        render_image(np.zeros(4), palettes, rng)
+
+
+def test_render_rejects_nondivisible_block(palettes, rng):
+    with pytest.raises(ValueError):
+        render_image(np.array([1.0, 0, 0, 0]), palettes, rng, size=60, block=16)
+
+
+def test_different_topics_render_differently(palettes):
+    rng_a = np.random.default_rng(1)
+    rng_b = np.random.default_rng(1)
+    a = render_image(np.array([1.0, 0, 0, 0]), palettes, rng_a, noise=0.0)
+    b = render_image(np.array([0, 0, 0, 1.0]), palettes, rng_b, noise=0.0)
+    # Mean colours differ noticeably across topics.
+    assert np.abs(a.pixels.mean(axis=(0, 1)) - b.pixels.mean(axis=(0, 1))).max() > 0.05
+
+
+def test_render_deterministic_given_rng(palettes):
+    a = render_image(np.array([1.0, 0, 0, 0]), palettes, np.random.default_rng(3))
+    b = render_image(np.array([1.0, 0, 0, 0]), palettes, np.random.default_rng(3))
+    np.testing.assert_array_equal(a.pixels, b.pixels)

@@ -1,0 +1,118 @@
+"""k-means: clustering correctness and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vision.kmeans import kmeans, kmeans_plus_plus
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+def _blobs(rng, centers, n_per, spread=0.1):
+    points = []
+    for c in centers:
+        points.append(rng.normal(0.0, spread, size=(n_per, len(c))) + np.asarray(c))
+    return np.concatenate(points)
+
+
+def test_recovers_separated_blobs(rng):
+    centers = [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)]
+    points = _blobs(rng, centers, 40)
+    result = kmeans(points, 3, rng)
+    found = sorted(tuple(np.round(c).astype(int)) for c in result.centroids)
+    assert found == sorted((int(a), int(b)) for a, b in centers)
+
+
+def test_labels_partition_points(rng):
+    points = rng.normal(size=(50, 4))
+    result = kmeans(points, 5, rng)
+    assert result.labels.shape == (50,)
+    assert set(np.unique(result.labels)) <= set(range(5))
+
+
+def test_labels_are_nearest_centroid(rng):
+    points = rng.normal(size=(60, 3))
+    result = kmeans(points, 4, rng)
+    d = ((points[:, None, :] - result.centroids[None, :, :]) ** 2).sum(axis=2)
+    np.testing.assert_array_equal(result.labels, d.argmin(axis=1))
+
+
+def test_inertia_matches_labels(rng):
+    points = rng.normal(size=(40, 2))
+    result = kmeans(points, 3, rng)
+    expected = sum(
+        float(((points[i] - result.centroids[result.labels[i]]) ** 2).sum())
+        for i in range(len(points))
+    )
+    assert result.inertia == pytest.approx(expected)
+
+
+def test_k_equals_n_gives_zero_inertia(rng):
+    points = rng.normal(size=(8, 2))
+    result = kmeans(points, 8, rng)
+    assert result.inertia == pytest.approx(0.0, abs=1e-9)
+
+
+def test_k_one_gives_mean(rng):
+    points = rng.normal(size=(30, 3))
+    result = kmeans(points, 1, rng)
+    np.testing.assert_allclose(result.centroids[0], points.mean(axis=0))
+
+
+def test_invalid_k_rejected(rng):
+    points = rng.normal(size=(5, 2))
+    with pytest.raises(ValueError):
+        kmeans(points, 0, rng)
+    with pytest.raises(ValueError):
+        kmeans(points, 6, rng)
+
+
+def test_non_2d_rejected(rng):
+    with pytest.raises(ValueError):
+        kmeans(np.zeros(5), 2, rng)
+
+
+def test_deterministic_given_seed():
+    points = np.random.default_rng(0).normal(size=(50, 4))
+    r1 = kmeans(points, 4, np.random.default_rng(99))
+    r2 = kmeans(points, 4, np.random.default_rng(99))
+    np.testing.assert_array_equal(r1.centroids, r2.centroids)
+    assert r1.inertia == r2.inertia
+
+
+def test_duplicate_points_handled(rng):
+    points = np.zeros((20, 3))
+    result = kmeans(points, 3, rng)
+    assert np.isfinite(result.centroids).all()
+    assert result.inertia == pytest.approx(0.0)
+
+
+def test_plus_plus_picks_input_points(rng):
+    points = rng.normal(size=(30, 2))
+    centers = kmeans_plus_plus(points, 5, rng)
+    point_set = {tuple(p) for p in points}
+    for c in centers:
+        assert tuple(c) in point_set
+
+
+def test_plus_plus_spreads_centers(rng):
+    # Two tight, far-apart blobs: k-means++ should pick one from each.
+    points = _blobs(rng, [(0.0, 0.0), (100.0, 100.0)], 20, spread=0.01)
+    centers = kmeans_plus_plus(points, 2, rng)
+    assert abs(centers[0][0] - centers[1][0]) > 50
+
+
+@settings(deadline=None, max_examples=25)
+@given(st.integers(1, 6), st.integers(8, 30), st.integers(0, 2**16))
+def test_inertia_never_exceeds_single_cluster(k, n, seed):
+    """More clusters never fit worse than one cluster (k-means++ start)."""
+    rng = np.random.default_rng(seed)
+    points = rng.normal(size=(n, 3))
+    single = kmeans(points, 1, np.random.default_rng(seed))
+    multi = kmeans(points, min(k, n), np.random.default_rng(seed))
+    assert multi.inertia <= single.inertia + 1e-9

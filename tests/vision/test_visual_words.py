@@ -1,0 +1,95 @@
+"""Visual-word codebook: training, quantization, word similarity."""
+
+import numpy as np
+import pytest
+
+from repro.vision.blocks import DESCRIPTOR_DIM
+from repro.vision.image import default_palettes, render_image
+from repro.vision.visual_words import VisualCodebook, word_names
+
+
+@pytest.fixture(scope="module")
+def trained():
+    rng = np.random.default_rng(11)
+    palettes = default_palettes(3, rng)
+    images = [
+        render_image(np.eye(3)[i % 3], palettes, rng, size=64, block=16)
+        for i in range(12)
+    ]
+    codebook = VisualCodebook.train(images, n_words=8, rng=rng)
+    return codebook, images
+
+
+def test_train_produces_requested_words(trained):
+    codebook, _ = trained
+    assert len(codebook) == 8
+    assert codebook.centroids.shape == (8, DESCRIPTOR_DIM)
+
+
+def test_encode_counts_blocks(trained):
+    codebook, images = trained
+    bag = codebook.encode(images[0], block=16)
+    assert sum(bag.values()) == 16  # 64/16 squared
+    assert all(0 <= w < 8 for w in bag)
+
+
+def test_same_topic_images_share_words(trained):
+    codebook, images = trained
+    # images 0 and 3 are same topic; 0 and 1 are different topics
+    same = codebook.encode(images[0]).keys() & codebook.encode(images[3]).keys()
+    diff = codebook.encode(images[0]).keys() & codebook.encode(images[1]).keys()
+    assert len(same) >= len(diff)
+
+
+def test_quantize_nearest(trained):
+    codebook, _ = trained
+    # A centroid quantizes to itself.
+    ids = codebook.quantize_descriptors(codebook.centroids)
+    np.testing.assert_array_equal(ids, np.arange(len(codebook)))
+
+
+def test_word_similarity_properties(trained):
+    codebook, _ = trained
+    assert codebook.word_similarity(0, 0) == 1.0
+    s = codebook.word_similarity(0, 1)
+    assert 0.0 < s < 1.0
+    assert s == codebook.word_similarity(1, 0)
+
+
+def test_word_similarity_monotone_in_distance(trained):
+    codebook, _ = trained
+    distances = [(codebook.word_distance(0, j), codebook.word_similarity(0, j))
+                 for j in range(1, len(codebook))]
+    distances.sort()
+    sims = [s for _, s in distances]
+    assert sims == sorted(sims, reverse=True)
+
+
+def test_constructor_validates_shape():
+    with pytest.raises(ValueError):
+        VisualCodebook(np.zeros((4, 8)))  # wrong descriptor dim
+
+
+def test_constructor_validates_scale():
+    with pytest.raises(ValueError):
+        VisualCodebook(np.zeros((2, DESCRIPTOR_DIM)), similarity_scale=0.0)
+
+
+def test_train_rejects_empty():
+    with pytest.raises(ValueError):
+        VisualCodebook.train([], n_words=4, rng=np.random.default_rng(0))
+
+
+def test_train_rejects_too_many_words():
+    rng = np.random.default_rng(0)
+    palettes = default_palettes(2, rng)
+    images = [render_image(np.array([1.0, 0.0]), palettes, rng, size=32, block=16)]
+    with pytest.raises(ValueError):
+        VisualCodebook.train(images, n_words=100, rng=rng)  # only 4 blocks
+
+
+def test_word_names_expands_counts():
+    from collections import Counter
+
+    names = word_names(Counter({3: 2, 1: 1}))
+    assert list(names) == ["vw1", "vw3", "vw3"]

@@ -1,0 +1,56 @@
+"""Dev calibration harness: prints all paper shape checks at small scale.
+
+Not part of the library or test suite; run with `python tools/calibrate.py`.
+"""
+import time
+from repro import (GeneratorConfig, SyntheticFlickr, RetrievalEngine, Recommender,
+                   MRFParameters, FeatureType)
+from repro.baselines import (VectorSpace, LSAFusionRetriever, TensorProductRetriever,
+                             RankBoostRetriever, CalibratedScoreAveraging,
+                             SingleFeatureRetriever, ProfileRecommender)
+from repro.eval import (TopicOracle, FavoriteOracle, sample_queries,
+                        evaluate_retrieval, evaluate_recommendation)
+from repro.social.temporal import TemporalSplit
+
+print("=== RETRIEVAL (Fig 5/7 shapes) ===")
+corpus = SyntheticFlickr(GeneratorConfig(n_objects=1500), seed=7).generate_retrieval_corpus()
+oracle = TopicOracle(corpus)
+queries = sample_queries(corpus, n_queries=25, seed=1)
+tq = sample_queries(corpus, n_queries=10, seed=200)
+space = VectorSpace(corpus)
+systems = {
+    "LSA": LSAFusionRetriever(space),
+    "TP": TensorProductRetriever(space),
+    "RB": RankBoostRetriever(space).fit(tq, oracle),
+    "CSA": CalibratedScoreAveraging(space).fit(tq, oracle),
+}
+for ft in FeatureType:
+    systems[ft.name] = SingleFeatureRetriever(space, ft)
+systems["FIG"] = RetrievalEngine(corpus)
+for name, s in systems.items():
+    print(" ", evaluate_retrieval(s, queries, oracle).format_row(name))
+
+print("=== RECOMMENDATION (Fig 10/11 shapes) ===")
+rcorpus = SyntheticFlickr(GeneratorConfig(n_objects=2000, n_tracked_users=25), seed=11).generate_recommendation_corpus()
+split = TemporalSplit.paper_default(rcorpus.n_months)
+foracle = FavoriteOracle(rcorpus, split.evaluation)
+users = foracle.users()
+rec = Recommender(rcorpus, params=MRFParameters(delta=1.0))
+print("  -- delta sweep (Fig 10)")
+for d in (1.0, 0.8, 0.6, 0.4, 0.2, 0.1):
+    rep = evaluate_recommendation(rec.with_params(MRFParameters(delta=d)), users, foracle, cutoffs=(10,))
+    print("   ", rep.format_row(f"FIG d={d}"))
+print("  -- systems (Fig 11)")
+rspace = VectorSpace(rcorpus)
+rrb = RankBoostRetriever(rspace).fit(sample_queries(rcorpus, 10, seed=5), TopicOracle(rcorpus))
+rsystems = {
+    "FIG-T": rec.with_params(MRFParameters(delta=0.4)),
+    "FIG": rec,
+    "LSA": ProfileRecommender(LSAFusionRetriever(rspace), rcorpus, split),
+    "TP": ProfileRecommender(TensorProductRetriever(rspace), rcorpus, split),
+    "RB": ProfileRecommender(rrb, rcorpus, split),
+}
+for name, s in rsystems.items():
+    t0 = time.time()
+    rep = evaluate_recommendation(s, users, foracle, cutoffs=(10, 20, 30))
+    print("   ", rep.format_row(name), f"({time.time()-t0:.0f}s)")
