@@ -29,6 +29,8 @@ Quickstart::
     hits = engine.search(corpus[0], k=10)
 """
 
+from __future__ import annotations
+
 from repro.core import (
     Clique,
     CliqueScorer,

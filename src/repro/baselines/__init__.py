@@ -1,6 +1,8 @@
 """Baseline systems of Section 5.1.1: LSA and TP early fusion,
 RankBoost late fusion, plus CSA and single-modality retrievers."""
 
+from __future__ import annotations
+
 from repro.baselines.base import FusionBaseline
 from repro.baselines.csa import CalibratedScoreAveraging
 from repro.baselines.lsa import LSAFusionRetriever

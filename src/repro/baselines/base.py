@@ -68,6 +68,9 @@ class FusionBaseline(abc.ABC):
         top = np.argpartition(-row_scores, k_eff - 1)[:k_eff]
         order = top[np.lexsort((rows[top], -row_scores[top]))]
         return [
-            RankedResult(object_id=self._corpus[int(rows[i])].object_id, score=float(scores[rows[i]]))
+            RankedResult(
+                object_id=self._corpus[int(rows[i])].object_id,
+                score=float(scores[rows[i]]),
+            )
             for i in order
         ]

@@ -34,6 +34,7 @@ class CalibratedScoreAveraging(FusionBaseline):
         if grid_steps < 2:
             raise ValueError("grid_steps must be >= 2")
         self._grid_steps = grid_steps
+        assert ALL_TYPES, "feature-type registry must not be empty"
         self._weights = np.full(len(ALL_TYPES), 1.0 / len(ALL_TYPES))
 
     @property

@@ -58,6 +58,7 @@ class LSAFusionRetriever(FusionBaseline):
 
     def fold_in(self, query: MediaObject) -> np.ndarray:
         """Project a query object into the latent space."""
+        assert np.all(self._sigma > 0.0), "singular values are clamped positive in fit"
         q = self._space.stacked_vector(query)
         latent = np.asarray(q @ self._vt.T).ravel() / self._sigma
         norm = np.linalg.norm(latent)

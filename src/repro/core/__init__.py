@@ -1,6 +1,8 @@
 """Core contribution: the FIG representation, the MRF similarity model,
 Algorithm 1 retrieval and the temporal recommendation extension."""
 
+from __future__ import annotations
+
 from repro.core.classification import KNNClassifier, Prediction, classification_accuracy
 from repro.core.cliques import Clique, enumerate_cliques
 from repro.core.clustering import ClusteringResult, cluster_purity, k_medoids, pairwise_similarity

@@ -20,6 +20,11 @@ from collections.abc import Iterator, Mapping, Sequence
 from dataclasses import dataclass
 
 from repro.core.objects import Feature
+from repro.diagnostics.contracts import (
+    ContractViolation,
+    check_canonical_features,
+    contracts_enabled,
+)
 
 
 @dataclass(frozen=True)
@@ -39,6 +44,10 @@ class Clique:
             raise ValueError("a clique must contain at least one feature node")
         ordered = tuple(sorted(self.features))
         object.__setattr__(self, "features", ordered)
+        if contracts_enabled():
+            # Sorting is ours; what this actually catches is duplicate
+            # features, which would corrupt the clique's index key.
+            check_canonical_features(ordered, what=f"clique {ordered!r}")
 
     @property
     def size(self) -> int:
@@ -109,4 +118,11 @@ def enumerate_cliques(
 
     ordered_nodes = sorted(nodes, key=order.__getitem__)
     extend([], ordered_nodes)
+    if contracts_enabled():
+        for clique in results:
+            if len(set(clique)) != len(clique) or len(clique) > max_size:
+                raise ContractViolation(
+                    f"enumerated clique {clique!r} violates distinctness or "
+                    f"the max_size={max_size} bound"
+                )
     return results

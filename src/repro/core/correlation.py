@@ -37,6 +37,11 @@ import math
 from collections.abc import Callable, Iterable, Sequence
 
 from repro.core.objects import Feature, FeatureType, MediaObject
+from repro.diagnostics.contracts import (
+    bounded_correlation,
+    non_negative_result,
+    symmetric_correlation,
+)
 from repro.social.users import SocialGraph
 from repro.text.wup import WuPalmerSimilarity
 from repro.vision.visual_words import VisualCodebook
@@ -112,11 +117,14 @@ class OccurrenceStats:
             return 0.0
         norm_a = math.sqrt(sum(v * v for v in pa.values()))
         norm_b = math.sqrt(sum(v * v for v in pb.values()))
+        if norm_a == 0.0 or norm_b == 0.0:
+            return 0.0
         return dot / (norm_a * norm_b)
 
     # ------------------------------------------------------------------
     # Eq. 8 — correlation strength of a clique's feature set
     # ------------------------------------------------------------------
+    @non_negative_result
     def cors(self, features: Sequence[Feature]) -> float:
         """Normalized standardized co-moment of ``features``.
 
@@ -235,6 +243,7 @@ class CorrelationModel:
     # ------------------------------------------------------------------
     # Cor dispatch
     # ------------------------------------------------------------------
+    @bounded_correlation
     def cor(self, a: Feature, b: Feature) -> float:
         """Correlation between two features, in ``[0, 1]``-ish range
         (intra measures are [0,1]; Eq. 1 cosine is [0,1])."""
@@ -248,6 +257,7 @@ class CorrelationModel:
         self._cache[key] = value
         return value
 
+    @symmetric_correlation
     def _compute_cor(self, a: Feature, b: Feature) -> float:
         if a.ftype != b.ftype:
             return self._stats.cooccurrence_cosine(a, b)

@@ -36,10 +36,12 @@ from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.core.cliques import Clique
 from repro.core.correlation import CorrelationModel
 from repro.core.objects import Feature, MediaObject
+from repro.diagnostics.contracts import non_negative_result
 from repro.social.temporal import decay_weight
 
 #: Default per-size clique weights, in the spirit of Metzler & Croft's
@@ -94,7 +96,7 @@ class MRFParameters:
     def lambda_for(self, size: int) -> float:
         return self.lambdas.get(size, 0.0)
 
-    def with_updates(self, **changes) -> "MRFParameters":
+    def with_updates(self, **changes: Any) -> "MRFParameters":
         """Functional update helper used by the trainer."""
         data = {
             "lambdas": dict(self.lambdas),
@@ -172,6 +174,7 @@ class CliqueScorer:
             self._cors_cache[clique.features] = cached
         return cached
 
+    @non_negative_result
     def potential(
         self,
         clique: Clique,

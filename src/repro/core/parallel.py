@@ -101,5 +101,7 @@ class ParallelScanner:
     @staticmethod
     def _split(objects: Sequence[MediaObject], n: int) -> list[list[MediaObject]]:
         """Contiguous shards of near-equal size."""
+        if n < 1:
+            raise ValueError("shard count must be >= 1")
         size = (len(objects) + n - 1) // n
         return [list(objects[i : i + size]) for i in range(0, len(objects), size)]

@@ -29,6 +29,7 @@ from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
 from repro.core.mrf import MRFParameters
+from repro.diagnostics.contracts import simplex_lambdas
 
 Objective = Callable[[MRFParameters], float]
 
@@ -101,6 +102,7 @@ class CoordinateAscentTrainer:
         self._max_rounds = max_rounds
         self._min_improvement = min_improvement
 
+    @simplex_lambdas
     def train(self, initial: MRFParameters | None = None) -> TrainingResult:
         """Run the ascent from ``initial`` (default: library defaults)."""
         params = initial if initial is not None else MRFParameters()

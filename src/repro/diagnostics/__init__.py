@@ -1,0 +1,10 @@
+"""Runtime diagnostics: opt-in invariant contracts for the numeric core."""
+
+from __future__ import annotations
+
+from repro.diagnostics.contracts import (
+    ContractViolation,
+    contracts_enabled,
+)
+
+__all__ = ["ContractViolation", "contracts_enabled"]

@@ -1,6 +1,8 @@
 """Evaluation substrate: metrics, relevance oracles, experiment
 protocols and the latency harness (Section 5's methodology)."""
 
+from __future__ import annotations
+
 from repro.eval.metrics import (
     average_precision,
     mean_average_precision,

@@ -76,7 +76,7 @@ def mean_average_precision(
     for i, (ranking, rel) in enumerate(zip(rankings, relevance_fns)):
         nr = n_relevant[i] if n_relevant is not None else None
         totals.append(average_precision(ranking, rel, n_relevant=nr))
-    return sum(totals) / len(totals)
+    return sum(totals) / len(rankings)
 
 
 def ndcg_at_n(ranked_ids: Sequence[str], is_relevant: Relevance, n: int) -> float:
@@ -89,9 +89,9 @@ def ndcg_at_n(ranked_ids: Sequence[str], is_relevant: Relevance, n: int) -> floa
         if is_relevant(oid):
             hits += 1
             dcg += 1.0 / math.log2(rank + 1)
-    if hits == 0:
-        return 0.0
     ideal = sum(1.0 / math.log2(rank + 1) for rank in range(1, hits + 1))
+    if ideal == 0.0:  # no relevant result in the cutoff
+        return 0.0
     return dcg / ideal
 
 

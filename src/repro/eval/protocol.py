@@ -95,7 +95,7 @@ def evaluate_retrieval(
         for n in cutoffs:
             per_query[n].append(precision_at_n(ranked, rel, n))
     return PrecisionReport(
-        precision={n: sum(v) / len(v) for n, v in per_query.items()},
+        precision={n: sum(v) / len(queries) for n, v in per_query.items()},
         per_query={n: tuple(v) for n, v in per_query.items()},
     )
 
@@ -128,7 +128,7 @@ def evaluate_recommendation(
     if served == 0:
         raise ValueError("no user could be served a recommendation")
     return PrecisionReport(
-        precision={n: sum(v) / len(v) for n, v in per_user.items()},
+        precision={n: sum(v) / served for n, v in per_user.items()},
         per_query={n: tuple(v) for n, v in per_user.items()},
     )
 

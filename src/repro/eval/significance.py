@@ -56,6 +56,8 @@ def paired_permutation_test(
     is the fraction of sign assignments whose |mean| reaches the
     observed |mean| (with the +1 correction that keeps p > 0).
     """
+    if n_permutations < 1:
+        raise ValueError("n_permutations must be >= 1")
     a_arr, b_arr = np.asarray(a, dtype=float), np.asarray(b, dtype=float)
     if a_arr.shape != b_arr.shape or a_arr.ndim != 1:
         raise ValueError("paired samples must be 1-D and equally long")

@@ -51,7 +51,7 @@ def time_per_query(
         system.search(query, k=k)
         samples.append(time.perf_counter() - start)
     return TimingReport(
-        mean=sum(samples) / len(samples),
+        mean=sum(samples) / len(queries),
         minimum=min(samples),
         maximum=max(samples),
         n_queries=len(samples),

@@ -1,6 +1,8 @@
 """Index substrate: clique inverted lists and Fagin's Threshold
 Algorithm (Section 3.5 / Algorithm 1's acceleration structures)."""
 
+from __future__ import annotations
+
 from repro.index.compression import (
     CompressedPosting,
     compression_ratio,

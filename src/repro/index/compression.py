@@ -131,4 +131,5 @@ def compression_ratio(doc_ids: Iterable[int], reference_bytes_per_id: int = 8) -
     if not ids:
         return 1.0
     compressed = len(encode_postings(ids))
+    assert compressed > 0, "varint encoding emits at least one byte per id"
     return (len(ids) * reference_bytes_per_id) / compressed

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from collections.abc import Iterator
 
+from repro.diagnostics.contracts import check_no_duplicates, contracts_enabled
+
 
 class Posting:
     """One inverted-index entry: clique key, stored CorS, object ids.
@@ -51,6 +53,10 @@ class Posting:
         tail adds, the only repetition the index builder can produce)."""
         if not self._object_ids or self._object_ids[-1] != object_id:
             self._object_ids.append(object_id)
+            if contracts_enabled():
+                # A non-tail repeat means the builder visited an object
+                # twice — the posting would double-count it at merge time.
+                check_no_duplicates(self._object_ids, what=f"posting {self._key!r}")
 
     def __contains__(self, object_id: str) -> bool:
         return object_id in self._object_ids

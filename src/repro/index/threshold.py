@@ -21,6 +21,8 @@ from __future__ import annotations
 import heapq
 from collections.abc import Callable, Sequence
 
+from repro.diagnostics.contracts import check_sorted_descending, contracts_enabled
+
 
 class _ReverseStr:
     """String wrapper with inverted ordering.
@@ -63,6 +65,9 @@ class SortedListSource:
         self._scores: dict[str, float] = {oid: s for oid, s in entries}
         if len(self._scores) != len(self._sorted):
             raise ValueError("duplicate object ids within one source")
+        if contracts_enabled():
+            # Early termination is unsound on an unsorted source.
+            check_sorted_descending(self._sorted, what="TA sorted-access source")
 
     def __len__(self) -> int:
         return len(self._sorted)

@@ -1,6 +1,8 @@
 """Social substrate: users/groups, corpora, temporal windows, and the
 synthetic Flickr generator that substitutes for the paper's crawls."""
 
+from __future__ import annotations
+
 from repro.social.corpus import Corpus, FavoriteEvent
 from repro.social.generator import GeneratorConfig, SyntheticFlickr
 from repro.social.ingest import IngestConfig, IngestError, IngestReport, ingest_records

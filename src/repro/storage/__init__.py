@@ -1,6 +1,8 @@
 """Storage substrate: inspectable on-disk persistence for corpora and
 trained model parameters."""
 
+from __future__ import annotations
+
 from repro.storage.store import (
     FORMAT_VERSION,
     StorageError,

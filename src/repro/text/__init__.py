@@ -5,6 +5,8 @@ intra-textual correlation measures of Section 3.2 (WordNet WUP, with
 term co-occurrence as the paper-sanctioned alternative).
 """
 
+from __future__ import annotations
+
 from repro.text.cooccurrence import CooccurrenceSimilarity
 from repro.text.stemmer import PorterStemmer
 from repro.text.stopwords import SNOWBALL_ENGLISH, StopwordFilter

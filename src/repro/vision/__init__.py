@@ -1,6 +1,8 @@
 """Vision substrate: synthetic rasters, block descriptors, k-means,
 visual-word codebooks (Sections 3.2 and 5.1.3 of the paper)."""
 
+from __future__ import annotations
+
 from repro.vision.blocks import DESCRIPTOR_DIM, block_descriptor, block_grid, image_descriptors
 from repro.vision.image import SyntheticImage, TopicPalette, default_palettes, render_image
 from repro.vision.kmeans import KMeansResult, kmeans, kmeans_plus_plus

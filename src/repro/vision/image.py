@@ -77,7 +77,9 @@ def default_palettes(n_topics: int, rng: np.random.Generator) -> list[TopicPalet
     palettes: list[TopicPalette] = []
     for t in range(n_topics):
         hue = t / n_topics
-        colors = np.stack([_hsv_to_rgb(hue + rng.normal(0.0, 0.03), 0.6, v) for v in (0.45, 0.7, 0.9)])
+        colors = np.stack(
+            [_hsv_to_rgb(hue + rng.normal(0.0, 0.03), 0.6, v) for v in (0.45, 0.7, 0.9)]
+        )
         freq = 1.0 + 7.0 * ((t * 2654435761) % 97) / 97.0  # deterministic spread of frequencies
         palettes.append(TopicPalette(base_colors=colors, texture_freq=freq))
     return palettes

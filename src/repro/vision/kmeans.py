@@ -113,6 +113,7 @@ def kmeans(
             for ci, pi in zip(np.flatnonzero(empty), worst):
                 new_centers[ci] = points[pi]
                 counts[ci] = 1.0
+        assert (counts > 0).all(), "empty clusters were re-seeded above"
         new_centers /= counts[:, None]
         shift = float(np.linalg.norm(new_centers - centers))
         centers = new_centers

@@ -124,6 +124,7 @@ class VisualCodebook:
         """Distance-based similarity in ``(0, 1]``: ``exp(-d / scale)``."""
         if a == b:
             return 1.0
+        assert self._scale > 0.0, "scale is clamped positive at construction"
         return float(np.exp(-self.word_distance(a, b) / self._scale))
 
     # ------------------------------------------------------------------

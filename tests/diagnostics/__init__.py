@@ -1,0 +1,1 @@
+"""Contract (runtime invariant) tests."""

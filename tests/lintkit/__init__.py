@@ -1,0 +1,1 @@
+"""lintkit test suite."""

@@ -1,0 +1,308 @@
+"""Per-checker positive/negative snippets.
+
+Each test lints a minimal source string through :func:`lint_source`
+with a config selecting only the checker under test, so snippets do
+not need to satisfy the *other* checkers (e.g. the future-annotations
+import).  Domain-scoped checkers get both an in-scope path
+(``src/repro/core/...``) and an out-of-scope one
+(``src/repro/storage/...``).
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from tools.lintkit.config import LintConfig
+from tools.lintkit.runner import lint_source
+
+IN_SCOPE = "src/repro/core/mod.py"
+OUT_OF_SCOPE = "src/repro/storage/mod.py"
+
+
+def run(checker: str, source: str, path: str = IN_SCOPE):
+    config = LintConfig(select=(checker,))
+    return lint_source(textwrap.dedent(source), path=path, config=config)
+
+
+# ----------------------------------------------------------------------
+# float-equality
+# ----------------------------------------------------------------------
+def test_float_equality_flags_nonzero_literal():
+    out = run("float-equality", "def f(x):\n    return x == 0.7\n")
+    assert [v.checker for v in out] == ["float-equality"]
+    assert "0.7" in out[0].message
+
+
+def test_float_equality_flags_not_equal():
+    assert run("float-equality", "def f(x):\n    return x != 1.5\n")
+
+
+def test_float_equality_allows_zero_sentinel():
+    assert run("float-equality", "def f(x):\n    return x == 0.0\n") == []
+
+
+def test_float_equality_allows_int_and_comparisons():
+    assert run("float-equality", "def f(x):\n    return x == 3\n") == []
+    assert run("float-equality", "def f(x):\n    return x < 0.7\n") == []
+
+
+def test_float_equality_scoped_to_scoring_paths():
+    assert run("float-equality", "def f(x):\n    return x == 0.7\n", OUT_OF_SCOPE) == []
+
+
+# ----------------------------------------------------------------------
+# unguarded-division
+# ----------------------------------------------------------------------
+def test_division_flags_unguarded_name():
+    out = run("unguarded-division", "def f(xs):\n    return 1.0 / len(xs)\n")
+    assert [v.checker for v in out] == ["unguarded-division"]
+
+
+def test_division_accepts_if_guard():
+    src = """
+    def f(xs):
+        if xs:
+            return 1.0 / len(xs)
+        return 0.0
+    """
+    assert run("unguarded-division", src) == []
+
+
+def test_division_accepts_comparison_guard():
+    src = """
+    def f(n):
+        if n > 0:
+            return 1.0 / n
+        return 0.0
+    """
+    assert run("unguarded-division", src) == []
+
+
+def test_division_accepts_zero_division_handler():
+    src = """
+    def f(n):
+        try:
+            return 1.0 / n
+        except ZeroDivisionError:
+            return 0.0
+    """
+    assert run("unguarded-division", src) == []
+
+
+def test_division_allows_nonzero_literal_denominator():
+    assert run("unguarded-division", "def f(x):\n    return x / 2.0\n") == []
+
+
+def test_division_always_flags_literal_zero():
+    src = """
+    def f(x):
+        if x:
+            return x / 0
+        return 0.0
+    """
+    assert run("unguarded-division", src)
+
+
+def test_division_accepts_positive_clamp():
+    src = """
+    def f(n):
+        d = max(n, 1)
+        return 1.0 / d
+    """
+    assert run("unguarded-division", src) == []
+
+
+def test_division_accepts_loop_iterable_nonempty():
+    src = """
+    def f(xs):
+        total = 0.0
+        for x in xs:
+            total += x / len(xs)
+        return total
+    """
+    assert run("unguarded-division", src) == []
+
+
+def test_division_scoped_to_numeric_paths():
+    assert run("unguarded-division", "def f(xs):\n    return 1.0 / len(xs)\n", OUT_OF_SCOPE) == []
+
+
+# ----------------------------------------------------------------------
+# mutable-default
+# ----------------------------------------------------------------------
+def test_mutable_default_flags_dict_literal():
+    out = run("mutable-default", "def f(cache={}):\n    return cache\n")
+    assert [v.checker for v in out] == ["mutable-default"]
+
+
+def test_mutable_default_flags_constructor_call():
+    assert run("mutable-default", "def f(xs=list()):\n    return xs\n")
+
+
+def test_mutable_default_flags_kwonly():
+    assert run("mutable-default", "def f(*, xs=[]):\n    return xs\n")
+
+
+def test_mutable_default_allows_none_idiom():
+    src = """
+    def f(cache=None):
+        cache = {} if cache is None else cache
+        return cache
+    """
+    assert run("mutable-default", src) == []
+
+
+def test_mutable_default_allows_immutable_defaults():
+    assert run("mutable-default", "def f(xs=(), s='a', n=3):\n    return xs\n") == []
+
+
+# ----------------------------------------------------------------------
+# executor-picklability
+# ----------------------------------------------------------------------
+def test_picklability_flags_lambda_through_process_pool():
+    src = """
+    def f(items):
+        with ProcessPoolExecutor() as pool:
+            return list(pool.map(lambda x: x + 1, items))
+    """
+    out = run("executor-picklability", src)
+    assert [v.checker for v in out] == ["executor-picklability"]
+
+
+def test_picklability_flags_nested_function_submit():
+    src = """
+    def f(pool, items):
+        def task(x):
+            return x + 1
+        return pool.submit(task, items)
+    """
+    assert run("executor-picklability", src)
+
+
+def test_picklability_allows_thread_pool_lambda():
+    src = """
+    def f(items):
+        with ThreadPoolExecutor() as pool:
+            return list(pool.map(lambda x: x + 1, items))
+    """
+    assert run("executor-picklability", src) == []
+
+
+def test_picklability_allows_module_level_function():
+    src = """
+    def task(x):
+        return x + 1
+
+    def f(items):
+        with ProcessPoolExecutor() as pool:
+            return list(pool.map(task, items))
+    """
+    assert run("executor-picklability", src) == []
+
+
+# ----------------------------------------------------------------------
+# ranking-sort-tiebreak
+# ----------------------------------------------------------------------
+def test_tiebreak_flags_bare_descending_key():
+    src = "def f(rs):\n    return sorted(rs, key=lambda r: -r.score)\n"
+    out = run("ranking-sort-tiebreak", src)
+    assert [v.checker for v in out] == ["ranking-sort-tiebreak"]
+
+
+def test_tiebreak_flags_reverse_true_scalar_key():
+    src = "def f(rs):\n    rs.sort(key=lambda r: r.score, reverse=True)\n"
+    assert run("ranking-sort-tiebreak", src)
+
+
+def test_tiebreak_allows_tuple_key():
+    src = "def f(rs):\n    return sorted(rs, key=lambda r: (-r.score, r.object_id))\n"
+    assert run("ranking-sort-tiebreak", src) == []
+
+
+def test_tiebreak_allows_ascending_scalar_key():
+    src = "def f(rs):\n    return sorted(rs, key=lambda r: r.object_id)\n"
+    assert run("ranking-sort-tiebreak", src) == []
+
+
+def test_tiebreak_scoped_to_scoring_paths():
+    src = "def f(rs):\n    return sorted(rs, key=lambda r: -r.score)\n"
+    assert run("ranking-sort-tiebreak", src, OUT_OF_SCOPE) == []
+
+
+# ----------------------------------------------------------------------
+# missing-future-annotations
+# ----------------------------------------------------------------------
+def test_future_import_flags_module_without_it():
+    out = run("missing-future-annotations", "import math\n\nX = math.pi\n")
+    assert [v.checker for v in out] == ["missing-future-annotations"]
+
+
+def test_future_import_accepts_module_with_it():
+    src = '"""Doc."""\nfrom __future__ import annotations\n\nX = 1\n'
+    assert run("missing-future-annotations", src) == []
+
+
+def test_future_import_exempts_docstring_only_module():
+    assert run("missing-future-annotations", '"""Doc only."""\n') == []
+    assert run("missing-future-annotations", "") == []
+
+
+# ----------------------------------------------------------------------
+# nondeterministic-call
+# ----------------------------------------------------------------------
+def test_determinism_flags_random_module():
+    src = "import random\n\ndef f():\n    return random.random()\n"
+    out = run("nondeterministic-call", src)
+    assert [v.checker for v in out] == ["nondeterministic-call"]
+
+
+def test_determinism_flags_wall_clock():
+    assert run("nondeterministic-call", "import time\n\ndef f():\n    return time.time()\n")
+
+
+def test_determinism_flags_unseeded_rng():
+    src = "import numpy as np\n\ndef f():\n    return np.random.default_rng()\n"
+    assert run("nondeterministic-call", src)
+
+
+def test_determinism_allows_seeded_rng():
+    src = "import numpy as np\n\ndef f(seed):\n    return np.random.default_rng(seed)\n"
+    assert run("nondeterministic-call", src) == []
+
+
+def test_determinism_scoped_to_deterministic_paths():
+    # repro/eval is scoring-scoped but *not* deterministic-scoped:
+    # timing harnesses legitimately read the clock.
+    src = "import time\n\ndef f():\n    return time.perf_counter()\n"
+    assert run("nondeterministic-call", src, "src/repro/eval/timing.py") == []
+
+
+# ----------------------------------------------------------------------
+# silent-exception
+# ----------------------------------------------------------------------
+def test_silent_exception_flags_swallowed_broad_catch():
+    src = "def f():\n    try:\n        g()\n    except Exception:\n        pass\n"
+    out = run("silent-exception", src)
+    assert [v.checker for v in out] == ["silent-exception"]
+
+
+def test_silent_exception_flags_bare_except():
+    src = "def f():\n    try:\n        g()\n    except:\n        return None\n"
+    out = run("silent-exception", src)
+    assert out and "bare except" in out[0].message
+
+
+def test_silent_exception_allows_reraise():
+    src = """
+    def f():
+        try:
+            g()
+        except Exception as exc:
+            raise RuntimeError("context") from exc
+    """
+    assert run("silent-exception", src) == []
+
+
+def test_silent_exception_allows_narrow_catch():
+    src = "def f(d):\n    try:\n        return d['k']\n    except KeyError:\n        return None\n"
+    assert run("silent-exception", src) == []

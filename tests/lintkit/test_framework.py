@@ -1,0 +1,272 @@
+"""Framework behaviour: suppressions, config, registry, reporters, CLI."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from tools.lintkit.cli import EXIT_CLEAN, EXIT_ERROR, EXIT_VIOLATIONS, main
+from tools.lintkit.config import LintConfig, find_pyproject
+from tools.lintkit.framework import (
+    Checker,
+    Suppressions,
+    Violation,
+    all_checkers,
+    register,
+)
+from tools.lintkit.runner import LintError, discover_files, lint_paths, lint_source
+
+SCORING_PATH = "src/repro/core/mod.py"
+
+#: A snippet tripping exactly one checker (float-equality) on line 2.
+FLOAT_EQ = "def f(x):\n    return x == 0.7\n"
+
+ONLY_FLOAT_EQ = LintConfig(select=("float-equality",))
+
+
+# ----------------------------------------------------------------------
+# suppressions
+# ----------------------------------------------------------------------
+def test_inline_named_ignore_silences_that_checker():
+    src = "def f(x):\n    return x == 0.7  # lintkit: ignore[float-equality]\n"
+    assert lint_source(src, SCORING_PATH, ONLY_FLOAT_EQ) == []
+
+
+def test_inline_named_ignore_for_other_checker_keeps_violation():
+    src = "def f(x):\n    return x == 0.7  # lintkit: ignore[silent-exception]\n"
+    assert len(lint_source(src, SCORING_PATH, ONLY_FLOAT_EQ)) == 1
+
+
+def test_inline_blanket_ignore_silences_everything_on_the_line():
+    src = "def f(x):\n    return x == 0.7  # lintkit: ignore\n"
+    assert lint_source(src, SCORING_PATH, ONLY_FLOAT_EQ) == []
+
+
+def test_ignore_only_applies_to_its_own_line():
+    src = (
+        "def f(x):\n"
+        "    a = x == 0.7  # lintkit: ignore\n"
+        "    return x == 0.7\n"
+    )
+    out = lint_source(src, SCORING_PATH, ONLY_FLOAT_EQ)
+    assert [v.line for v in out] == [3]
+
+
+def test_skip_file_silences_the_whole_file():
+    src = "# lintkit: skip-file\ndef f(x):\n    return x == 0.7\n"
+    assert lint_source(src, SCORING_PATH, ONLY_FLOAT_EQ) == []
+
+
+def test_named_skip_file_silences_only_named_checkers():
+    src = "# lintkit: skip-file[float-equality]\ndef f(x):\n    return x == 0.7\n"
+    assert lint_source(src, SCORING_PATH, ONLY_FLOAT_EQ) == []
+    src_other = "# lintkit: skip-file[silent-exception]\ndef f(x):\n    return x == 0.7\n"
+    assert len(lint_source(src_other, SCORING_PATH, ONLY_FLOAT_EQ)) == 1
+
+
+def test_suppressions_parse_merges_names_per_line():
+    supp = Suppressions.parse("x = 1  # lintkit: ignore[a, b]\n")
+    assert supp.is_suppressed("a", 1)
+    assert supp.is_suppressed("b", 1)
+    assert not supp.is_suppressed("c", 1)
+    assert not supp.is_suppressed("a", 2)
+
+
+def test_blanket_ignore_wins_over_named():
+    supp = Suppressions.parse("# lintkit: ignore\n")
+    assert supp.is_suppressed("anything", 1)
+
+
+# ----------------------------------------------------------------------
+# parse errors
+# ----------------------------------------------------------------------
+def test_syntax_error_becomes_parse_error_violation():
+    out = lint_source("def f(:\n", "bad.py")
+    assert len(out) == 1
+    assert out[0].checker == "parse-error"
+
+
+# ----------------------------------------------------------------------
+# config
+# ----------------------------------------------------------------------
+def test_from_mapping_reads_kebab_keys():
+    config = LintConfig.from_mapping(
+        {"scoring-paths": ["x/y"], "select": ["float-equality"], "exclude": ["gen/"]}
+    )
+    assert config.scoring_paths == ("x/y",)
+    assert config.select == ("float-equality",)
+    assert config.exclude == ("gen/",)
+
+
+def test_from_mapping_rejects_non_string_lists():
+    with pytest.raises(ValueError):
+        LintConfig.from_mapping({"select": [1, 2]})
+
+
+def test_unknown_checker_name_is_an_error():
+    config = LintConfig(select=("no-such-checker",))
+    with pytest.raises(LintError):
+        lint_source("x = 1\n", config=config)
+
+
+def test_ignore_removes_checker():
+    registry = all_checkers()
+    active = LintConfig(ignore=("float-equality",)).active_checkers(registry)
+    assert "float-equality" not in active
+    assert len(active) == len(registry) - 1
+
+
+def test_find_pyproject_walks_up(tmp_path):
+    (tmp_path / "pyproject.toml").write_text("[tool.lintkit]\n")
+    nested = tmp_path / "a" / "b"
+    nested.mkdir(parents=True)
+    assert find_pyproject(nested) == tmp_path / "pyproject.toml"
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+def test_all_checkers_registers_the_full_suite():
+    names = set(all_checkers())
+    assert names == {
+        "float-equality",
+        "unguarded-division",
+        "mutable-default",
+        "executor-picklability",
+        "ranking-sort-tiebreak",
+        "missing-future-annotations",
+        "nondeterministic-call",
+        "silent-exception",
+    }
+
+
+def test_register_rejects_anonymous_checker():
+    with pytest.raises(ValueError):
+
+        @register
+        class Nameless(Checker):
+            pass
+
+
+def test_register_rejects_duplicate_name():
+    with pytest.raises(ValueError):
+
+        @register
+        class Imposter(Checker):
+            name = "float-equality"
+
+
+# ----------------------------------------------------------------------
+# discovery
+# ----------------------------------------------------------------------
+def test_discover_files_honours_exclude(tmp_path):
+    (tmp_path / "keep.py").write_text("x = 1\n")
+    gen = tmp_path / "generated"
+    gen.mkdir()
+    (gen / "drop.py").write_text("x = 1\n")
+    config = LintConfig(exclude=("generated/",))
+    files = discover_files([str(tmp_path)], config)
+    assert [f.name for f in files] == ["keep.py"]
+
+
+def test_discover_files_missing_path_raises():
+    with pytest.raises(LintError):
+        discover_files(["/no/such/dir"], LintConfig())
+
+
+# ----------------------------------------------------------------------
+# reporters
+# ----------------------------------------------------------------------
+def _violations():
+    return lint_source(FLOAT_EQ, SCORING_PATH, ONLY_FLOAT_EQ)
+
+
+def test_text_reporter_clean_and_dirty():
+    from tools.lintkit.reporters import render_text
+
+    assert render_text([]) == "lintkit: clean"
+    rendered = render_text(_violations())
+    assert f"{SCORING_PATH}:2" in rendered
+    assert "1 violation(s)" in rendered
+    assert "float-equality=1" in rendered
+
+
+def test_json_reporter_round_trips():
+    from tools.lintkit.reporters import render_json
+
+    payload = json.loads(render_json(_violations()))
+    assert payload["total"] == 1
+    assert payload["counts"] == {"float-equality": 1}
+    assert payload["violations"][0]["path"] == SCORING_PATH
+    assert payload["violations"][0]["line"] == 2
+
+
+def test_violation_render_format():
+    v = Violation(path="a.py", line=3, col=5, checker="c", message="m")
+    assert v.render() == "a.py:3:5: [c] m"
+
+
+# ----------------------------------------------------------------------
+# CLI exit codes
+# ----------------------------------------------------------------------
+def _write(tmp_path, name, source):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    return str(path)
+
+
+def test_cli_clean_exits_zero(tmp_path, capsys):
+    clean = _write(
+        tmp_path, "clean.py", '"""Doc."""\nfrom __future__ import annotations\n\nX = 1\n'
+    )
+    assert main([clean]) == EXIT_CLEAN
+    assert "lintkit: clean" in capsys.readouterr().out
+
+
+def test_cli_violations_exit_one(tmp_path, capsys):
+    # Bare module => missing-future-annotations fires everywhere.
+    dirty = _write(tmp_path, "dirty.py", "X = 1\n")
+    assert main([dirty]) == EXIT_VIOLATIONS
+    assert "missing-future-annotations" in capsys.readouterr().out
+
+
+def test_cli_missing_path_exits_two(tmp_path, capsys):
+    assert main([str(tmp_path / "nope.py")]) == EXIT_ERROR
+    assert "error" in capsys.readouterr().err
+
+
+def test_cli_unknown_checker_exits_two(tmp_path, capsys):
+    clean = _write(tmp_path, "x.py", "from __future__ import annotations\n")
+    assert main([clean, "--select", "bogus"]) == EXIT_ERROR
+    assert "bogus" in capsys.readouterr().err
+
+
+def test_cli_select_limits_checkers(tmp_path):
+    dirty = _write(tmp_path, "dirty.py", "X = 1\n")
+    assert main([dirty, "--select", "silent-exception"]) == EXIT_CLEAN
+
+
+def test_cli_json_format(tmp_path, capsys):
+    dirty = _write(tmp_path, "dirty.py", "X = 1\n")
+    assert main([dirty, "--format", "json"]) == EXIT_VIOLATIONS
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["total"] == 1
+
+
+def test_cli_list_checkers(capsys):
+    assert main(["--list-checkers"]) == EXIT_CLEAN
+    out = capsys.readouterr().out
+    assert "float-equality" in out and "unguarded-division" in out
+
+
+# ----------------------------------------------------------------------
+# lint_paths end to end
+# ----------------------------------------------------------------------
+def test_lint_paths_aggregates_and_sorts(tmp_path):
+    _write(tmp_path, "b.py", "X = 1\n")
+    _write(tmp_path, "a.py", "Y = 2\n")
+    out = lint_paths([str(tmp_path)])
+    assert [v.path.rsplit("/", 1)[-1] for v in out] == ["a.py", "b.py"]
+    assert all(v.checker == "missing-future-annotations" for v in out)

@@ -1,0 +1,39 @@
+"""The repo passes its own lint.
+
+This is the acceptance gate in test form: `python -m tools.lintkit
+src/repro` must stay clean, with the pyproject configuration active and
+zero suppression comments spent on `src/repro` (ISSUE policy: fix,
+don't suppress).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from tools.lintkit.config import LintConfig
+from tools.lintkit.runner import discover_files, lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _config() -> LintConfig:
+    return LintConfig.from_pyproject(REPO_ROOT / "pyproject.toml")
+
+
+def test_src_repro_is_clean():
+    violations = lint_paths([str(REPO_ROOT / "src" / "repro")], _config())
+    assert violations == [], "\n".join(v.render() for v in violations)
+
+
+def test_tools_are_clean():
+    violations = lint_paths([str(REPO_ROOT / "tools")], _config())
+    assert violations == [], "\n".join(v.render() for v in violations)
+
+
+def test_src_repro_spends_no_suppressions():
+    offenders = [
+        path
+        for path in discover_files([str(REPO_ROOT / "src" / "repro")], _config())
+        if "lintkit:" in path.read_text(encoding="utf-8")
+    ]
+    assert offenders == [], f"suppression comments found in {offenders}"

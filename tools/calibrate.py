@@ -2,6 +2,8 @@
 
 Not part of the library or test suite; run with `python tools/calibrate.py`.
 """
+from __future__ import annotations
+
 import time
 from repro import (GeneratorConfig, SyntheticFlickr, RetrievalEngine, Recommender,
                    MRFParameters, FeatureType)

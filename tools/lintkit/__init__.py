@@ -1,0 +1,36 @@
+"""lintkit — domain-aware static analysis for the repro codebase.
+
+A small pluggable AST-lint framework plus checkers tuned to the
+failure modes of this particular system: silent numeric bugs in the
+MRF/CorS math (float equality, unguarded division), multiprocessing
+picklability hazards, iteration-order nondeterminism in ranking paths,
+and hygiene rules (mutable defaults, missing ``from __future__ import
+annotations``, nondeterministic calls in scoring modules, swallowed
+exceptions).
+
+Run it as ``python -m tools.lintkit <paths>`` or via the ``repro-lint``
+console script.  Configuration lives in ``pyproject.toml`` under
+``[tool.lintkit]``; per-line suppression is ``# lintkit: ignore[name]``
+and per-file suppression is ``# lintkit: skip-file`` (optionally
+``skip-file[name, ...]`` to skip only some checkers).
+"""
+
+from __future__ import annotations
+
+from tools.lintkit.config import LintConfig
+from tools.lintkit.framework import Checker, FileContext, Violation, all_checkers, register
+from tools.lintkit.runner import lint_file, lint_paths, lint_source
+
+__all__ = [
+    "Checker",
+    "FileContext",
+    "LintConfig",
+    "Violation",
+    "all_checkers",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "register",
+]
+
+__version__ = "0.1.0"

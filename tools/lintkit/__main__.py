@@ -1,0 +1,9 @@
+"""``python -m tools.lintkit`` entry point."""
+
+from __future__ import annotations
+
+import sys
+
+from tools.lintkit.cli import main
+
+sys.exit(main())

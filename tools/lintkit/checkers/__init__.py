@@ -1,0 +1,14 @@
+"""Checker modules; importing this package registers every checker."""
+
+from __future__ import annotations
+
+from tools.lintkit.checkers import (  # noqa: F401  — registration side effect
+    determinism,
+    division,
+    exceptions,
+    floats,
+    future_import,
+    mutable_defaults,
+    ordering,
+    picklability,
+)

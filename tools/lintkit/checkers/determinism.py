@@ -1,0 +1,114 @@
+"""``nondeterministic-call``: wall clocks and unseeded randomness in
+deterministic modules.
+
+The scoring/index layers must be pure functions of their inputs — the
+test suite asserts bit-identical top-k lists across scan, index and
+parallel execution, and benchmark drift detection depends on it.  A
+stray ``time.time()`` or ``random.random()`` in those modules breaks
+reproducibility invisibly.
+
+Flagged inside deterministic paths (annotations are skipped — a
+``np.random.Generator`` *type* is fine, constructing one without a seed
+is not):
+
+* any call into the ``random`` module;
+* ``time.time`` / ``time.monotonic`` / ``time.perf_counter`` / ...;
+* ``datetime.now`` / ``utcnow`` / ``today``;
+* ``uuid.uuid1`` / ``uuid4``, ``os.urandom``, ``secrets.*``;
+* ``default_rng()`` / ``seed()`` with no arguments (unseeded RNG).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from tools.lintkit.framework import Checker, FileContext, Violation, register
+
+_BANNED_MODULES = {"random", "secrets"}
+_BANNED_ATTRS = {
+    "time": {"time", "time_ns", "monotonic", "monotonic_ns", "perf_counter", "perf_counter_ns"},
+    "datetime": {"now", "utcnow", "today"},
+    "date": {"today"},
+    "uuid": {"uuid1", "uuid4"},
+    "os": {"urandom"},
+}
+
+
+def _dotted(node: ast.expr) -> list[str]:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    parts.reverse()
+    return parts
+
+
+class _CallCollector(ast.NodeVisitor):
+    """Collects Call nodes while skipping annotation positions."""
+
+    def __init__(self) -> None:
+        self.calls: list[ast.Call] = []
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self.calls.append(node)
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def _visit_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        for decorator in node.decorator_list:
+            self.visit(decorator)
+        for default in (*node.args.defaults, *node.args.kw_defaults):
+            if default is not None:
+                self.visit(default)
+        for stmt in node.body:
+            self.visit(stmt)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self.visit(node.value)
+
+    def visit_arg(self, node: ast.arg) -> None:
+        return
+
+
+@register
+class NondeterministicCallChecker(Checker):
+    name = "nondeterministic-call"
+    description = "clock/unseeded-RNG call inside a deterministic module"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not ctx.in_paths(ctx.config.deterministic_paths):
+            return
+        collector = _CallCollector()
+        collector.visit(ctx.tree)
+        for call in collector.calls:
+            parts = _dotted(call.func)
+            if not parts:
+                continue
+            rendered = ".".join(parts)
+            if parts[0] in _BANNED_MODULES and len(parts) > 1:
+                yield ctx.violation(
+                    call, self.name, f"{rendered}() in a deterministic module"
+                )
+                continue
+            if len(parts) >= 2:
+                base, attr = parts[-2], parts[-1]
+                if attr in _BANNED_ATTRS.get(base, ()):  # e.g. time.time, datetime.now
+                    yield ctx.violation(
+                        call, self.name, f"{rendered}() in a deterministic module"
+                    )
+                    continue
+            if parts[-1] in ("default_rng", "seed") and not call.args and not call.keywords:
+                yield ctx.violation(
+                    call,
+                    self.name,
+                    f"{rendered}() without a seed in a deterministic module",
+                )

@@ -1,0 +1,265 @@
+"""``unguarded-division``: division whose denominator is never tested.
+
+The CorS / correlation math divides by corpus sizes, standard
+deviations, vector norms and posting-list lengths — all of which are
+legitimately zero for empty corpora, constant features or disjoint
+supports.  The paper's equations silently assume non-degeneracy; the
+code must not.
+
+A division ``x / d`` counts as *guarded* when, in the same or an
+enclosing function scope, any name (or dotted attribute) appearing in
+``d``:
+
+* appears in a conditional test — ``if`` / ``while`` / ternary /
+  ``assert`` / comprehension filter / ``match`` subject;
+* is the loop variable of ``enumerate(..., start=k)`` or
+  ``range(k, ...)`` with constant ``k >= 1`` (ranks are positive);
+* is assigned from an expression containing ``max(...)`` /
+  ``np.maximum(...)`` with a positive literal floor (the numpy clamp
+  idiom), including one hop of plain-name aliasing;
+* is the base of a masked fix-up assignment ``d[d == 0] = ...``;
+* appears in the iterable of a ``for`` loop or comprehension (an
+  executing iteration implies a non-empty iterable);
+
+or when the division sits inside a ``try`` catching
+``ZeroDivisionError``.  Division by a non-zero numeric literal is
+always fine; by literal zero, always flagged.
+
+The heuristic is intentionally scope-coarse (any test mentioning the
+name counts, anywhere in the function), trading missed bugs for a
+near-zero false-positive rate — the right trade for a gate that must
+stay green.  Callee names are never tokens (``len(xs)`` depends on
+``xs``, not on ``len``).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from tools.lintkit.framework import Checker, FileContext, Violation, register
+
+_DIV_OPS = (ast.Div, ast.FloorDiv)
+_CLAMP_CALLEES = {"max", "maximum"}
+
+
+def _tokens(node: ast.AST, include_receivers: bool = False) -> set[str]:
+    """Names and dotted attributes ``node``'s value depends on.
+
+    Callee names are skipped (``len(xs)`` yields ``xs``); method-call
+    receivers are included only when ``include_receivers`` (a guard
+    like ``empty.any()`` tests ``empty``, but a denominator
+    ``math.log2(x)`` does not divide by ``math``).
+    """
+    found: set[str] = set()
+
+    def rec(n: ast.AST) -> None:
+        if isinstance(n, ast.Call):
+            if include_receivers and isinstance(n.func, ast.Attribute):
+                rec(n.func.value)
+            for arg in n.args:
+                rec(arg)
+            for kw in n.keywords:
+                rec(kw.value)
+            return
+        if isinstance(n, ast.Name):
+            found.add(n.id)
+            return
+        if isinstance(n, ast.Attribute):
+            try:
+                found.add(ast.unparse(n))
+            except ValueError:  # pragma: no cover — malformed tree
+                pass
+            return
+        for child in ast.iter_child_nodes(n):
+            rec(child)
+
+    rec(node)
+    return found
+
+
+def _positive_constant(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, (int, float))
+        and node.value > 0
+    )
+
+
+def _has_positive_clamp(value: ast.expr) -> bool:
+    """Whether ``value`` contains ``max(..., c)`` / ``maximum(..., c)``
+    with a positive literal among the arguments."""
+    for sub in ast.walk(value):
+        if not isinstance(sub, ast.Call):
+            continue
+        func = sub.func
+        name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", "")
+        if name in _CLAMP_CALLEES and any(_positive_constant(a) for a in sub.args):
+            return True
+    return False
+
+
+def _target_tokens(target: ast.expr) -> set[str]:
+    if isinstance(target, ast.Name):
+        return {target.id}
+    if isinstance(target, ast.Attribute):
+        try:
+            return {ast.unparse(target)}
+        except ValueError:  # pragma: no cover
+            return set()
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: set[str] = set()
+        for elt in target.elts:
+            out |= _target_tokens(elt)
+        return out
+    return set()
+
+
+def _positive_counter_target(target: ast.expr, call: ast.expr) -> set[str]:
+    """Loop variables provably >= 1: ``enumerate(_, start=k)`` /
+    ``range(k, ...)`` with literal ``k >= 1``."""
+    if not isinstance(call, ast.Call) or not isinstance(call.func, ast.Name):
+        return set()
+    name = call.func.id
+    if name == "enumerate":
+        start = next(
+            (kw.value for kw in call.keywords if kw.arg == "start"),
+            call.args[1] if len(call.args) > 1 else None,
+        )
+        if start is not None and _positive_constant(start):
+            if isinstance(target, ast.Tuple) and target.elts:
+                return _target_tokens(target.elts[0])
+        return set()
+    if name == "range" and len(call.args) >= 2 and _positive_constant(call.args[0]):
+        return _target_tokens(target)
+    return set()
+
+
+def _guard_tokens(scope_body: list[ast.stmt]) -> set[str]:
+    """Guard tokens of a scope, not descending into nested functions
+    (those are separate scopes and inherit these guards)."""
+    guards: set[str] = set()
+    clamped: set[str] = set()
+    aliases: list[tuple[set[str], set[str]]] = []  # (targets, source names)
+
+    def handle(node: ast.AST) -> None:
+        if isinstance(node, (ast.If, ast.While, ast.IfExp)):
+            guards.update(_tokens(node.test, include_receivers=True))
+        elif isinstance(node, ast.Assert):
+            guards.update(_tokens(node.test, include_receivers=True))
+        elif isinstance(node, ast.comprehension):
+            for test in node.ifs:
+                guards.update(_tokens(test, include_receivers=True))
+            guards.update(_tokens(node.iter, include_receivers=True))
+            guards.update(_positive_counter_target(node.target, node.iter))
+        elif isinstance(node, ast.Match):
+            guards.update(_tokens(node.subject, include_receivers=True))
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            guards.update(_tokens(node.iter, include_receivers=True))
+            guards.update(_positive_counter_target(node.target, node.iter))
+        elif isinstance(node, ast.Assign):
+            targets = set()
+            for target in node.targets:
+                if isinstance(target, ast.Subscript):
+                    guards.update(_tokens(target, include_receivers=True))
+                else:
+                    targets |= _target_tokens(target)
+            if targets:
+                if _has_positive_clamp(node.value):
+                    clamped.update(targets)
+                elif isinstance(node.value, ast.Name):
+                    aliases.append((targets, {node.value.id}))
+
+    def walk(node: ast.AST) -> None:
+        handle(node)
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            walk(child)
+
+    for stmt in scope_body:
+        walk(stmt)
+
+    # One aliasing hop: ``self._sigma = s`` inherits s's clamp.
+    for targets, sources in aliases:
+        if sources & clamped:
+            clamped.update(targets)
+    return guards | clamped
+
+
+def _catches_zero_division(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    names = {
+        sub.id if isinstance(sub, ast.Name) else sub.attr
+        for sub in ast.walk(handler.type)
+        if isinstance(sub, (ast.Name, ast.Attribute))
+    }
+    return bool(names & {"ZeroDivisionError", "ArithmeticError", "Exception"})
+
+
+@register
+class UnguardedDivisionChecker(Checker):
+    name = "unguarded-division"
+    description = "division with an untested denominator in numeric code"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not ctx.in_paths(ctx.config.numeric_paths):
+            return
+        yield from self._scan(ctx, ctx.tree.body, set(), protected=False)
+
+    def _scan(
+        self,
+        ctx: FileContext,
+        body: list[ast.stmt],
+        inherited: set[str],
+        protected: bool,
+    ) -> Iterator[Violation]:
+        guards = inherited | _guard_tokens(body)
+
+        def visit(node: ast.AST, protected: bool) -> Iterator[Violation]:
+            yield from self._check_node(ctx, node, guards, protected)
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield from self._scan(ctx, child.body, guards, protected)
+                    continue
+                if isinstance(child, ast.Try):
+                    caught = any(_catches_zero_division(h) for h in child.handlers)
+                    for stmt in child.body:
+                        yield from visit(stmt, protected or caught)
+                    for part in (*child.handlers, *child.orelse, *child.finalbody):
+                        yield from visit(part, protected)
+                    continue
+                yield from visit(child, protected)
+
+        for stmt in body:
+            yield from visit(stmt, protected)
+
+    def _check_node(
+        self, ctx: FileContext, node: ast.AST, guards: set[str], protected: bool
+    ) -> Iterator[Violation]:
+        if isinstance(node, ast.AugAssign) and isinstance(node.op, _DIV_OPS):
+            denom: ast.expr = node.value
+        elif isinstance(node, ast.BinOp) and isinstance(node.op, _DIV_OPS):
+            denom = node.right
+        else:
+            return
+        if isinstance(denom, ast.Constant):
+            if isinstance(denom.value, (int, float)) and denom.value == 0:
+                yield ctx.violation(node, self.name, "division by literal zero")
+            return
+        if protected:
+            return
+        tokens = _tokens(denom)
+        if tokens and tokens & guards:
+            return
+        try:
+            rendered = ast.unparse(denom)
+        except ValueError:  # pragma: no cover
+            rendered = "<denominator>"
+        yield ctx.violation(
+            node,
+            self.name,
+            f"denominator {rendered!r} is never tested against zero in this "
+            "scope; guard it (if/assert/ternary) or catch ZeroDivisionError",
+        )

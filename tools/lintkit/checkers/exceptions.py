@@ -1,0 +1,54 @@
+"""``silent-exception``: catch-all handlers that swallow errors.
+
+A bare ``except:`` or ``except Exception:`` whose body never re-raises
+turns corruption into silence — in a fusion engine, a swallowed
+``KeyError`` in a posting merge just means quietly wrong rankings.
+Catch the narrowest type that the code can actually handle, or re-raise
+after logging.
+
+A handler is exempt when its body contains a ``raise`` (any form —
+bare re-raise or wrapping).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from tools.lintkit.framework import Checker, FileContext, Violation, register
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    nodes = handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    for node in nodes:
+        if isinstance(node, ast.Name) and node.id in _BROAD:
+            return True
+        if isinstance(node, ast.Attribute) and node.attr in _BROAD:
+            return True
+    return False
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(node, ast.Raise) for node in ast.walk(handler))
+
+
+@register
+class SilentExceptionChecker(Checker):
+    name = "silent-exception"
+    description = "bare/broad except that never re-raises"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if _is_broad(node) and not _reraises(node):
+                caught = "bare except" if node.type is None else ast.unparse(node.type)
+                yield ctx.violation(
+                    node,
+                    self.name,
+                    f"{caught} swallows errors; catch a narrower type or re-raise",
+                )

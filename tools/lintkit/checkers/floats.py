@@ -1,0 +1,55 @@
+"""``float-equality``: bare ``==`` / ``!=`` against float literals in
+scoring code.
+
+Scores in this system are sums of products of correlations, λ weights
+and decay factors — genuine floats whose exact bit patterns depend on
+summation order.  Comparing them with ``== 0.7`` is a latent bug;
+ranking code must use ``math.isclose`` or an explicit tolerance.
+
+Comparisons against ``0.0`` are allowed: zero is an exact sentinel in
+this codebase (unweighted clique sizes, empty smoothing sets, clamped
+CorS), produced by assignment rather than arithmetic.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from tools.lintkit.framework import Checker, FileContext, Violation, register
+
+
+def _is_nonzero_float(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, float)
+        and node.value != 0.0
+    )
+
+
+@register
+class FloatEqualityChecker(Checker):
+    name = "float-equality"
+    description = "== / != against non-zero float literals in scoring code"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not ctx.in_paths(ctx.config.scoring_paths):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                literal = next(
+                    (n for n in (left, right) if _is_nonzero_float(n)), None
+                )
+                if literal is not None:
+                    yield ctx.violation(
+                        node,
+                        self.name,
+                        f"exact float comparison with {literal.value!r}; "
+                        "use math.isclose or a tolerance helper",
+                    )
+                    break

@@ -1,0 +1,54 @@
+"""``missing-future-annotations``: modules without
+``from __future__ import annotations``.
+
+The codebase standardizes on lazy annotations: forward references in
+the dataclass-heavy core work unquoted, and annotation-only imports can
+sit behind ``TYPE_CHECKING``.  A module without the import silently
+evaluates its annotations eagerly, which both costs import time and
+breaks the forward-reference idiom the rest of the code assumes.
+
+Modules containing no statements (or only a docstring) are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from tools.lintkit.framework import Checker, FileContext, Violation, register
+
+
+def _has_future_annotations(tree: ast.Module) -> bool:
+    return any(
+        isinstance(stmt, ast.ImportFrom)
+        and stmt.module == "__future__"
+        and any(alias.name == "annotations" for alias in stmt.names)
+        for stmt in tree.body
+    )
+
+
+def _is_docstring(stmt: ast.stmt) -> bool:
+    return (
+        isinstance(stmt, ast.Expr)
+        and isinstance(stmt.value, ast.Constant)
+        and isinstance(stmt.value.value, str)
+    )
+
+
+@register
+class FutureAnnotationsChecker(Checker):
+    name = "missing-future-annotations"
+    description = "module lacks `from __future__ import annotations`"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        body = ctx.tree.body
+        if not body or all(_is_docstring(stmt) for stmt in body):
+            return
+        if _has_future_annotations(ctx.tree):
+            return
+        anchor = next((s for s in body if not _is_docstring(s)), body[0])
+        yield ctx.violation(
+            anchor,
+            self.name,
+            "add `from __future__ import annotations` as the first import",
+        )

@@ -1,0 +1,47 @@
+"""``mutable-default``: mutable default argument values.
+
+The classic Python trap: ``def f(cache={})`` shares one dict across
+every call.  In this codebase the risk is concentrated in scorer and
+index constructors that take optional threshold/weight mappings — a
+shared default silently couples independent engines.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from tools.lintkit.framework import Checker, FileContext, Violation, register
+
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict", "Counter", "deque"}
+
+
+def _is_mutable(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", "")
+        return name in _MUTABLE_CALLS
+    return False
+
+
+@register
+class MutableDefaultChecker(Checker):
+    name = "mutable-default"
+    description = "mutable default argument (list/dict/set/...)"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = [*node.args.defaults, *node.args.kw_defaults]
+            for default in defaults:
+                if default is not None and _is_mutable(default):
+                    name = getattr(node, "name", "<lambda>")
+                    yield ctx.violation(
+                        default,
+                        self.name,
+                        f"mutable default in {name}(); use None and "
+                        "construct inside the body",
+                    )

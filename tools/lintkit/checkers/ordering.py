@@ -1,0 +1,81 @@
+"""``ranking-sort-tiebreak``: ranking sorts without a deterministic
+tie-break.
+
+Top-k lists in this system are compared bit-for-bit across execution
+strategies (scan vs index vs parallel shards), so every ranking sort
+must order ties deterministically: ``key=lambda r: (-r.score,
+r.object_id)``, never ``key=lambda r: -r.score``.  A bare descending
+score key leaves tied candidates in container order — which for dicts
+and sets is insertion/hash order, i.e. nondeterminism that surfaces
+only when two candidates happen to tie.
+
+Flagged patterns, in scoring paths only:
+
+* ``sorted(..., key=lambda ...)`` / ``.sort(key=lambda ...)`` /
+  ``heapq.nlargest/nsmallest(..., key=lambda ...)`` where the lambda
+  body negates something (a descending ranking sort) and is not a
+  tuple;
+* the same calls with ``reverse=True`` and a non-tuple lambda key.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from tools.lintkit.framework import Checker, FileContext, Violation, register
+
+_SORT_FUNCS = {"sorted", "nlargest", "nsmallest"}
+
+
+def _sort_call_name(node: ast.Call) -> str | None:
+    func = node.func
+    if isinstance(func, ast.Name) and func.id in _SORT_FUNCS:
+        return func.id
+    if isinstance(func, ast.Attribute):
+        if func.attr == "sort":
+            return "sort"
+        if func.attr in _SORT_FUNCS:
+            return func.attr
+    return None
+
+
+def _contains_negation(node: ast.expr) -> bool:
+    return any(
+        isinstance(sub, ast.UnaryOp) and isinstance(sub.op, ast.USub)
+        for sub in ast.walk(node)
+    )
+
+
+@register
+class RankingSortTiebreakChecker(Checker):
+    name = "ranking-sort-tiebreak"
+    description = "descending ranking sort whose key has no tie-break tuple"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not ctx.in_paths(ctx.config.scoring_paths):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            call_name = _sort_call_name(node)
+            if call_name is None:
+                continue
+            key = next((kw.value for kw in node.keywords if kw.arg == "key"), None)
+            reverse = any(
+                kw.arg == "reverse"
+                and not (isinstance(kw.value, ast.Constant) and kw.value.value is False)
+                for kw in node.keywords
+            )
+            if not isinstance(key, ast.Lambda):
+                continue
+            if isinstance(key.body, ast.Tuple):
+                continue
+            if _contains_negation(key.body) or reverse:
+                yield ctx.violation(
+                    key,
+                    self.name,
+                    f"{call_name}() ranking key has no tie-break; return a "
+                    "tuple ending in a deterministic secondary key "
+                    "(e.g. (-score, object_id))",
+                )

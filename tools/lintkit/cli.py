@@ -1,0 +1,115 @@
+"""Command-line interface.
+
+Exit codes: ``0`` clean, ``1`` violations found, ``2`` usage or
+internal error (unreadable path, unknown checker, bad config).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+
+from tools.lintkit.config import LintConfig, find_pyproject
+from tools.lintkit.framework import all_checkers
+from tools.lintkit.reporters import REPORTERS
+from tools.lintkit.runner import LintError, lint_paths
+
+EXIT_CLEAN = 0
+EXIT_VIOLATIONS = 1
+EXIT_ERROR = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Domain-aware AST lint suite for the repro codebase.",
+    )
+    parser.add_argument("paths", nargs="*", default=["src/repro"], help="files or directories")
+    parser.add_argument(
+        "--format",
+        choices=sorted(REPORTERS),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated checker names to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        default=None,
+        help="comma-separated checker names to skip",
+    )
+    parser.add_argument(
+        "--config",
+        default=None,
+        help="pyproject.toml to read [tool.lintkit] from (default: nearest)",
+    )
+    parser.add_argument(
+        "--no-config",
+        action="store_true",
+        help="ignore pyproject configuration, use built-in defaults",
+    )
+    parser.add_argument(
+        "--list-checkers",
+        action="store_true",
+        help="list registered checkers and exit",
+    )
+    return parser
+
+
+def _split(csv: str | None) -> tuple[str, ...]:
+    if csv is None:
+        return ()
+    return tuple(name.strip() for name in csv.split(",") if name.strip())
+
+
+def _load_config(argv_paths: list[str], args: argparse.Namespace) -> LintConfig:
+    if args.no_config:
+        config = LintConfig()
+    else:
+        if args.config is not None:
+            pyproject = Path(args.config)
+        else:
+            anchor = Path(argv_paths[0]) if argv_paths else Path.cwd()
+            pyproject = find_pyproject(anchor.resolve()) or Path("pyproject.toml")
+        config = LintConfig.from_pyproject(pyproject)
+    select = _split(args.select)
+    ignore = _split(args.ignore)
+    if select or ignore:
+        config = LintConfig(
+            scoring_paths=config.scoring_paths,
+            deterministic_paths=config.deterministic_paths,
+            numeric_paths=config.numeric_paths,
+            exclude=config.exclude,
+            select=select or config.select,
+            ignore=ignore or config.ignore,
+        )
+    return config
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_checkers:
+        for name, cls in sorted(all_checkers().items()):
+            print(f"{name:32s} {cls.description}")
+        return EXIT_CLEAN
+
+    try:
+        config = _load_config(list(args.paths), args)
+        violations = lint_paths(list(args.paths), config)
+    except (LintError, ValueError) as exc:
+        print(f"lintkit: error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+
+    print(REPORTERS[args.format](violations))
+    return EXIT_VIOLATIONS if violations else EXIT_CLEAN
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,107 @@
+"""lintkit configuration, loadable from ``[tool.lintkit]`` in
+``pyproject.toml``.
+
+Path scoping uses plain substring fragments against posix-style paths
+(``"repro/core"`` matches ``src/repro/core/mrf.py``): the checkers this
+suite ships are *domain-aware*, so several only make sense inside the
+numeric scoring / deterministic modules, and the fragments say where
+those live.  An empty fragment tuple means "everywhere".
+"""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Modules whose results feed ranking/scoring — float-equality and
+#: tie-break discipline applies here.
+DEFAULT_SCORING_PATHS = (
+    "repro/core",
+    "repro/index",
+    "repro/eval",
+    "repro/baselines",
+)
+
+#: Modules that must be bit-reproducible given the same inputs — no
+#: wall clocks, no unseeded randomness.
+DEFAULT_DETERMINISTIC_PATHS = (
+    "repro/core",
+    "repro/index",
+    "repro/text",
+    "repro/vision",
+)
+
+#: Modules doing correlation/CorS arithmetic — division-guard
+#: discipline applies here.
+DEFAULT_NUMERIC_PATHS = (
+    "repro/core",
+    "repro/index",
+    "repro/eval",
+    "repro/vision",
+    "repro/text",
+    "repro/baselines",
+)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Checker scoping and selection knobs."""
+
+    scoring_paths: tuple[str, ...] = DEFAULT_SCORING_PATHS
+    deterministic_paths: tuple[str, ...] = DEFAULT_DETERMINISTIC_PATHS
+    numeric_paths: tuple[str, ...] = DEFAULT_NUMERIC_PATHS
+    #: path fragments excluded from linting entirely.
+    exclude: tuple[str, ...] = ()
+    #: checker names to run (empty = all registered).
+    select: tuple[str, ...] = ()
+    #: checker names to skip.
+    ignore: tuple[str, ...] = ()
+
+    @classmethod
+    def from_pyproject(cls, pyproject: Path) -> "LintConfig":
+        """Read ``[tool.lintkit]``; missing file or table yields defaults."""
+        if not pyproject.is_file():
+            return cls()
+        with pyproject.open("rb") as fh:
+            data = tomllib.load(fh)
+        table = data.get("tool", {}).get("lintkit", {})
+        return cls.from_mapping(table)
+
+    @classmethod
+    def from_mapping(cls, table: dict[str, object]) -> "LintConfig":
+        def strings(key: str, default: tuple[str, ...]) -> tuple[str, ...]:
+            value = table.get(key)
+            if value is None:
+                return default
+            if not isinstance(value, list) or not all(isinstance(v, str) for v in value):
+                raise ValueError(f"[tool.lintkit] {key} must be a list of strings")
+            return tuple(value)
+
+        return cls(
+            scoring_paths=strings("scoring-paths", DEFAULT_SCORING_PATHS),
+            deterministic_paths=strings("deterministic-paths", DEFAULT_DETERMINISTIC_PATHS),
+            numeric_paths=strings("numeric-paths", DEFAULT_NUMERIC_PATHS),
+            exclude=strings("exclude", ()),
+            select=strings("select", ()),
+            ignore=strings("ignore", ()),
+        )
+
+    def active_checkers(self, registry: dict[str, type]) -> dict[str, type]:
+        """Apply select/ignore to the registry."""
+        names = set(self.select) if self.select else set(registry)
+        unknown = (names | set(self.ignore)) - set(registry)
+        if unknown:
+            raise ValueError(f"unknown checker name(s): {', '.join(sorted(unknown))}")
+        names -= set(self.ignore)
+        return {name: registry[name] for name in sorted(names)}
+
+
+def find_pyproject(start: Path) -> Path | None:
+    """Nearest ``pyproject.toml`` at or above ``start``."""
+    current = start if start.is_dir() else start.parent
+    for candidate in (current, *current.parents):
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            return pyproject
+    return None

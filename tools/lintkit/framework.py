@@ -1,0 +1,160 @@
+"""Checker registry, per-file context, and suppression parsing.
+
+A checker is a class with a ``name``, a ``description`` and a
+``check(ctx)`` generator yielding :class:`Violation`.  Registration is
+by decorator::
+
+    @register
+    class MyChecker(Checker):
+        name = "my-checker"
+        description = "what it catches"
+
+        def check(self, ctx: FileContext) -> Iterator[Violation]:
+            ...
+
+Suppression comments:
+
+* ``# lintkit: ignore[name]`` (or ``ignore[a, b]``) on a line silences
+  those checkers for violations reported on that line;
+  ``# lintkit: ignore`` silences every checker on the line.
+* ``# lintkit: skip-file`` anywhere in a file silences the whole file;
+  ``# lintkit: skip-file[a, b]`` silences only the named checkers.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from tools.lintkit.config import LintConfig
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*lintkit:\s*(?P<kind>ignore|skip-file)(?:\[(?P<names>[^\]]*)\])?"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One finding: where it is, which checker produced it, and why."""
+
+    path: str
+    line: int
+    col: int
+    checker: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.checker}] {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "checker": self.checker,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Suppressions:
+    """Parsed suppression comments of one file."""
+
+    #: line number -> checker names silenced there (``None`` = all).
+    lines: dict[int, set[str] | None] = field(default_factory=dict)
+    #: checkers silenced file-wide.
+    file_names: set[str] = field(default_factory=set)
+    skip_all: bool = False
+
+    @classmethod
+    def parse(cls, source: str) -> "Suppressions":
+        supp = cls()
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = _SUPPRESS_RE.search(text)
+            if match is None:
+                continue
+            names = {
+                name.strip()
+                for name in (match.group("names") or "").split(",")
+                if name.strip()
+            }
+            if match.group("kind") == "skip-file":
+                if names:
+                    supp.file_names.update(names)
+                else:
+                    supp.skip_all = True
+            elif not names or supp.lines.get(lineno, set()) is None:
+                supp.lines[lineno] = None
+            else:
+                existing = supp.lines.setdefault(lineno, set())
+                assert existing is not None
+                existing.update(names)
+        return supp
+
+    def is_suppressed(self, checker: str, line: int) -> bool:
+        if self.skip_all or checker in self.file_names:
+            return True
+        names = self.lines.get(line, set())
+        return names is None or checker in names
+
+
+class FileContext:
+    """Everything a checker needs about one file: path, source, AST,
+    and the active configuration."""
+
+    def __init__(self, path: str, source: str, config: LintConfig | None = None) -> None:
+        self.path = path.replace("\\", "/")
+        self.source = source
+        self.config = config if config is not None else LintConfig()
+        self.tree = ast.parse(source, filename=path)
+        self.suppressions = Suppressions.parse(source)
+
+    def violation(self, node: ast.AST, checker: str, message: str) -> Violation:
+        """Build a violation anchored at ``node``."""
+        return Violation(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            checker=checker,
+            message=message,
+        )
+
+    def in_paths(self, fragments: tuple[str, ...]) -> bool:
+        """Whether this file lives under any of the path fragments
+        (empty fragments = match everything)."""
+        if not fragments:
+            return True
+        return any(fragment in self.path for fragment in fragments)
+
+
+class Checker:
+    """Base class for all checkers."""
+
+    name: str = ""
+    description: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:  # pragma: no cover
+        raise NotImplementedError
+
+
+_REGISTRY: dict[str, type[Checker]] = {}
+
+
+def register(cls: type[Checker]) -> type[Checker]:
+    """Class decorator adding a checker to the global registry."""
+    if not cls.name:
+        raise ValueError(f"checker {cls.__name__} has no name")
+    if cls.name in _REGISTRY and _REGISTRY[cls.name] is not cls:
+        raise ValueError(f"duplicate checker name: {cls.name}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def all_checkers() -> dict[str, type[Checker]]:
+    """Registered checkers by name (importing ``tools.lintkit.checkers``
+    populates the registry)."""
+    import tools.lintkit.checkers  # noqa: F401  — registration side effect
+
+    return dict(_REGISTRY)

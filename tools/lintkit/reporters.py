@@ -1,0 +1,38 @@
+"""Violation reporters: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from collections.abc import Sequence
+
+from tools.lintkit.framework import Violation
+
+
+def render_text(violations: Sequence[Violation]) -> str:
+    """One ``path:line:col: [checker] message`` line per violation plus
+    a per-checker summary."""
+    if not violations:
+        return "lintkit: clean"
+    lines = [v.render() for v in violations]
+    counts = Counter(v.checker for v in violations)
+    summary = ", ".join(f"{name}={n}" for name, n in sorted(counts.items()))
+    lines.append(f"lintkit: {len(violations)} violation(s) ({summary})")
+    return "\n".join(lines)
+
+
+def render_json(violations: Sequence[Violation]) -> str:
+    """Stable JSON document: violation list plus summary counts."""
+    counts = Counter(v.checker for v in violations)
+    payload = {
+        "violations": [v.to_dict() for v in violations],
+        "counts": dict(sorted(counts.items())),
+        "total": len(violations),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+REPORTERS = {
+    "text": render_text,
+    "json": render_json,
+}

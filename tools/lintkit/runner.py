@@ -1,0 +1,95 @@
+"""File discovery and checker execution."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from tools.lintkit.config import LintConfig
+from tools.lintkit.framework import Checker, FileContext, Violation, all_checkers
+
+
+class LintError(Exception):
+    """Unrecoverable runner problem (bad path, bad config)."""
+
+
+def discover_files(paths: list[str], config: LintConfig) -> list[Path]:
+    """Expand ``paths`` (files or directory trees) into the sorted list
+    of ``.py`` files to lint, honouring ``config.exclude``."""
+    files: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.update(path.rglob("*.py"))
+        elif path.is_file():
+            files.add(path)
+        else:
+            raise LintError(f"no such file or directory: {raw}")
+    kept = [
+        f
+        for f in sorted(files)
+        if not any(fragment in f.as_posix() for fragment in config.exclude)
+    ]
+    return kept
+
+
+def _checkers_for(config: LintConfig) -> list[Checker]:
+    registry = all_checkers()
+    try:
+        active = config.active_checkers(registry)
+    except ValueError as exc:
+        raise LintError(str(exc)) from exc
+    return [cls() for cls in active.values()]
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    config: LintConfig | None = None,
+    checkers: list[Checker] | None = None,
+) -> list[Violation]:
+    """Lint one source string (the unit-test entry point)."""
+    config = config if config is not None else LintConfig()
+    if checkers is None:
+        checkers = _checkers_for(config)
+    try:
+        ctx = FileContext(path, source, config)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                checker="parse-error",
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    found: list[Violation] = []
+    for checker in checkers:
+        for violation in checker.check(ctx):
+            if not ctx.suppressions.is_suppressed(violation.checker, violation.line):
+                found.append(violation)
+    return sorted(found)
+
+
+def lint_file(
+    path: Path,
+    config: LintConfig | None = None,
+    checkers: list[Checker] | None = None,
+) -> list[Violation]:
+    """Lint one file on disk."""
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise LintError(f"cannot read {path}: {exc}") from exc
+    return lint_source(source, path.as_posix(), config, checkers)
+
+
+def lint_paths(paths: list[str], config: LintConfig | None = None) -> list[Violation]:
+    """Lint every python file under ``paths``; violations sorted by
+    location."""
+    config = config if config is not None else LintConfig()
+    checkers = _checkers_for(config)
+    found: list[Violation] = []
+    for file in discover_files(paths, config):
+        found.extend(lint_file(file, config, checkers))
+    return sorted(found)
