@@ -1,0 +1,160 @@
+"""Serving throughput — QPS and tail latency of the HTTP subsystem.
+
+Not a paper figure: this bench characterises the online serving layer
+added on top of the batch engines.  It stands up `repro.serving` over a
+synthetic retrieval corpus, drives it with concurrent keep-alive HTTP
+clients, and reports QPS plus p50/p95 latency for two phases:
+
+* cold  — every request is a distinct query (cache misses, full MRF
+  scoring per request);
+* warm  — requests resample a small query set (mostly LRU cache hits).
+
+The gap between the phases is the measured value of the result cache.
+Unlike the figure benches, the artifact is machine-readable JSON
+(``benchmarks/results/serving_throughput.json``) so the numbers can be
+tracked across commits.
+"""
+
+import json
+import statistics
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+import _harness as H
+from repro.serving.cache import ResultCache
+from repro.serving.http import create_server
+from repro.serving.service import QueryService
+from repro.serving.snapshot import SnapshotManager
+from repro.storage.store import save_corpus
+
+N_CLIENTS = 8
+REQUESTS_PER_CLIENT = 60
+CORPUS_SIZE = 500
+WARM_QUERY_POOL = 5
+
+
+def _percentile(samples: list[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]
+
+
+def _drive_clients(port: int, query_ids: list[str]) -> list[float]:
+    """Each client walks its own slice of ``query_ids`` over one
+    keep-alive connection; returns every request's latency in seconds."""
+    latencies: list[list[float]] = [[] for _ in range(N_CLIENTS)]
+    errors: list[Exception] = []
+
+    def client(slot: int) -> None:
+        try:
+            for i in range(REQUESTS_PER_CLIENT):
+                query = query_ids[(slot * REQUESTS_PER_CLIENT + i) % len(query_ids)]
+                url = f"http://127.0.0.1:{port}/search?query={query}&k=10"
+                start = time.perf_counter()
+                with urllib.request.urlopen(url) as response:
+                    response.read()
+                latencies[slot].append(time.perf_counter() - start)
+        except Exception as exc:  # pragma: no cover - only on failure
+            errors.append(exc)
+
+    threads = [threading.Thread(target=client, args=(s,)) for s in range(N_CLIENTS)]
+    wall_start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - wall_start
+    if errors:
+        raise errors[0]
+    flat = [sample for per_client in latencies for sample in per_client]
+    flat.append(wall)  # smuggle the wall time out as the last element
+    return flat
+
+
+def _phase_stats(samples_with_wall: list[float]) -> dict:
+    wall = samples_with_wall[-1]
+    samples = samples_with_wall[:-1]
+    return {
+        "requests": len(samples),
+        "qps": round(len(samples) / wall, 1),
+        "p50_ms": round(_percentile(samples, 0.50) * 1000, 3),
+        "p95_ms": round(_percentile(samples, 0.95) * 1000, 3),
+        "mean_ms": round(statistics.mean(samples) * 1000, 3),
+    }
+
+
+def run_experiment() -> dict:
+    corpus = H.retrieval_corpus(CORPUS_SIZE)
+    with tempfile.TemporaryDirectory() as tmp:
+        corpus_dir = Path(tmp) / "corpus"
+        save_corpus(corpus, corpus_dir)
+        manager = SnapshotManager(corpus_dir)
+        manager.load()
+        service = QueryService(manager, cache=ResultCache(1024))
+        server = create_server(service, port=0, max_in_flight=N_CLIENTS * 2)
+        thread = threading.Thread(target=server.serve_forever)
+        thread.start()
+        try:
+            all_ids = [obj.object_id for obj in corpus]
+            cold = _phase_stats(_drive_clients(server.port, all_ids))
+            warm = _phase_stats(_drive_clients(server.port, all_ids[:WARM_QUERY_POOL]))
+            cache = service.cache.stats()
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join()
+    return {
+        "bench": "serving_throughput",
+        "corpus_size": CORPUS_SIZE,
+        "clients": N_CLIENTS,
+        "requests_per_client": REQUESTS_PER_CLIENT,
+        "cold": cold,
+        "warm": warm,
+        "cache": {"hits": cache.hits, "misses": cache.misses},
+    }
+
+
+def _report(result: dict, capsys) -> None:
+    H.RESULTS_DIR.mkdir(exist_ok=True)
+    artifact = H.RESULTS_DIR / "serving_throughput.json"
+    artifact.write_text(json.dumps(result, indent=2) + "\n")
+    lines = [
+        "== Serving throughput (8 concurrent clients) ==",
+        f"{'phase':<6} {'QPS':>8} {'p50 ms':>8} {'p95 ms':>8}",
+        *(
+            f"{phase:<6} {stats['qps']:>8} {stats['p50_ms']:>8} {stats['p95_ms']:>8}"
+            for phase, stats in (("cold", result["cold"]), ("warm", result["warm"]))
+        ),
+        f"artifact: {artifact}",
+        "",
+    ]
+    text = "\n".join(lines)
+    if capsys is not None:
+        with capsys.disabled():
+            print("\n" + text)
+    else:  # pragma: no cover - direct script invocation
+        print("\n" + text)
+
+
+@pytest.mark.benchmark(group="serving")
+def test_serving_throughput(benchmark, capsys):
+    result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    _report(result, capsys)
+
+    total = N_CLIENTS * REQUESTS_PER_CLIENT
+    assert result["cold"]["requests"] == total
+    assert result["warm"]["requests"] == total
+    # the warm phase resamples a tiny pool: nearly everything hits cache
+    assert result["cache"]["hits"] >= total - N_CLIENTS * WARM_QUERY_POOL
+    # cached answers must not be slower than full MRF scoring
+    assert result["warm"]["p50_ms"] <= result["cold"]["p50_ms"]
+    assert result["warm"]["qps"] >= result["cold"]["qps"]
+
+
+if __name__ == "__main__":
+    _report(run_experiment(), None)

@@ -1,0 +1,106 @@
+"""The serving subsystem end to end, in one process: generate a small
+corpus, persist it, stand up the HTTP server on an ephemeral port, and
+drive it with a plain urllib client — search (twice, to show the result
+cache), free-form similarity, recommendation, a hot reload, and a
+/metrics scrape.
+
+Run:  python examples/serving_example.py
+"""
+
+import json
+import tempfile
+import threading
+import urllib.request
+from pathlib import Path
+
+from repro import GeneratorConfig, SyntheticFlickr
+from repro.serving import (
+    QueryService,
+    ResultCache,
+    SnapshotManager,
+    create_server,
+)
+from repro.storage.store import save_corpus
+
+
+def fetch(port: int, path: str, body: dict | None = None) -> dict:
+    url = f"http://127.0.0.1:{port}{path}"
+    if body is None:
+        request = urllib.request.Request(url)
+    else:
+        request = urllib.request.Request(
+            url, data=json.dumps(body).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+    with urllib.request.urlopen(request) as response:
+        payload = response.read().decode()
+    return json.loads(payload) if path != "/metrics" else {"text": payload}
+
+
+def main() -> None:
+    corpus = SyntheticFlickr(
+        GeneratorConfig(n_objects=300, n_tracked_users=10), seed=17
+    ).generate_recommendation_corpus()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        corpus_dir = Path(tmp) / "corpus"
+        save_corpus(corpus, corpus_dir)
+
+        manager = SnapshotManager(corpus_dir)
+        snapshot = manager.load()
+        service = QueryService(manager, cache=ResultCache(256))
+        server = create_server(service, port=0, max_in_flight=8)
+        thread = threading.Thread(target=server.serve_forever)
+        thread.start()
+        port = server.port
+        print(f"serving {snapshot.n_objects} objects at http://127.0.0.1:{port}")
+
+        try:
+            health = fetch(port, "/healthz")
+            print(f"/healthz: {health['status']} (generation {health['generation']})")
+
+            # Search twice: the second response comes from the LRU cache.
+            query_id = snapshot.corpus[0].object_id
+            first = fetch(port, f"/search?query={query_id}&k=5")
+            second = fetch(port, f"/search?query={query_id}&k=5")
+            print(f"\n/search?query={query_id}&k=5")
+            for row in first["results"]:
+                print(f"  {row['object_id']}  score {row['score']:.4f}")
+            print(f"first call cached={first['cached']}, repeat cached={second['cached']}")
+
+            # Free-form similarity: an ad-hoc bag of tags, no stored object.
+            tags = [f.name for f in snapshot.corpus[1].features][:3]
+            similar = fetch(port, "/similar", {"tags": tags, "k": 3})
+            print(f"\n/similar tags={tags}: top hit "
+                  f"{similar['results'][0]['object_id']}")
+
+            # Recommendation for a tracked user (FIG-T via delta).
+            user = corpus.favorite_users()[0]
+            rec = fetch(port, f"/recommend?user={user}&k=3&delta=0.5")
+            print(f"/recommend user={user} delta=0.5: "
+                  f"{[r['object_id'] for r in rec['results']]}")
+
+            # Hot reload: rebuilds from disk, bumps the generation, and
+            # drops every cached result of the old snapshot.
+            reload_outcome = fetch(port, "/admin/reload", {})
+            print(f"\n/admin/reload: generation {reload_outcome['generation']}, "
+                  f"{reload_outcome['cache_entries_dropped']} cache entries dropped")
+
+            metrics = fetch(port, "/metrics")["text"]
+            interesting = [
+                line for line in metrics.splitlines()
+                if line.startswith(("repro_requests_total", "repro_result_cache",
+                                    "repro_snapshot_generation"))
+            ]
+            print("\n/metrics excerpt:")
+            for line in interesting:
+                print(f"  {line}")
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join()
+        print("\nshutdown complete")
+
+
+if __name__ == "__main__":
+    main()

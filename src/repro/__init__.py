@@ -44,6 +44,7 @@ from repro.core import (
     MRFSimilarity,
     OccurrenceStats,
     RankedResult,
+    ranked_sort,
     Recommender,
     RetrievalEngine,
     UserProfile,
@@ -78,6 +79,7 @@ __all__ = [
     "MonthWindow",
     "OccurrenceStats",
     "RankedResult",
+    "ranked_sort",
     "Recommender",
     "RetrievalEngine",
     "SocialGraph",

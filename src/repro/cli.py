@@ -13,11 +13,16 @@ Examples::
     repro generate --objects 1500 --tracked-users 10 --recommendation --out ./rec
     repro recommend ./rec --user tracked000 --k 10 --delta 0.4
     repro evaluate ./corpus --queries 20
+    repro serve ./corpus --port 8077
+
+Every subcommand exits with code 2 and a one-line stderr message for
+operator errors (missing/corrupt corpus directory, unknown ids).
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from collections.abc import Sequence
 
@@ -26,8 +31,12 @@ from repro.core.recommendation import Recommender
 from repro.core.retrieval import RetrievalEngine
 from repro.eval.oracle import TopicOracle
 from repro.eval.protocol import evaluate_retrieval, sample_queries
+from repro.serving.cache import ResultCache
+from repro.serving.http import create_server, install_signal_handlers
+from repro.serving.service import QueryService
+from repro.serving.snapshot import SnapshotManager
 from repro.social.generator import GeneratorConfig, SyntheticFlickr
-from repro.storage.store import load_corpus, save_corpus
+from repro.storage.store import StorageError, load_corpus, save_corpus
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -70,6 +79,23 @@ def _build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--queries", type=int, default=20)
     ev.add_argument("--seed", type=int, default=1)
     ev.add_argument("--cutoffs", type=int, nargs="+", default=[3, 5, 10, 20])
+
+    serve = sub.add_parser("serve", help="serve retrieval/recommendation over HTTP")
+    serve.add_argument("corpus", help="corpus directory")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8077, help="0 picks an ephemeral port")
+    serve.add_argument(
+        "--params",
+        default=None,
+        help="MRF parameter JSON (defaults to <corpus>/params.json when present)",
+    )
+    serve.add_argument("--cache-size", type=int, default=1024, help="0 disables the cache")
+    serve.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=8,
+        help="concurrent query bound; excess requests get 503 + Retry-After",
+    )
     return parser
 
 
@@ -146,19 +172,51 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    logging.basicConfig(stream=sys.stderr, level=logging.INFO, format="%(message)s")
+    manager = SnapshotManager(args.corpus, params_path=args.params)
+    snapshot = manager.load()
+    service = QueryService(manager, cache=ResultCache(args.cache_size))
+    server = create_server(
+        service, host=args.host, port=args.port, max_in_flight=args.max_in_flight
+    )
+    install_signal_handlers(server)
+    print(
+        f"serving {snapshot.n_objects} objects (generation {snapshot.generation}) "
+        f"at http://{args.host}:{server.port}",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()
+    print("shutdown complete", flush=True)
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "info": _cmd_info,
     "search": _cmd_search,
     "recommend": _cmd_recommend,
     "evaluate": _cmd_evaluate,
+    "serve": _cmd_serve,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """Entry point; returns the process exit code."""
+    """Entry point; returns the process exit code.
+
+    Operator errors — a corpus directory that is missing, not a corpus,
+    or corrupt on disk — exit with code 2 and a one-line message rather
+    than a traceback, for every subcommand.
+    """
     args = _build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except (StorageError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

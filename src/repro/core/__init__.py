@@ -12,7 +12,12 @@ from repro.core.mrf import DEFAULT_LAMBDAS, CliqueScorer, MRFParameters, MRFSimi
 from repro.core.objects import ALL_TYPES, Feature, FeatureType, MediaObject
 from repro.core.parallel import ParallelScanner
 from repro.core.recommendation import Recommender, UserProfile
-from repro.core.retrieval import RankedResult, RetrievalEngine, correlation_model_for_corpus
+from repro.core.retrieval import (
+    RankedResult,
+    RetrievalEngine,
+    correlation_model_for_corpus,
+    ranked_sort,
+)
 from repro.core.training import (
     CoordinateAscentTrainer,
     TrainingResult,
@@ -39,6 +44,7 @@ __all__ = [
     "ParallelScanner",
     "Prediction",
     "RankedResult",
+    "ranked_sort",
     "Recommender",
     "RetrievalEngine",
     "TrainingResult",

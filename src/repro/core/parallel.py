@@ -25,7 +25,7 @@ from repro.core.cliques import Clique
 from repro.core.correlation import CorrelationModel
 from repro.core.mrf import CliqueScorer, MRFParameters
 from repro.core.objects import MediaObject
-from repro.core.retrieval import RankedResult, RetrievalEngine
+from repro.core.retrieval import RankedResult, RetrievalEngine, ranked_sort
 
 
 def _score_shard(
@@ -95,8 +95,8 @@ class ParallelScanner:
                 for shard_results in pool.map(_score_shard, payloads):
                     scored.extend(shard_results)
 
-        scored.sort(key=lambda r: (-r[1], r[0]))
-        return [RankedResult(object_id=oid, score=s) for oid, s in scored[:k]]
+        results = [RankedResult(object_id=oid, score=s) for oid, s in scored]
+        return ranked_sort(results)[:k]
 
     @staticmethod
     def _split(objects: Sequence[MediaObject], n: int) -> list[list[MediaObject]]:

@@ -20,7 +20,7 @@ from repro.core.cliques import Clique
 from repro.core.fig import FeatureInteractionGraph
 from repro.core.mrf import CliqueScorer, MRFParameters
 from repro.core.objects import MediaObject
-from repro.core.retrieval import RankedResult, correlation_model_for_corpus
+from repro.core.retrieval import RankedResult, correlation_model_for_corpus, ranked_sort
 from repro.index.inverted import CliqueInvertedIndex
 from repro.index.threshold import SortedListSource, threshold_algorithm
 from repro.social.corpus import Corpus
@@ -228,5 +228,4 @@ class Recommender:
             )
             scored.append(RankedResult(object_id=obj.object_id, score=score))
             scorer.release(obj.object_id)
-        scored.sort(key=lambda r: (-r.score, r.object_id))
-        return scored[:k]
+        return ranked_sort(scored)[:k]

@@ -23,6 +23,7 @@ Two query modes are provided:
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass
 
 from repro.core.cliques import Clique
@@ -40,13 +41,28 @@ from repro.social.corpus import Corpus
 from repro.text.wup import WuPalmerSimilarity
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True)
 class RankedResult:
-    """One retrieval hit.  Ordering is by descending score (the dataclass
-    order is ascending, so result lists are built explicitly)."""
+    """One retrieval hit.
+
+    Deliberately *not* orderable: dataclass ordering would compare by
+    ``(object_id, score)`` ascending — the wrong direction and the
+    wrong primary key for a ranking.  Use :func:`ranked_sort` to order
+    result lists.
+    """
 
     object_id: str
     score: float
+
+
+def ranked_sort(results: Iterable[RankedResult]) -> list[RankedResult]:
+    """Canonical ranking order: descending score, ascending object id.
+
+    Every ranking surface (scan retrieval, parallel shards, the serving
+    layer) sorts through this helper so tie-breaking stays bit-identical
+    across execution strategies.
+    """
+    return sorted(results, key=lambda r: (-r.score, r.object_id))
 
 
 def correlation_model_for_corpus(
@@ -229,5 +245,4 @@ class RetrievalEngine:
             score = scorer.score(cliques, obj)
             scored.append(RankedResult(object_id=obj.object_id, score=score))
             scorer.release(obj.object_id)
-        scored.sort(key=lambda r: (-r.score, r.object_id))
-        return scored[:k]
+        return ranked_sort(scored)[:k]

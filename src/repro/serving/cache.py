@@ -1,0 +1,109 @@
+"""Thread-safe LRU result cache for the serving layer.
+
+Keys are built by :func:`result_cache_key` as
+``(generation, endpoint, canonical query signature, k, mode)`` — the
+snapshot generation leads the tuple, so a snapshot swap implicitly
+invalidates every entry of the previous generation without touching the
+cache (stale entries age out through normal LRU pressure; an explicit
+:meth:`ResultCache.clear` on reload reclaims them eagerly).
+
+The cache stores the fully rendered response payloads (plain dicts), so
+a hit costs one ``OrderedDict`` move and no scoring work.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any
+
+#: Hashable composite key; see :func:`result_cache_key`.
+CacheKey = tuple[Any, ...]
+
+
+def result_cache_key(
+    generation: int,
+    endpoint: str,
+    signature: Any,
+    k: int,
+    mode: str,
+) -> CacheKey:
+    """Canonical cache key layout (generation first — see module doc)."""
+    return (generation, endpoint, signature, k, mode)
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Point-in-time cache statistics (counters are cumulative)."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    capacity: int
+
+
+class ResultCache:
+    """Bounded LRU mapping from :data:`CacheKey` to response payloads.
+
+    ``capacity=0`` disables caching entirely (every ``get`` is a miss
+    and ``put`` is a no-op) so one code path serves both configurations.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self._capacity = capacity
+        self._entries: OrderedDict[CacheKey, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: CacheKey) -> Any | None:
+        """Payload for ``key``, refreshing recency; ``None`` on miss."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return self._entries[key]
+            self._misses += 1
+            return None
+
+    def put(self, key: CacheKey, value: Any) -> None:
+        """Insert/refresh ``key``, evicting least-recently-used entries."""
+        if self._capacity == 0:
+            return
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> int:
+        """Drop every entry (hit/miss/eviction counters are preserved);
+        returns the number of entries dropped."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            return dropped
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                capacity=self._capacity,
+            )

@@ -1,0 +1,285 @@
+"""HTTP front end: JSON codec, admission control, access logs, signals.
+
+A :class:`ServingHTTPServer` (``ThreadingHTTPServer``) wraps one
+:class:`~repro.serving.service.QueryService`:
+
+* **Routing** — ``GET /healthz``, ``GET /stats``, ``GET /metrics``,
+  ``GET|POST /search``, ``GET|POST /recommend``, ``POST /similar``,
+  ``POST /admin/reload``.  Query parameters and JSON bodies merge
+  (body wins) so both ``curl '…/search?query=x'`` and JSON clients work.
+* **Admission control** — query endpoints acquire a bounded in-flight
+  semaphore without blocking; saturation answers ``503`` with a
+  ``Retry-After`` header instead of queueing unboundedly (fail fast and
+  let the load balancer retry elsewhere).
+* **Access logs** — one structured JSON line per request on the
+  ``repro.serving.access`` logger: endpoint, status, latency ms, cache
+  hit, snapshot generation.
+* **Graceful shutdown** — SIGTERM/SIGINT trigger ``server.shutdown()``
+  from a helper thread; ``daemon_threads`` is off and ``block_on_close``
+  on, so in-flight requests finish before ``server_close`` returns.
+
+This module is the serving layer's wall-clock boundary (request latency
+measurement); the lint exemption for nondeterministic calls is scoped
+here in ``[tool.lintkit.exempt]``.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import signal
+import threading
+import time
+import types
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+from urllib.parse import parse_qs, urlsplit
+
+from repro.serving.metrics import DEFAULT_LATENCY_BUCKETS
+from repro.serving.service import QueryService, ServiceError
+
+ACCESS_LOGGER = logging.getLogger("repro.serving.access")
+
+#: ``(method, path) -> (endpoint name, admission controlled?)``
+ROUTES: dict[tuple[str, str], tuple[str, bool]] = {
+    ("GET", "/healthz"): ("healthz", False),
+    ("GET", "/stats"): ("stats", False),
+    ("GET", "/metrics"): ("metrics", False),
+    ("GET", "/search"): ("search", True),
+    ("POST", "/search"): ("search", True),
+    ("GET", "/recommend"): ("recommend", True),
+    ("POST", "/recommend"): ("recommend", True),
+    ("POST", "/similar"): ("similar", True),
+    ("POST", "/admin/reload"): ("reload", False),
+}
+
+#: Seconds a saturated client should wait before retrying.
+RETRY_AFTER_SECONDS = 1
+
+
+class ServingHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to one :class:`QueryService`."""
+
+    daemon_threads = False
+    block_on_close = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: QueryService,
+        max_in_flight: int = 8,
+    ) -> None:
+        if max_in_flight < 1:
+            raise ValueError(f"max_in_flight must be >= 1, got {max_in_flight}")
+        super().__init__(address, ServingRequestHandler)
+        self.service = service
+        self.max_in_flight = max_in_flight
+        self.admission = threading.Semaphore(max_in_flight)
+        registry = service.metrics
+        self.request_counter = registry.counter(
+            "repro_requests_total",
+            "HTTP requests by endpoint and status.",
+            label_names=("endpoint", "status"),
+        )
+        self.rejection_counter = registry.counter(
+            "repro_rejected_requests_total",
+            "Requests rejected by admission control (503).",
+        )
+        self.latency_histogram = registry.histogram(
+            "repro_request_latency_seconds",
+            "Request latency by endpoint.",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+            label_names=("endpoint",),
+        )
+
+    @property
+    def port(self) -> int:
+        return int(self.server_address[1])
+
+
+def create_server(
+    service: QueryService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_in_flight: int = 8,
+) -> ServingHTTPServer:
+    """Bind (``port=0`` picks an ephemeral port) without serving yet."""
+    return ServingHTTPServer((host, port), service, max_in_flight=max_in_flight)
+
+
+def install_signal_handlers(
+    server: ServingHTTPServer,
+    signals: tuple[int, ...] = (signal.SIGTERM, signal.SIGINT),
+) -> None:
+    """SIGTERM/SIGINT stop the accept loop; in-flight requests finish.
+
+    ``shutdown()`` must not run on the ``serve_forever`` thread, so the
+    handler hands it to a short-lived helper thread.
+    """
+
+    def _initiate_shutdown(signum: int, frame: types.FrameType | None) -> None:
+        threading.Thread(
+            target=server.shutdown, name="repro-serving-shutdown", daemon=True
+        ).start()
+
+    for signum in signals:
+        signal.signal(signum, _initiate_shutdown)
+
+
+class ServingRequestHandler(BaseHTTPRequestHandler):
+    """Per-request JSON codec around the service handlers."""
+
+    server: ServingHTTPServer  # narrowed from BaseServer for the routes below
+    protocol_version = "HTTP/1.1"
+    #: Socket timeout: keep-alive connections idle longer than this are
+    #: closed, bounding how long graceful shutdown can take.
+    timeout = 5.0
+
+    # ------------------------------------------------------------------
+    # entry points
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, method: str) -> None:
+        started = time.perf_counter()
+        parsed = urlsplit(self.path)
+        route = ROUTES.get((method, parsed.path))
+        if route is None:
+            self._finish(started, "unknown", 404, {"error": f"no route {method} {parsed.path}"})
+            return
+        endpoint, admission_controlled = route
+        if admission_controlled and not self.server.admission.acquire(blocking=False):
+            self.server.rejection_counter.inc()
+            self._finish(
+                started,
+                endpoint,
+                503,
+                {"error": "server saturated; retry later"},
+                headers={"Retry-After": str(RETRY_AFTER_SECONDS)},
+            )
+            return
+        try:
+            status, payload = self._handle(endpoint, parsed.query)
+        except ServiceError as exc:
+            status, payload = exc.status, {"error": exc.message}
+        except Exception:
+            # Boundary catch-all: one malformed or unlucky request must
+            # not take down the server thread pool.
+            logging.getLogger("repro.serving").exception(
+                "unhandled error serving %s %s", method, parsed.path
+            )
+            status, payload = 500, {"error": "internal server error"}
+        finally:
+            if admission_controlled:
+                self.server.admission.release()
+        self._finish(started, endpoint, status, payload)
+
+    def _handle(self, endpoint: str, query_string: str) -> tuple[int, dict[str, Any] | str]:
+        service = self.server.service
+        if endpoint == "metrics":
+            return 200, service.metrics_text(now=time.time())
+        if endpoint == "healthz":
+            return 200, service.healthz()
+        if endpoint == "stats":
+            return 200, service.stats()
+        if endpoint == "reload":
+            return 200, service.reload()
+        params = self._request_params(query_string)
+        if endpoint == "search":
+            return 200, service.search(
+                query=params.get("query"),
+                k=params.get("k", 10),
+                mode=params.get("mode", "index"),
+            )
+        if endpoint == "recommend":
+            return 200, service.recommend(
+                user=params.get("user"),
+                k=params.get("k", 10),
+                delta=params.get("delta"),
+            )
+        if endpoint == "similar":
+            return 200, service.similar(
+                tags=params.get("tags"),
+                visual_words=params.get("visual_words"),
+                users=params.get("users"),
+                k=params.get("k", 10),
+                mode=params.get("mode", "index"),
+            )
+        raise ServiceError(404, f"unknown endpoint {endpoint!r}")
+
+    # ------------------------------------------------------------------
+    # request/response codec
+    # ------------------------------------------------------------------
+    def _request_params(self, query_string: str) -> dict[str, Any]:
+        """Query-string parameters overlaid with the JSON body (body
+        wins).  Repeated query parameters become lists so free-form
+        bags work from the command line too."""
+        params: dict[str, Any] = {}
+        for name, values in parse_qs(query_string, keep_blank_values=True).items():
+            params[name] = values[0] if len(values) == 1 else values
+        length = int(self.headers.get("Content-Length") or 0)
+        if length:
+            raw = self.rfile.read(length)
+            try:
+                body = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise ServiceError(400, f"request body is not valid JSON: {exc}") from exc
+            if not isinstance(body, dict):
+                raise ServiceError(400, "request body must be a JSON object")
+            params.update(body)
+        return params
+
+    def _finish(
+        self,
+        started: float,
+        endpoint: str,
+        status: int,
+        payload: dict[str, Any] | str,
+        headers: dict[str, str] | None = None,
+    ) -> None:
+        if isinstance(payload, str):
+            body = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = (json.dumps(payload) + "\n").encode("utf-8")
+            content_type = "application/json"
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        try:
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            # The client hung up; the response is already accounted for.
+            pass
+        latency = time.perf_counter() - started
+        self.server.request_counter.inc(endpoint=endpoint, status=str(status))
+        self.server.latency_histogram.observe(latency, endpoint=endpoint)
+        cache_hit = payload.get("cached") if isinstance(payload, dict) else None
+        generation = payload.get("generation") if isinstance(payload, dict) else None
+        ACCESS_LOGGER.info(
+            json.dumps(
+                {
+                    "event": "request",
+                    "method": self.command,
+                    "path": self.path,
+                    "endpoint": endpoint,
+                    "status": status,
+                    "latency_ms": round(latency * 1000.0, 3),
+                    "cache_hit": cache_hit,
+                    "generation": generation,
+                }
+            )
+        )
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Default stderr chatter is replaced by the structured log."""

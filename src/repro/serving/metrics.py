@@ -1,0 +1,299 @@
+"""Counter/gauge/histogram registry with Prometheus text rendering.
+
+The serving layer's observability substrate: request counts by endpoint
+and status, latency histograms with fixed buckets, cache statistics and
+snapshot generation/age, all exposed at ``GET /metrics`` in the
+Prometheus text exposition format (version 0.0.4) — plain enough that
+``curl`` is a usable client and no external library is needed.
+
+All metric objects are thread-safe (one lock per metric); the registry
+itself locks only get-or-create, so the hot increment path never
+contends on a global lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+#: Fixed latency buckets (seconds) — sub-millisecond to multi-second,
+#: matching the paper's "under 0.6 s per query" budget with headroom.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+)
+
+
+def format_value(value: float) -> str:
+    """Prometheus-style number: integral values render without a dot."""
+    as_float = float(value)
+    return str(int(as_float)) if as_float.is_integer() else repr(as_float)
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the text exposition format."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(label_names: tuple[str, ...], label_values: tuple[str, ...]) -> str:
+    if not label_names:
+        return ""
+    pairs = ",".join(
+        f'{name}="{escape_label_value(value)}"'
+        for name, value in zip(label_names, label_values)
+    )
+    return "{" + pairs + "}"
+
+
+class _Metric:
+    """Shared bookkeeping: name, help text, label names, a lock."""
+
+    kind: str = ""
+
+    def __init__(self, name: str, help_text: str, label_names: tuple[str, ...] = ()) -> None:
+        self.name = name
+        self.help_text = help_text
+        self.label_names = tuple(label_names)
+        self._lock = threading.Lock()
+
+    def _label_values(self, labels: dict[str, str]) -> tuple[str, ...]:
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"metric {self.name!r} expects labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.label_names)
+
+    def header_lines(self) -> list[str]:
+        return [
+            f"# HELP {self.name} {self.help_text}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+
+    def render(self) -> list[str]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """Monotonically increasing counter, optionally labelled."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str, label_names: tuple[str, ...] = ()) -> None:
+        super().__init__(name, help_text, label_names)
+        self._values: dict[tuple[str, ...], float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = self._label_values(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        key = self._label_values(labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def render(self) -> list[str]:
+        lines = self.header_lines()
+        with self._lock:
+            items = sorted(self._values.items())
+        if not items and not self.label_names:
+            items = [((), 0.0)]
+        for label_values, value in items:
+            labels = _render_labels(self.label_names, label_values)
+            lines.append(f"{self.name}{labels} {format_value(value)}")
+        return lines
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (or mirror an external total).
+
+    ``kind_override="counter"`` renders the gauge with a counter TYPE
+    line — used to expose monotonic totals owned by another component
+    (e.g. the result cache's hit count) without double bookkeeping.
+    """
+
+    kind = "gauge"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        label_names: tuple[str, ...] = (),
+        kind_override: str | None = None,
+    ) -> None:
+        super().__init__(name, help_text, label_names)
+        if kind_override is not None:
+            self.kind = kind_override
+        self._values: dict[tuple[str, ...], float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        key = self._label_values(labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def value(self, **labels: str) -> float:
+        key = self._label_values(labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def render(self) -> list[str]:
+        lines = self.header_lines()
+        with self._lock:
+            items = sorted(self._values.items())
+        if not items and not self.label_names:
+            items = [((), 0.0)]
+        for label_values, value in items:
+            labels = _render_labels(self.label_names, label_values)
+            lines.append(f"{self.name}{labels} {format_value(value)}")
+        return lines
+
+
+@dataclass
+class _HistogramState:
+    """Per-label-set histogram accumulators."""
+
+    bucket_counts: list[int]
+    total: float = 0.0
+    count: int = 0
+
+
+class Histogram(_Metric):
+    """Fixed-bucket histogram (cumulative buckets, ``+Inf`` implicit)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+        label_names: tuple[str, ...] = (),
+    ) -> None:
+        super().__init__(name, help_text, label_names)
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("buckets must be a non-empty ascending sequence")
+        self.buckets = tuple(float(b) for b in buckets)
+        self._states: dict[tuple[str, ...], _HistogramState] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        key = self._label_values(labels)
+        with self._lock:
+            state = self._states.get(key)
+            if state is None:
+                state = _HistogramState(bucket_counts=[0] * len(self.buckets))
+                self._states[key] = state
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    state.bucket_counts[i] += 1
+            state.total += value
+            state.count += 1
+
+    def count(self, **labels: str) -> int:
+        key = self._label_values(labels)
+        with self._lock:
+            state = self._states.get(key)
+            return 0 if state is None else state.count
+
+    def render(self) -> list[str]:
+        lines = self.header_lines()
+        with self._lock:
+            items = [
+                (values, list(state.bucket_counts), state.total, state.count)
+                for values, state in sorted(self._states.items())
+            ]
+        for label_values, bucket_counts, total, count in items:
+            base = dict(zip(self.label_names, label_values))
+            for bound, cumulative in zip(self.buckets, bucket_counts):
+                bucket_labels = _render_labels(
+                    self.label_names + ("le",),
+                    tuple(base.values()) + (format_value(bound),),
+                )
+                lines.append(f"{self.name}_bucket{bucket_labels} {cumulative}")
+            inf_labels = _render_labels(
+                self.label_names + ("le",), tuple(base.values()) + ("+Inf",)
+            )
+            plain = _render_labels(self.label_names, label_values)
+            lines.append(f"{self.name}_bucket{inf_labels} {count}")
+            lines.append(f"{self.name}_sum{plain} {format_value(total)}")
+            lines.append(f"{self.name}_count{plain} {count}")
+        return lines
+
+
+@dataclass
+class MetricsRegistry:
+    """Get-or-create metric store; renders every metric in name order."""
+
+    _metrics: dict[str, _Metric] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def _get_or_create(self, name: str, factory_kind: type, **kwargs: object) -> _Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, factory_kind):
+                    raise ValueError(
+                        f"metric {name!r} already registered as {existing.kind}"
+                    )
+                return existing
+            metric = factory_kind(name, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(
+        self, name: str, help_text: str, label_names: tuple[str, ...] = ()
+    ) -> Counter:
+        metric = self._get_or_create(
+            name, Counter, help_text=help_text, label_names=label_names
+        )
+        assert isinstance(metric, Counter)
+        return metric
+
+    def gauge(
+        self,
+        name: str,
+        help_text: str,
+        label_names: tuple[str, ...] = (),
+        kind_override: str | None = None,
+    ) -> Gauge:
+        metric = self._get_or_create(
+            name,
+            Gauge,
+            help_text=help_text,
+            label_names=label_names,
+            kind_override=kind_override,
+        )
+        assert isinstance(metric, Gauge)
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+        label_names: tuple[str, ...] = (),
+    ) -> Histogram:
+        metric = self._get_or_create(
+            name, Histogram, help_text=help_text, buckets=buckets, label_names=label_names
+        )
+        assert isinstance(metric, Histogram)
+        return metric
+
+    def render(self) -> str:
+        with self._lock:
+            metrics = [self._metrics[name] for name in sorted(self._metrics)]
+        lines: list[str] = []
+        for metric in metrics:
+            lines.extend(metric.render())
+        return "\n".join(lines) + "\n" if lines else ""

@@ -1,0 +1,189 @@
+"""Engine lifecycle: immutable snapshots with atomic hot-reload.
+
+The online system keeps exactly one *warm* engine per corpus: the
+correlation model and clique inverted index are built once at load time
+(the paper's Figure 3 preprocessing) and every query runs against the
+prebuilt structure — the point of Section 3.5's index.
+
+A :class:`SnapshotManager` owns a reference to the current
+:class:`EngineSnapshot`.  Reload builds a complete replacement off the
+serving path (the old snapshot keeps answering queries throughout) and
+then swaps the reference under a lock — readers grab the reference
+once per request, so in-flight requests drain on the old snapshot while
+new requests land on the new one.  A failed reload leaves the current
+snapshot untouched.
+
+Each snapshot carries a monotonically increasing *generation*; the
+result cache keys on it, so a swap implicitly invalidates all cached
+results of previous generations.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.mrf import MRFParameters
+from repro.core.recommendation import Recommender
+from repro.core.retrieval import RetrievalEngine
+from repro.social.corpus import Corpus
+from repro.storage.store import load_corpus, load_params
+
+
+@dataclass(frozen=True)
+class EngineSnapshot:
+    """One immutable generation of the serving state.
+
+    Attributes
+    ----------
+    engine:
+        Warm retrieval engine (index built).
+    recommender:
+        Warm recommender, or ``None`` when the corpus carries no
+        favorite events (retrieval-only corpora).
+    generation:
+        Monotonic id assigned by the manager; starts at 1.
+    source:
+        Corpus directory this snapshot was loaded from.
+    loaded_at:
+        Wall-clock seconds (``time.time``) at load completion — feeds
+        the ``/metrics`` snapshot-age gauge.
+    """
+
+    engine: RetrievalEngine
+    recommender: Recommender | None
+    generation: int
+    source: str
+    loaded_at: float
+
+    @property
+    def corpus(self) -> Corpus:
+        return self.engine.corpus
+
+    @property
+    def n_objects(self) -> int:
+        return len(self.engine.corpus)
+
+
+def build_snapshot(
+    corpus_dir: str | Path,
+    generation: int,
+    params: MRFParameters | None = None,
+    params_path: str | Path | None = None,
+    build_index: bool = True,
+    loaded_at: float | None = None,
+) -> EngineSnapshot:
+    """Load ``corpus_dir`` into a fresh snapshot.
+
+    Parameter resolution: an explicit ``params`` object wins; otherwise
+    ``params_path`` (or ``<corpus_dir>/params.json`` when present) is
+    loaded; otherwise the library-default :class:`MRFParameters` — the
+    same default the batch CLI uses, so served rankings are
+    bit-identical to ``repro search``/``repro recommend``.
+    """
+    directory = Path(corpus_dir)
+    if params is None:
+        candidate = Path(params_path) if params_path is not None else directory / "params.json"
+        if params_path is not None or candidate.is_file():
+            params = load_params(candidate)
+        else:
+            params = MRFParameters()
+    corpus = load_corpus(directory)
+    engine = RetrievalEngine(corpus, params=params, build_index=build_index)
+    recommender = (
+        Recommender(corpus, params=params, build_index=build_index)
+        if corpus.favorites
+        else None
+    )
+    return EngineSnapshot(
+        engine=engine,
+        recommender=recommender,
+        generation=generation,
+        source=str(directory),
+        loaded_at=loaded_at if loaded_at is not None else time.time(),
+    )
+
+
+class SnapshotManager:
+    """Owns the current snapshot and serializes reloads.
+
+    Parameters
+    ----------
+    corpus_dir:
+        Directory written by :func:`repro.storage.store.save_corpus`.
+    params / params_path:
+        Parameter resolution inputs (see :func:`build_snapshot`); the
+        resolution re-runs on every reload, so dropping a new
+        ``params.json`` next to the corpus takes effect on reload.
+    build_index:
+        Forwarded to the engine/recommender constructors.
+    clock:
+        Injectable wall clock for tests.
+    """
+
+    def __init__(
+        self,
+        corpus_dir: str | Path,
+        params: MRFParameters | None = None,
+        params_path: str | Path | None = None,
+        build_index: bool = True,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self._corpus_dir = Path(corpus_dir)
+        self._params = params
+        self._params_path = params_path
+        self._build_index = build_index
+        self._clock = clock
+        self._current: EngineSnapshot | None = None
+        self._generation = 0
+        #: serializes builds so concurrent reloads don't race the
+        #: generation counter or waste duplicate work.
+        self._reload_lock = threading.Lock()
+        #: guards the reference swap (readers + writer).
+        self._swap_lock = threading.Lock()
+
+    @property
+    def corpus_dir(self) -> Path:
+        return self._corpus_dir
+
+    @property
+    def current(self) -> EngineSnapshot:
+        """The serving snapshot; raises if :meth:`load` never ran."""
+        with self._swap_lock:
+            snapshot = self._current
+        if snapshot is None:
+            raise RuntimeError("no snapshot loaded; call load() first")
+        return snapshot
+
+    @property
+    def generation(self) -> int:
+        with self._swap_lock:
+            return self._generation
+
+    def load(self) -> EngineSnapshot:
+        """Build the next generation and atomically swap it in.
+
+        The build happens outside the swap lock — the previous snapshot
+        keeps serving until the replacement is fully warm.  On failure
+        the exception propagates and the current snapshot is untouched.
+        """
+        with self._reload_lock:
+            next_generation = self.generation + 1
+            snapshot = build_snapshot(
+                self._corpus_dir,
+                generation=next_generation,
+                params=self._params,
+                params_path=self._params_path,
+                build_index=self._build_index,
+                loaded_at=self._clock(),
+            )
+            with self._swap_lock:
+                self._current = snapshot
+                self._generation = next_generation
+            return snapshot
+
+    #: reload is the same operation as the initial load — build then swap.
+    reload = load

@@ -39,6 +39,30 @@ class StorageError(RuntimeError):
     """Raised for malformed or incompatible on-disk artifacts."""
 
 
+def _read_json(path: Path, description: str) -> object:
+    """Parse one JSON artifact, mapping every failure mode (missing
+    file, undecodable bytes, malformed JSON) to :class:`StorageError`."""
+    try:
+        text = path.read_text()
+    except FileNotFoundError:
+        raise StorageError(f"missing {description}: {path}") from None
+    except OSError as exc:
+        raise StorageError(f"unreadable {description} {path}: {exc}") from exc
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise StorageError(f"corrupt {description} {path}: {exc}") from exc
+
+
+def _record_field(record: dict, key: str, path: Path, line_number: int) -> object:
+    try:
+        return record[key]
+    except KeyError:
+        raise StorageError(
+            f"corrupt record in {path} line {line_number}: missing field {key!r}"
+        ) from None
+
+
 # ----------------------------------------------------------------------
 # corpus
 # ----------------------------------------------------------------------
@@ -108,49 +132,95 @@ def load_corpus(directory: str | Path) -> Corpus:
     meta_path = path / "meta.json"
     if not meta_path.exists():
         raise StorageError(f"{path} is not a corpus directory (missing meta.json)")
-    meta = json.loads(meta_path.read_text())
+    meta = _read_json(meta_path, "corpus metadata")
+    if not isinstance(meta, dict):
+        raise StorageError(f"corrupt corpus metadata {meta_path}: not a JSON object")
     version = meta.get("format_version")
     if version != FORMAT_VERSION:
         raise StorageError(f"unsupported corpus format version {version!r}")
 
     objects: list[MediaObject] = []
-    with (path / "objects.jsonl").open() as fh:
-        for line in fh:
-            record = json.loads(line)
-            features = {
-                Feature.from_key(key): count for key, count in record["features"].items()
-            }
+    objects_path = path / "objects.jsonl"
+    if not objects_path.exists():
+        raise StorageError(f"missing object store: {objects_path}")
+    with objects_path.open() as fh:
+        for line_number, line in enumerate(fh, start=1):
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise StorageError(
+                    f"corrupt or truncated {objects_path} at line {line_number}: {exc}"
+                ) from exc
+            raw_features = _record_field(record, "features", objects_path, line_number)
+            try:
+                features = {
+                    Feature.from_key(key): count for key, count in raw_features.items()
+                }
+            except (AttributeError, ValueError) as exc:
+                raise StorageError(
+                    f"corrupt feature bag in {objects_path} line {line_number}: {exc}"
+                ) from exc
             objects.append(
-                MediaObject(object_id=record["id"], features=features, timestamp=record["t"])
+                MediaObject(
+                    object_id=_record_field(record, "id", objects_path, line_number),
+                    features=features,
+                    timestamp=_record_field(record, "t", objects_path, line_number),
+                )
             )
+    if len(objects) != meta.get("n_objects", len(objects)):
+        raise StorageError(
+            f"truncated {objects_path}: metadata promises {meta.get('n_objects')} "
+            f"objects, found {len(objects)}"
+        )
 
     favorites: list[FavoriteEvent] = []
     fav_path = path / "favorites.jsonl"
     if fav_path.exists():
         with fav_path.open() as fh:
-            for line in fh:
-                record = json.loads(line)
+            for line_number, line in enumerate(fh, start=1):
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise StorageError(
+                        f"corrupt or truncated {fav_path} at line {line_number}: {exc}"
+                    ) from exc
                 favorites.append(
                     FavoriteEvent(
-                        user=record["user"], object_id=record["object"], month=record["month"]
+                        user=_record_field(record, "user", fav_path, line_number),
+                        object_id=_record_field(record, "object", fav_path, line_number),
+                        month=_record_field(record, "month", fav_path, line_number),
                     )
                 )
 
-    social = SocialGraph(json.loads((path / "social.json").read_text()))
-    topics_raw = json.loads((path / "topics.json").read_text())
+    social = SocialGraph(_read_json(path / "social.json", "social graph"))
+    topics_raw = _read_json(path / "topics.json", "topic ground truth")
+    if not isinstance(topics_raw, dict):
+        raise StorageError(f"corrupt topic ground truth {path / 'topics.json'}")
     topics = {oid: tuple(t) for oid, t in topics_raw.items()}
 
     taxonomy = None
     tax_path = path / "taxonomy.json"
     if tax_path.exists():
-        taxonomy = Taxonomy(json.loads(tax_path.read_text()))
+        taxonomy = Taxonomy(_read_json(tax_path, "taxonomy"))
+    elif meta.get("has_taxonomy"):
+        raise StorageError(f"metadata promises a taxonomy but {tax_path} is missing")
 
     codebook = None
     cb_path = path / "codebook.npy"
     if cb_path.exists():
-        centroids = np.load(cb_path)
-        scale = json.loads((path / "codebook.json").read_text())["similarity_scale"]
-        codebook = VisualCodebook(centroids, similarity_scale=scale)
+        try:
+            centroids = np.load(cb_path)
+        except (OSError, ValueError) as exc:
+            raise StorageError(f"corrupt codebook {cb_path}: {exc}") from exc
+        cb_meta = _read_json(path / "codebook.json", "codebook metadata")
+        if not isinstance(cb_meta, dict) or "similarity_scale" not in cb_meta:
+            raise StorageError(
+                f"corrupt codebook metadata {path / 'codebook.json'}: "
+                "missing similarity_scale"
+            )
+        codebook = VisualCodebook(centroids, similarity_scale=cb_meta["similarity_scale"])
+    elif meta.get("has_codebook"):
+        raise StorageError(f"metadata promises a codebook but {cb_path} is missing")
 
     return Corpus(
         objects=objects,
@@ -182,16 +252,22 @@ def save_params(params: MRFParameters, file_path: str | Path) -> Path:
 
 def load_params(file_path: str | Path) -> MRFParameters:
     """Load MRF parameters written by :func:`save_params`."""
-    payload = json.loads(Path(file_path).read_text())
+    path = Path(file_path)
+    payload = _read_json(path, "parameter file")
+    if not isinstance(payload, dict):
+        raise StorageError(f"corrupt parameter file {path}: not a JSON object")
     version = payload.get("format_version")
     if version != FORMAT_VERSION:
         raise StorageError(f"unsupported parameter format version {version!r}")
-    return MRFParameters(
-        lambdas={int(size): weight for size, weight in payload["lambdas"].items()},
-        alpha=payload["alpha"],
-        use_cors=payload["use_cors"],
-        delta=payload["delta"],
-    )
+    try:
+        return MRFParameters(
+            lambdas={int(size): weight for size, weight in payload["lambdas"].items()},
+            alpha=payload["alpha"],
+            use_cors=payload["use_cors"],
+            delta=payload["delta"],
+        )
+    except (KeyError, AttributeError, ValueError) as exc:
+        raise StorageError(f"corrupt parameter file {path}: {exc}") from exc
 
 
 def _taxonomy_nodes(taxonomy: Taxonomy) -> list[str]:

@@ -119,3 +119,21 @@ def test_foreign_query_object(engine, tiny_corpus):
     assert len(hits) == 5
     # the donor object shares every feature: it must rank first
     assert hits[0].object_id == donor.object_id
+
+
+def test_ranked_sort_orders_desc_score_then_id():
+    from repro.core.retrieval import ranked_sort
+
+    results = [
+        RankedResult(object_id="b", score=1.0),
+        RankedResult(object_id="a", score=1.0),
+        RankedResult(object_id="z", score=3.0),
+        RankedResult(object_id="c", score=2.0),
+    ]
+    assert [r.object_id for r in ranked_sort(results)] == ["z", "c", "a", "b"]
+
+
+def test_ranked_result_is_not_orderable():
+    """The ascending dataclass ordering was a footgun; it must be gone."""
+    with pytest.raises(TypeError):
+        RankedResult("a", 1.0) < RankedResult("b", 2.0)  # noqa: B015

@@ -270,3 +270,52 @@ def test_lint_paths_aggregates_and_sorts(tmp_path):
     out = lint_paths([str(tmp_path)])
     assert [v.path.rsplit("/", 1)[-1] for v in out] == ["a.py", "b.py"]
     assert all(v.checker == "missing-future-annotations" for v in out)
+
+
+# ----------------------------------------------------------------------
+# per-checker path exemptions ([tool.lintkit.exempt])
+# ----------------------------------------------------------------------
+def test_exempt_drops_checker_in_matching_path():
+    config = LintConfig(
+        select=("float-equality",),
+        exempt=(("float-equality", ("repro/serving",)),),
+    )
+    assert lint_source(FLOAT_EQ, "src/repro/serving/http.py", config) == []
+
+
+def test_exempt_leaves_other_paths_flagged():
+    config = LintConfig(
+        select=("float-equality",),
+        exempt=(("float-equality", ("repro/serving",)),),
+    )
+    assert len(lint_source(FLOAT_EQ, SCORING_PATH, config)) == 1
+
+
+def test_exempt_leaves_other_checkers_flagged():
+    config = LintConfig(
+        select=("float-equality",),
+        exempt=(("silent-exception", ("repro/core",)),),
+    )
+    assert len(lint_source(FLOAT_EQ, SCORING_PATH, config)) == 1
+
+
+def test_from_mapping_parses_exempt_table():
+    config = LintConfig.from_mapping(
+        {"exempt": {"silent-exception": ["repro/serving/http.py"], "float-equality": ["a", "b"]}}
+    )
+    assert config.is_exempt("silent-exception", "src/repro/serving/http.py")
+    assert not config.is_exempt("silent-exception", "src/repro/core/mrf.py")
+    assert config.is_exempt("float-equality", "x/b/y.py")
+
+
+def test_from_mapping_rejects_bad_exempt_values():
+    with pytest.raises(ValueError):
+        LintConfig.from_mapping({"exempt": {"float-equality": "not-a-list"}})
+    with pytest.raises(ValueError):
+        LintConfig.from_mapping({"exempt": ["not-a-table"]})
+
+
+def test_unknown_exempt_checker_name_fails_loudly():
+    config = LintConfig(exempt=(("no-such-checker", ("repro/serving",)),))
+    with pytest.raises(LintError):
+        lint_source(FLOAT_EQ, SCORING_PATH, config)

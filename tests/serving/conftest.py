@@ -1,0 +1,47 @@
+"""Serving fixtures: corpora saved to disk and warm snapshot managers.
+
+Module-expensive state (saved corpus directories, loaded snapshots) is
+session-scoped; tests must not mutate the shared manager — tests that
+reload build their own.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving.cache import ResultCache
+from repro.serving.service import QueryService
+from repro.serving.snapshot import SnapshotManager
+from repro.storage.store import save_corpus
+
+
+@pytest.fixture(scope="session")
+def rec_corpus_dir(tmp_path_factory, rec_corpus):
+    """The recommendation corpus (favorites + tracked users) on disk —
+    exercises both /search and /recommend."""
+    path = tmp_path_factory.mktemp("serving") / "rec"
+    save_corpus(rec_corpus, path)
+    return str(path)
+
+
+@pytest.fixture(scope="session")
+def tiny_corpus_dir(tmp_path_factory, tiny_corpus):
+    """The retrieval-only corpus on disk (no favorite events)."""
+    path = tmp_path_factory.mktemp("serving") / "tiny"
+    save_corpus(tiny_corpus, path)
+    return str(path)
+
+
+@pytest.fixture(scope="session")
+def loaded_manager(rec_corpus_dir):
+    """Warm snapshot manager over the recommendation corpus; shared by
+    read-only tests (none of which may reload it)."""
+    manager = SnapshotManager(rec_corpus_dir, clock=lambda: 1000.0)
+    manager.load()
+    return manager
+
+
+@pytest.fixture()
+def service(loaded_manager):
+    """Fresh service (own cache + metrics) over the shared snapshot."""
+    return QueryService(loaded_manager, cache=ResultCache(128))

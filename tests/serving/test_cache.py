@@ -1,0 +1,99 @@
+"""LRU result cache: recency, eviction accounting, thread safety."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serving.cache import ResultCache, result_cache_key
+
+
+def test_get_miss_then_hit():
+    cache = ResultCache(4)
+    key = result_cache_key(1, "search", "obj1", 10, "index")
+    assert cache.get(key) is None
+    cache.put(key, {"results": []})
+    assert cache.get(key) == {"results": []}
+    stats = cache.stats()
+    assert (stats.hits, stats.misses) == (1, 1)
+
+
+def test_lru_evicts_least_recently_used():
+    cache = ResultCache(2)
+    cache.put(("a",), 1)
+    cache.put(("b",), 2)
+    assert cache.get(("a",)) == 1  # refresh "a": "b" is now LRU
+    cache.put(("c",), 3)
+    assert cache.get(("b",)) is None
+    assert cache.get(("a",)) == 1
+    assert cache.get(("c",)) == 3
+    assert cache.stats().evictions == 1
+
+
+def test_eviction_keeps_size_bounded():
+    cache = ResultCache(8)
+    for i in range(50):
+        cache.put((i,), i)
+    stats = cache.stats()
+    assert stats.size == 8
+    assert stats.evictions == 42
+
+
+def test_generation_prefix_separates_snapshots():
+    """The same logical query under two generations must not collide."""
+    cache = ResultCache(8)
+    old = result_cache_key(1, "search", "obj1", 10, "index")
+    new = result_cache_key(2, "search", "obj1", 10, "index")
+    cache.put(old, "old")
+    assert cache.get(new) is None
+    cache.put(new, "new")
+    assert cache.get(old) == "old"
+    assert cache.get(new) == "new"
+
+
+def test_clear_drops_entries_but_keeps_counters():
+    cache = ResultCache(8)
+    cache.put(("a",), 1)
+    cache.get(("a",))
+    assert cache.clear() == 1
+    stats = cache.stats()
+    assert stats.size == 0
+    assert stats.hits == 1
+    assert cache.get(("a",)) is None
+
+
+def test_zero_capacity_disables_caching():
+    cache = ResultCache(0)
+    cache.put(("a",), 1)
+    assert cache.get(("a",)) is None
+    assert len(cache) == 0
+
+
+def test_negative_capacity_rejected():
+    with pytest.raises(ValueError):
+        ResultCache(-1)
+
+
+def test_concurrent_mixed_access_is_consistent():
+    cache = ResultCache(32)
+    errors: list[Exception] = []
+
+    def worker(seed: int) -> None:
+        try:
+            for i in range(200):
+                key = ((seed * 7 + i) % 48,)
+                if cache.get(key) is None:
+                    cache.put(key, i)
+        except Exception as exc:  # pragma: no cover - only on failure
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(s,)) for s in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+    stats = cache.stats()
+    assert stats.size <= 32
+    assert stats.hits + stats.misses == 8 * 200

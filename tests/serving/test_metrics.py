@@ -1,0 +1,119 @@
+"""Metrics registry and Prometheus text rendering."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serving.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    escape_label_value,
+    format_value,
+)
+
+
+def test_counter_increments_and_renders():
+    counter = Counter("repro_things_total", "Things.")
+    counter.inc()
+    counter.inc(2.0)
+    assert counter.value() == 3.0
+    lines = counter.render()
+    assert "# HELP repro_things_total Things." in lines
+    assert "# TYPE repro_things_total counter" in lines
+    assert "repro_things_total 3" in lines
+
+
+def test_counter_labels_render_sorted():
+    counter = Counter("repro_req_total", "Reqs.", label_names=("endpoint", "status"))
+    counter.inc(endpoint="search", status="200")
+    counter.inc(endpoint="search", status="200")
+    counter.inc(endpoint="recommend", status="404")
+    lines = counter.render()
+    assert 'repro_req_total{endpoint="recommend",status="404"} 1' in lines
+    assert 'repro_req_total{endpoint="search",status="200"} 2' in lines
+
+
+def test_counter_rejects_negative_and_wrong_labels():
+    counter = Counter("c_total", "C.", label_names=("endpoint",))
+    with pytest.raises(ValueError):
+        counter.inc(-1.0, endpoint="x")
+    with pytest.raises(ValueError):
+        counter.inc(status="200")
+
+
+def test_unlabelled_counter_renders_zero_sample():
+    assert "c_total 0" in Counter("c_total", "C.").render()
+
+
+def test_gauge_sets_and_overrides_kind():
+    gauge = Gauge("repro_cache_hits_total", "Hits.", kind_override="counter")
+    gauge.set(7)
+    lines = gauge.render()
+    assert "# TYPE repro_cache_hits_total counter" in lines
+    assert "repro_cache_hits_total 7" in lines
+    gauge.set(9)
+    assert gauge.value() == 9.0
+
+
+def test_histogram_buckets_are_cumulative():
+    hist = Histogram("repro_latency_seconds", "Latency.", buckets=(0.01, 0.1, 1.0))
+    for value in (0.005, 0.05, 0.5, 5.0):
+        hist.observe(value)
+    lines = hist.render()
+    assert 'repro_latency_seconds_bucket{le="0.01"} 1' in lines
+    assert 'repro_latency_seconds_bucket{le="0.1"} 2' in lines
+    assert 'repro_latency_seconds_bucket{le="1"} 3' in lines
+    assert 'repro_latency_seconds_bucket{le="+Inf"} 4' in lines
+    assert "repro_latency_seconds_count 4" in lines
+    assert hist.count() == 4
+
+
+def test_histogram_rejects_unsorted_buckets():
+    with pytest.raises(ValueError):
+        Histogram("h", "H.", buckets=(1.0, 0.1))
+
+
+def test_registry_get_or_create_is_idempotent():
+    registry = MetricsRegistry()
+    a = registry.counter("repro_x_total", "X.")
+    b = registry.counter("repro_x_total", "X.")
+    assert a is b
+    with pytest.raises(ValueError):
+        registry.gauge("repro_x_total", "X.")
+
+
+def test_registry_render_orders_by_name_and_terminates_with_newline():
+    registry = MetricsRegistry()
+    registry.counter("repro_b_total", "B.").inc()
+    registry.counter("repro_a_total", "A.").inc()
+    text = registry.render()
+    assert text.index("repro_a_total") < text.index("repro_b_total")
+    assert text.endswith("\n")
+
+
+def test_format_value_integers_render_bare():
+    assert format_value(3.0) == "3"
+    assert format_value(0.25) == "0.25"
+
+
+def test_label_escaping():
+    assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+
+
+def test_concurrent_increments_do_not_lose_updates():
+    counter = Counter("c_total", "C.")
+
+    def worker() -> None:
+        for _ in range(1000):
+            counter.inc()
+
+    threads = [threading.Thread(target=worker) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert counter.value() == 8000.0

@@ -1,0 +1,211 @@
+"""Transport-independent handlers: parity with the batch engines,
+cache semantics, reload, validation errors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.mrf import MRFParameters
+from repro.core.recommendation import Recommender
+from repro.core.retrieval import RetrievalEngine
+from repro.serving.cache import ResultCache
+from repro.serving.service import QueryService, ServiceError
+from repro.serving.snapshot import SnapshotManager
+from repro.storage.store import load_corpus
+
+
+# ----------------------------------------------------------------------
+# parity with the batch path
+# ----------------------------------------------------------------------
+def test_search_matches_batch_engine_bit_for_bit(service, rec_corpus_dir):
+    """Served rankings must equal what `repro search` computes from the
+    same corpus directory: identical ids AND identical float scores."""
+    corpus = load_corpus(rec_corpus_dir)
+    batch = RetrievalEngine(corpus)
+    for query_id in [corpus[0].object_id, corpus[7].object_id]:
+        served = service.search(query=query_id, k=5)
+        expected = batch.search(corpus.get(query_id), k=5)
+        assert served["results"] == [
+            {"object_id": r.object_id, "score": r.score} for r in expected
+        ]
+
+
+def test_search_scan_mode_matches_batch_scan(service, rec_corpus_dir):
+    corpus = load_corpus(rec_corpus_dir)
+    batch = RetrievalEngine(corpus, build_index=False)
+    query_id = corpus[3].object_id
+    served = service.search(query=query_id, k=4, mode="scan")
+    expected = batch.search(corpus.get(query_id), k=4, mode="scan")
+    assert served["results"] == [
+        {"object_id": r.object_id, "score": r.score} for r in expected
+    ]
+
+
+def test_recommend_matches_batch_recommender(service, rec_corpus_dir):
+    corpus = load_corpus(rec_corpus_dir)
+    user = corpus.favorite_users()[0]
+    batch = Recommender(corpus, params=MRFParameters(delta=1.0))
+    served = service.recommend(user=user, k=5)
+    expected = batch.recommend(user, k=5)
+    assert served["results"] == [
+        {"object_id": r.object_id, "score": r.score} for r in expected
+    ]
+
+
+def test_recommend_with_delta_matches_fig_t(service, rec_corpus_dir):
+    corpus = load_corpus(rec_corpus_dir)
+    user = corpus.favorite_users()[1]
+    batch = Recommender(corpus, params=MRFParameters(delta=0.5))
+    served = service.recommend(user=user, k=5, delta=0.5)
+    expected = batch.recommend(user, k=5)
+    assert served["delta"] == 0.5
+    assert served["results"] == [
+        {"object_id": r.object_id, "score": r.score} for r in expected
+    ]
+
+
+def test_similar_free_form_bag(service, loaded_manager):
+    """An ad-hoc bag not stored in the corpus searches without error and
+    matches a direct engine query on the same synthetic object."""
+    from repro.core.objects import FeatureType, MediaObject
+
+    snapshot = loaded_manager.current
+    donor = snapshot.corpus[0]
+    tags = [f.name for f in donor.features_of_type(FeatureType.TEXT)][:3]
+    served = service.similar(tags=tags, k=5)
+    query = MediaObject.build("query:ad-hoc", tags=sorted(tags))
+    expected = snapshot.engine.search(query, k=5, exclude_query=False)
+    assert served["results"] == [
+        {"object_id": r.object_id, "score": r.score} for r in expected
+    ]
+
+
+# ----------------------------------------------------------------------
+# cache behaviour
+# ----------------------------------------------------------------------
+def test_repeated_search_is_served_from_cache(service, loaded_manager):
+    query_id = loaded_manager.current.corpus[0].object_id
+    first = service.search(query=query_id, k=3)
+    second = service.search(query=query_id, k=3)
+    assert first["cached"] is False
+    assert second["cached"] is True
+    assert first["results"] == second["results"]
+    stats = service.cache.stats()
+    assert stats.hits == 1
+
+
+def test_different_k_or_mode_is_a_different_entry(service, loaded_manager):
+    query_id = loaded_manager.current.corpus[0].object_id
+    service.search(query=query_id, k=3)
+    assert service.search(query=query_id, k=4)["cached"] is False
+    assert service.search(query=query_id, k=3, mode="scan")["cached"] is False
+    assert service.search(query=query_id, k=3)["cached"] is True
+
+
+def test_cache_hit_counter_visible_in_metrics(service, loaded_manager):
+    query_id = loaded_manager.current.corpus[0].object_id
+    service.search(query=query_id, k=3)
+    service.search(query=query_id, k=3)
+    text = service.metrics_text()
+    assert "repro_result_cache_hits_total 1" in text
+    assert "# TYPE repro_result_cache_hits_total counter" in text
+
+
+# ----------------------------------------------------------------------
+# reload
+# ----------------------------------------------------------------------
+def test_reload_bumps_generation_and_empties_cache(rec_corpus_dir):
+    manager = SnapshotManager(rec_corpus_dir)
+    manager.load()
+    service = QueryService(manager, cache=ResultCache(64))
+    query_id = manager.current.corpus[0].object_id
+    before = service.search(query=query_id, k=3)
+    assert len(service.cache) == 1
+    outcome = service.reload()
+    assert outcome["generation"] == before["generation"] + 1
+    assert outcome["cache_entries_dropped"] == 1
+    assert len(service.cache) == 0
+    after = service.search(query=query_id, k=3)
+    assert after["cached"] is False
+    assert after["generation"] == outcome["generation"]
+    # same corpus on disk -> same ranking across generations
+    assert after["results"] == before["results"]
+
+
+# ----------------------------------------------------------------------
+# validation and error mapping
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "kwargs, status",
+    [
+        ({"query": ""}, 400),
+        ({"query": None}, 400),
+        ({"query": "obj000000", "k": 0}, 400),
+        ({"query": "obj000000", "k": "many"}, 400),
+        ({"query": "obj000000", "k": 10_000}, 400),
+        ({"query": "obj000000", "mode": "warp"}, 400),
+        ({"query": "ghost"}, 404),
+    ],
+)
+def test_search_error_statuses(service, kwargs, status):
+    with pytest.raises(ServiceError) as err:
+        service.search(**kwargs)
+    assert err.value.status == status
+
+
+def test_recommend_unknown_user_is_404(service):
+    with pytest.raises(ServiceError) as err:
+        service.recommend(user="nobody")
+    assert err.value.status == 404
+
+
+def test_recommend_bad_delta_is_400(service, rec_corpus_dir):
+    corpus = load_corpus(rec_corpus_dir)
+    user = corpus.favorite_users()[0]
+    with pytest.raises(ServiceError) as err:
+        service.recommend(user=user, delta=2.5)
+    assert err.value.status == 400
+
+
+def test_recommend_without_favorites_is_409(tiny_corpus_dir):
+    manager = SnapshotManager(tiny_corpus_dir)
+    manager.load()
+    service = QueryService(manager)
+    with pytest.raises(ServiceError) as err:
+        service.recommend(user="u0")
+    assert err.value.status == 409
+
+
+def test_similar_requires_some_bag(service):
+    with pytest.raises(ServiceError) as err:
+        service.similar()
+    assert err.value.status == 400
+    with pytest.raises(ServiceError) as err:
+        service.similar(tags="notalist")
+    assert err.value.status == 400
+
+
+def test_unloaded_manager_maps_to_503(rec_corpus_dir):
+    service = QueryService(SnapshotManager(rec_corpus_dir))
+    with pytest.raises(ServiceError) as err:
+        service.search(query="obj000000")
+    assert err.value.status == 503
+
+
+# ----------------------------------------------------------------------
+# introspection
+# ----------------------------------------------------------------------
+def test_healthz_and_stats(service, loaded_manager):
+    health = service.healthz()
+    assert health["status"] == "ok"
+    assert health["generation"] == loaded_manager.generation
+    assert health["recommendation"] is True
+    stats = service.stats()
+    assert stats["snapshot"]["objects"] == loaded_manager.current.n_objects
+    assert stats["cache"]["capacity"] == 128
+
+
+def test_metrics_text_reports_snapshot_age(service):
+    text = service.metrics_text(now=1060.0)  # manager clock stamped 1000.0
+    assert "repro_snapshot_age_seconds 60" in text
+    assert "repro_snapshot_generation 1" in text

@@ -1,0 +1,82 @@
+"""Snapshot lifecycle: load, hot-reload, generation monotonicity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.mrf import MRFParameters
+from repro.serving.snapshot import SnapshotManager, build_snapshot
+from repro.storage.store import StorageError, save_params
+
+
+def test_current_before_load_raises(rec_corpus_dir):
+    manager = SnapshotManager(rec_corpus_dir)
+    with pytest.raises(RuntimeError):
+        manager.current
+    assert manager.generation == 0
+
+
+def test_load_produces_generation_one(rec_corpus_dir, rec_corpus):
+    manager = SnapshotManager(rec_corpus_dir, clock=lambda: 123.0)
+    snapshot = manager.load()
+    assert snapshot.generation == 1
+    assert snapshot.loaded_at == 123.0
+    assert snapshot.n_objects == len(rec_corpus)
+    assert snapshot.recommender is not None
+    assert manager.current is snapshot
+
+
+def test_retrieval_only_corpus_has_no_recommender(tiny_corpus_dir):
+    snapshot = SnapshotManager(tiny_corpus_dir).load()
+    assert snapshot.recommender is None
+
+
+def test_reload_bumps_generation_and_swaps_reference(rec_corpus_dir):
+    manager = SnapshotManager(rec_corpus_dir)
+    first = manager.load()
+    second = manager.reload()
+    assert second.generation == first.generation + 1
+    assert manager.current is second
+    assert second.engine is not first.engine
+    # the drained snapshot keeps answering queries for in-flight requests
+    hits = first.engine.search(first.corpus[0], k=3)
+    assert len(hits) == 3
+
+
+def test_failed_reload_leaves_current_snapshot(rec_corpus_dir, tmp_path):
+    manager = SnapshotManager(rec_corpus_dir)
+    snapshot = manager.load()
+    manager._corpus_dir = tmp_path / "nope"  # simulate the directory vanishing
+    with pytest.raises(StorageError):
+        manager.reload()
+    assert manager.current is snapshot
+    assert manager.generation == snapshot.generation
+
+
+def test_params_json_next_to_corpus_is_picked_up(rec_corpus_dir, tmp_path, rec_corpus):
+    from repro.storage.store import save_corpus
+
+    corpus_dir = tmp_path / "with-params"
+    save_corpus(rec_corpus, corpus_dir)
+    save_params(MRFParameters(alpha=0.25, delta=0.5), corpus_dir / "params.json")
+    snapshot = build_snapshot(corpus_dir, generation=1, loaded_at=0.0)
+    assert snapshot.engine.params.alpha == 0.25
+    assert snapshot.recommender is not None
+    assert snapshot.recommender.params.delta == 0.5
+
+
+def test_explicit_params_win_over_disk(rec_corpus_dir):
+    params = MRFParameters(alpha=0.75)
+    snapshot = build_snapshot(rec_corpus_dir, generation=1, params=params, loaded_at=0.0)
+    assert snapshot.engine.params is params
+
+
+def test_snapshot_results_match_fresh_engine(rec_corpus_dir, rec_corpus):
+    """The warm engine answers exactly like a cold batch-CLI engine."""
+    from repro.core.retrieval import RetrievalEngine
+    from repro.storage.store import load_corpus
+
+    snapshot = build_snapshot(rec_corpus_dir, generation=1, loaded_at=0.0)
+    cold = RetrievalEngine(load_corpus(rec_corpus_dir))
+    query = snapshot.corpus[0]
+    assert snapshot.engine.search(query, k=5) == cold.search(cold.corpus.get(query.object_id), k=5)

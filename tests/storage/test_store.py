@@ -93,3 +93,112 @@ def test_params_bad_version(tmp_path):
     path.write_text(json.dumps({"format_version": 999}))
     with pytest.raises(StorageError):
         load_params(path)
+
+
+# ----------------------------------------------------------------------
+# error paths: every malformed artifact maps to StorageError
+# ----------------------------------------------------------------------
+def test_truncated_objects_jsonl_is_storage_error(tmp_path, rec_corpus):
+    """A write cut off mid-record must not surface as JSONDecodeError."""
+    path = save_corpus(rec_corpus, tmp_path / "c")
+    objects = (path / "objects.jsonl").read_text()
+    (path / "objects.jsonl").write_text(objects[: len(objects) // 2])
+    with pytest.raises(StorageError, match="corrupt or truncated"):
+        load_corpus(path)
+
+
+def test_cleanly_truncated_objects_jsonl_is_storage_error(tmp_path, rec_corpus):
+    """Whole records missing (valid JSON lines, wrong count) must fail
+    against the meta.json object count."""
+    path = save_corpus(rec_corpus, tmp_path / "c")
+    lines = (path / "objects.jsonl").read_text().splitlines(keepends=True)
+    (path / "objects.jsonl").write_text("".join(lines[: len(lines) // 2]))
+    with pytest.raises(StorageError, match="truncated"):
+        load_corpus(path)
+
+
+def test_missing_objects_jsonl_is_storage_error(tmp_path, rec_corpus):
+    path = save_corpus(rec_corpus, tmp_path / "c")
+    (path / "objects.jsonl").unlink()
+    with pytest.raises(StorageError, match="missing object store"):
+        load_corpus(path)
+
+
+def test_object_record_missing_field_is_storage_error(tmp_path, rec_corpus):
+    path = save_corpus(rec_corpus, tmp_path / "c")
+    lines = (path / "objects.jsonl").read_text().splitlines()
+    record = json.loads(lines[0])
+    del record["features"]
+    lines[0] = json.dumps(record)
+    (path / "objects.jsonl").write_text("\n".join(lines) + "\n")
+    with pytest.raises(StorageError, match="missing field 'features'"):
+        load_corpus(path)
+
+
+def test_missing_codebook_npy_is_storage_error(tmp_path, rec_corpus):
+    """meta.json promises a codebook; its absence is corruption, not a
+    codebook-free corpus."""
+    path = save_corpus(rec_corpus, tmp_path / "c")
+    (path / "codebook.npy").unlink()
+    with pytest.raises(StorageError, match="promises a codebook"):
+        load_corpus(path)
+
+
+def test_missing_codebook_json_is_storage_error(tmp_path, rec_corpus):
+    path = save_corpus(rec_corpus, tmp_path / "c")
+    (path / "codebook.json").unlink()
+    with pytest.raises(StorageError, match="codebook metadata"):
+        load_corpus(path)
+
+
+def test_corrupt_codebook_npy_is_storage_error(tmp_path, rec_corpus):
+    path = save_corpus(rec_corpus, tmp_path / "c")
+    (path / "codebook.npy").write_bytes(b"not a numpy file")
+    with pytest.raises(StorageError, match="corrupt codebook"):
+        load_corpus(path)
+
+
+def test_missing_taxonomy_promised_by_meta_is_storage_error(tmp_path, rec_corpus):
+    path = save_corpus(rec_corpus, tmp_path / "c")
+    (path / "taxonomy.json").unlink()
+    with pytest.raises(StorageError, match="promises a taxonomy"):
+        load_corpus(path)
+
+
+def test_corrupt_meta_json_is_storage_error(tmp_path, rec_corpus):
+    path = save_corpus(rec_corpus, tmp_path / "c")
+    (path / "meta.json").write_text("{\"format_version\": 1,")
+    with pytest.raises(StorageError, match="corrupt corpus metadata"):
+        load_corpus(path)
+
+
+def test_corrupt_social_json_is_storage_error(tmp_path, rec_corpus):
+    path = save_corpus(rec_corpus, tmp_path / "c")
+    (path / "social.json").write_text("[broken")
+    with pytest.raises(StorageError, match="social graph"):
+        load_corpus(path)
+
+
+def test_corrupt_favorites_jsonl_is_storage_error(tmp_path, rec_corpus):
+    path = save_corpus(rec_corpus, tmp_path / "c")
+    (path / "favorites.jsonl").write_text('{"user": "u", "obj')
+    with pytest.raises(StorageError, match="corrupt or truncated"):
+        load_corpus(path)
+
+
+def test_params_corrupt_json_is_storage_error(tmp_path):
+    from repro.storage.store import load_params
+
+    path = tmp_path / "p.json"
+    path.write_text("{broken")
+    with pytest.raises(StorageError, match="corrupt parameter file"):
+        load_params(path)
+
+
+def test_params_missing_field_is_storage_error(tmp_path):
+    from repro.storage.store import load_params
+
+    path = tmp_path / "p.json"
+    path.write_text(json.dumps({"format_version": 1, "alpha": 0.5}))
+    with pytest.raises(StorageError, match="corrupt parameter file"):
+        load_params(path)

@@ -88,3 +88,53 @@ def test_evaluate(corpus_dir, capsys):
 def test_requires_subcommand():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_search_missing_corpus_dir(tmp_path, capsys):
+    code = main(["search", str(tmp_path / "nope"), "--query", "obj000000"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:") and err.count("\n") == 1
+
+
+def test_info_missing_corpus_dir(tmp_path, capsys):
+    assert main(["info", str(tmp_path / "nope")]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_recommend_missing_corpus_dir(tmp_path, capsys):
+    assert main(["recommend", str(tmp_path / "nope"), "--user", "u"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_evaluate_missing_corpus_dir(tmp_path, capsys):
+    assert main(["evaluate", str(tmp_path / "nope")]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_serve_missing_corpus_dir(tmp_path, capsys):
+    assert main(["serve", str(tmp_path / "nope"), "--port", "0"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_search_corrupt_corpus_dir(tmp_path, capsys, tiny_corpus):
+    """A corrupt objects.jsonl yields exit 2 + one-line error, not a
+    traceback."""
+    path = tmp_path / "corrupt"
+    save_corpus(tiny_corpus, path)
+    (path / "objects.jsonl").write_text('{"id": "x", "t": 0, "featu')
+    code = main(["search", str(path), "--query", "obj000000"])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_search_bad_format_version(tmp_path, capsys, tiny_corpus):
+    import json as _json
+
+    path = tmp_path / "oldver"
+    save_corpus(tiny_corpus, path)
+    meta = _json.loads((path / "meta.json").read_text())
+    meta["format_version"] = 999
+    (path / "meta.json").write_text(_json.dumps(meta))
+    assert main(["info", str(path)]) == 2
+    assert "format version" in capsys.readouterr().err

@@ -57,6 +57,13 @@ class LintConfig:
     select: tuple[str, ...] = ()
     #: checker names to skip.
     ignore: tuple[str, ...] = ()
+    #: per-checker path exemptions: ``(checker name, path fragments)``
+    #: pairs.  A violation from that checker in a matching file is
+    #: dropped — the config-level alternative to inline suppression
+    #: comments, for whole boundaries (e.g. the HTTP/clock edge of the
+    #: serving layer) rather than single lines.  Declared in pyproject
+    #: as the ``[tool.lintkit.exempt]`` table.
+    exempt: tuple[tuple[str, tuple[str, ...]], ...] = ()
 
     @classmethod
     def from_pyproject(cls, pyproject: Path) -> "LintConfig":
@@ -78,6 +85,22 @@ class LintConfig:
                 raise ValueError(f"[tool.lintkit] {key} must be a list of strings")
             return tuple(value)
 
+        exempt_raw = table.get("exempt")
+        exempt: tuple[tuple[str, tuple[str, ...]], ...] = ()
+        if exempt_raw is not None:
+            if not isinstance(exempt_raw, dict):
+                raise ValueError("[tool.lintkit] exempt must be a table of checker -> paths")
+            pairs: list[tuple[str, tuple[str, ...]]] = []
+            for checker, fragments in exempt_raw.items():
+                if not isinstance(fragments, list) or not all(
+                    isinstance(f, str) for f in fragments
+                ):
+                    raise ValueError(
+                        f"[tool.lintkit.exempt] {checker} must be a list of path strings"
+                    )
+                pairs.append((checker, tuple(fragments)))
+            exempt = tuple(sorted(pairs))
+
         return cls(
             scoring_paths=strings("scoring-paths", DEFAULT_SCORING_PATHS),
             deterministic_paths=strings("deterministic-paths", DEFAULT_DETERMINISTIC_PATHS),
@@ -85,16 +108,28 @@ class LintConfig:
             exclude=strings("exclude", ()),
             select=strings("select", ()),
             ignore=strings("ignore", ()),
+            exempt=exempt,
         )
 
     def active_checkers(self, registry: dict[str, type]) -> dict[str, type]:
-        """Apply select/ignore to the registry."""
+        """Apply select/ignore to the registry (exempt names are
+        validated too, so a typo in the table fails loudly)."""
         names = set(self.select) if self.select else set(registry)
-        unknown = (names | set(self.ignore)) - set(registry)
+        exempt_names = {checker for checker, _ in self.exempt}
+        unknown = (names | set(self.ignore) | exempt_names) - set(registry)
         if unknown:
             raise ValueError(f"unknown checker name(s): {', '.join(sorted(unknown))}")
         names -= set(self.ignore)
         return {name: registry[name] for name in sorted(names)}
+
+    def is_exempt(self, checker: str, path: str) -> bool:
+        """Whether ``checker`` findings are exempted for ``path``
+        (posix-style substring fragments, like the scoping paths)."""
+        posix = path.replace("\\", "/")
+        return any(
+            checker == name and any(fragment in posix for fragment in fragments)
+            for name, fragments in self.exempt
+        )
 
 
 def find_pyproject(start: Path) -> Path | None:

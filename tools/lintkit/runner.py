@@ -65,6 +65,8 @@ def lint_source(
         ]
     found: list[Violation] = []
     for checker in checkers:
+        if config.is_exempt(checker.name, ctx.path):
+            continue
         for violation in checker.check(ctx):
             if not ctx.suppressions.is_suppressed(violation.checker, violation.line):
                 found.append(violation)
