@@ -16,6 +16,7 @@ EXPERIMENTS.md.
 from __future__ import annotations
 
 import functools
+import json
 from pathlib import Path
 
 from repro.baselines import (
@@ -182,3 +183,13 @@ def report(name: str, title: str, lines: list[str], capsys) -> None:
             print("\n" + text)
     else:  # pragma: no cover - direct script invocation
         print("\n" + text)
+
+
+def report_json(name: str, payload: dict) -> Path:
+    """Persist a machine-readable perf artifact next to the ``.txt``
+    table — the BENCH_* trajectory (and the CI perf gate) consume these
+    instead of re-parsing the human tables."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

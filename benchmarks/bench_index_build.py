@@ -1,0 +1,134 @@
+"""Index build cost — the price of scoring postings at build time.
+
+The impact-ordering change moved every query-independent factor of
+Eq. 9 — CorS(c) and the two α-free components of P(n₁..n_k|Oᵢ) — into
+``CliqueInvertedIndex.build``.  This bench prices that move and its
+escape hatches:
+
+* **serial build** per corpus size (repeated, p50/p95) — the cost the
+  old lazy index deferred to query time, paid once up front;
+* **shard-parallel build** (2 workers, smallest size) — asserted
+  bit-identical to the serial build; wall-clock wins need real cores,
+  so no speedup is asserted (CI boxes are often single-core);
+* **save / load of the scored artifact** — the serving cold-start
+  path: ``repro index`` persists once, every snapshot (re)load after
+  that parses JSON instead of re-scoring the corpus, which must be
+  several times faster than building.
+
+Writes ``results/index_build.{txt,json}`` with p50/p95 per corpus size
+— the machine-readable BENCH_* artifact for the build trajectory.
+"""
+
+import time
+
+import pytest
+
+import _harness as H
+from repro.core.retrieval import correlation_model_for_corpus
+from repro.eval import percentile
+from repro.index.inverted import CliqueInvertedIndex
+from repro.storage.store import load_index, save_index
+
+#: Corpus sizes priced (subset of the Fig. 8/9 sweep to keep the bench
+#: in minutes) and repeats per size for the percentiles.
+BUILD_SIZES = (500, 1500, 2500)
+REPEATS = 3
+
+#: The artifact pickup must beat re-scoring by at least this factor —
+#: the serving cold-start claim.
+MIN_LOAD_SPEEDUP = 3.0
+
+
+def _timed(fn, repeats=REPEATS):
+    samples = []
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        samples.append(time.perf_counter() - start)
+    return result, {
+        "mean_s": sum(samples) / len(samples),
+        "p50_s": percentile(samples, 50.0),
+        "p95_s": percentile(samples, 95.0),
+        "n_samples": len(samples),
+    }
+
+
+def _postings_identical(a: CliqueInvertedIndex, b: CliqueInvertedIndex) -> bool:
+    if len(a) != len(b) or a.n_objects != b.n_objects:
+        return False
+    for posting in a.iter_postings():
+        other = b.lookup(posting.key)
+        if other is None or other.object_ids != posting.object_ids:
+            return False
+        if other.cors != posting.cors:
+            return False
+        if any(other.components(i) != posting.components(i) for i in range(len(posting))):
+            return False
+    return True
+
+
+def run_experiment(tmp_dir):
+    rows, detail = [], {}
+    for size in BUILD_SIZES:
+        corpus = H.retrieval_corpus(size)
+        correlations = correlation_model_for_corpus(corpus)
+
+        def build():
+            return CliqueInvertedIndex(correlations, max_clique_size=3).build(corpus)
+
+        index, build_stats = _timed(build)
+        artifact = tmp_dir / f"index_{size}.jsonl"
+        _, save_stats = _timed(lambda: save_index(index, artifact))
+        loaded, load_stats = _timed(lambda: load_index(artifact, correlations))
+        assert _postings_identical(index, loaded)
+
+        detail[size] = {
+            "build": build_stats,
+            "save": save_stats,
+            "load": load_stats,
+            "n_cliques": len(index),
+            "total_postings": int(index.stats()["total_postings"]),
+            "artifact_bytes": artifact.stat().st_size,
+            "load_speedup_p50": build_stats["p50_s"] / load_stats["p50_s"],
+        }
+        rows.append(
+            f"{size:>6}  build p50 {build_stats['p50_s'] * 1000:8.1f} ms   "
+            f"save p50 {save_stats['p50_s'] * 1000:7.1f} ms   "
+            f"load p50 {load_stats['p50_s'] * 1000:7.1f} ms   "
+            f"load speedup {detail[size]['load_speedup_p50']:5.1f}x   "
+            f"cliques {len(index)}"
+        )
+
+    # Shard-parallel parity at the smallest size: bit-identical merge.
+    corpus = H.retrieval_corpus(min(BUILD_SIZES))
+    correlations = correlation_model_for_corpus(corpus)
+    serial = CliqueInvertedIndex(correlations, max_clique_size=3).build(corpus)
+    sharded = CliqueInvertedIndex(correlations, max_clique_size=3).build(
+        corpus, n_workers=2
+    )
+    assert _postings_identical(serial, sharded)
+    rows.append(f"parallel(2) build at {min(BUILD_SIZES)}: postings bit-identical to serial")
+    return rows, detail
+
+
+@pytest.mark.benchmark(group="index_build")
+def test_index_build(benchmark, capsys, tmp_path):
+    rows, detail = benchmark.pedantic(
+        run_experiment, args=(tmp_path,), rounds=1, iterations=1
+    )
+    H.report("index_build", "Index build: score-at-build-time cost vs artifact pickup", rows, capsys)
+    H.report_json(
+        "index_build",
+        {
+            "bench": "index_build",
+            "sizes": list(BUILD_SIZES),
+            "repeats": REPEATS,
+            "detail": {str(s): detail[s] for s in BUILD_SIZES},
+        },
+    )
+    # Build cost grows with corpus size; the artifact load path beats
+    # re-scoring by a wide margin at every size (serving cold start).
+    assert detail[BUILD_SIZES[-1]]["build"]["p50_s"] > detail[BUILD_SIZES[0]]["build"]["p50_s"]
+    for size, d in detail.items():
+        assert d["load_speedup_p50"] >= MIN_LOAD_SPEEDUP, size

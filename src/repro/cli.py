@@ -9,6 +9,7 @@ Examples::
 
     repro generate --objects 1000 --out ./corpus
     repro info ./corpus
+    repro index ./corpus --workers 4
     repro search ./corpus --query obj000003 --k 10
     repro generate --objects 1500 --tracked-users 10 --recommendation --out ./rec
     repro recommend ./rec --user tracked000 --k 10 --delta 0.4
@@ -25,6 +26,7 @@ import argparse
 import logging
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
 from repro.core.mrf import MRFParameters
 from repro.core.recommendation import Recommender
@@ -36,7 +38,8 @@ from repro.serving.http import create_server, install_signal_handlers
 from repro.serving.service import QueryService
 from repro.serving.snapshot import SnapshotManager
 from repro.social.generator import GeneratorConfig, SyntheticFlickr
-from repro.storage.store import StorageError, load_corpus, save_corpus
+from repro.index.inverted import CliqueInvertedIndex
+from repro.storage.store import StorageError, load_corpus, save_corpus, save_index
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -61,6 +64,14 @@ def _build_parser() -> argparse.ArgumentParser:
 
     info = sub.add_parser("info", help="summarize a saved corpus")
     info.add_argument("corpus", help="corpus directory")
+
+    index = sub.add_parser(
+        "index", help="precompute the clique inverted index and save it with the corpus"
+    )
+    index.add_argument("corpus", help="corpus directory")
+    index.add_argument(
+        "--workers", type=int, default=1, help="parallel build shards (1 = serial)"
+    )
 
     search = sub.add_parser("search", help="retrieve objects similar to a query object")
     search.add_argument("corpus", help="corpus directory")
@@ -134,6 +145,24 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_index(args: argparse.Namespace) -> int:
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    corpus = load_corpus(args.corpus)
+    engine = RetrievalEngine(corpus, build_index=False)
+    index = CliqueInvertedIndex(
+        engine.correlations, max_clique_size=engine.params.max_clique_size
+    ).build(corpus, n_workers=args.workers)
+    path = save_index(index, Path(args.corpus) / "index.jsonl")
+    stats = index.stats()
+    print(
+        f"wrote {int(stats['n_cliques'])} cliques / {int(stats['total_postings'])} "
+        f"postings to {path}"
+    )
+    return 0
+
+
 def _cmd_search(args: argparse.Namespace) -> int:
     corpus = load_corpus(args.corpus)
     if args.query not in corpus:
@@ -197,6 +226,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "generate": _cmd_generate,
     "info": _cmd_info,
+    "index": _cmd_index,
     "search": _cmd_search,
     "recommend": _cmd_recommend,
     "evaluate": _cmd_evaluate,

@@ -30,6 +30,18 @@ Scoring cost: the smoothing term needs ``Cor(n, m)`` for every query
 feature × candidate feature pair.  :class:`CliqueScorer` therefore
 caches, per candidate object, the row sums ``S(n, O_i) = Σ_{m∈O_i}
 Cor(n, m)`` so each clique costs O(k²) lookups instead of O(k·|O_i|).
+
+Query-independence.  ``P(n_1..n_k | O_i)`` depends only on the clique,
+the candidate and α — not on which query produced the clique — so the
+inverted index precomputes its two α-free components at build time via
+:func:`joint_components` (the same function the scan scorer uses, so
+both paths produce bit-identical floats).  All float summations here
+iterate canonical orders (the clique's sorted feature tuple, the
+object's feature-bag insertion order): float addition is not
+associative, and set-order iteration would make scores differ across
+processes under hash randomization — breaking the bit-identical
+ranking contract between the serial scan, the parallel scan and the
+build-time-scored index.
 """
 
 from __future__ import annotations
@@ -108,6 +120,44 @@ class MRFParameters:
         return MRFParameters(**data)
 
 
+def joint_components(
+    clique: Clique,
+    obj: MediaObject,
+    correlations: CorrelationModel,
+    row_sums: dict[Feature, float],
+) -> tuple[float, float]:
+    """The two α-independent components of Eq. 7 for ``(clique, obj)``.
+
+    Returns ``(freq_part, smooth_part)`` such that ``P(n_1..n_k | O_i)
+    = α·freq_part + (1-α)·smooth_part``.  ``row_sums`` is the caller's
+    per-object cache of ``S(n, O_i) = Σ_{m∈O_i} Cor(n, m)``; entries
+    are filled on demand.  Every summation iterates a canonical order
+    (see the module docstring) so the scan scorer, the parallel-scan
+    workers and the index builder produce bit-identical floats.
+    """
+    freqs = [obj.frequency(f) for f in clique.features]
+    joint = min(freqs) if all(f > 0 for f in freqs) else 0
+    size = len(obj)
+    freq_part = joint / size if size > 0 else 0.0
+
+    smooth_part = 0.0
+    clique_set = set(clique.features)
+    rest_count = len(obj.features) - len(clique_set & obj.features.keys())
+    if rest_count > 0:
+        total = 0.0
+        for n in clique.features:
+            row = row_sums.get(n)
+            if row is None:
+                row = sum(correlations.cor(n, m) for m in obj.features)
+                row_sums[n] = row
+            inside = sum(
+                correlations.cor(n, m) for m in clique.features if m in obj.features
+            )
+            total += row - inside
+        smooth_part = total / (len(clique_set) * rest_count)
+    return freq_part, smooth_part
+
+
 class CliqueScorer:
     """Scores candidate objects against a fixed clique set.
 
@@ -116,16 +166,22 @@ class CliqueScorer:
     docstring.  The candidate cache is keyed by object id and retained
     for the scorer's lifetime, so scoring many cliques against the same
     candidate amortizes well — the access pattern of both Algorithm 1
-    and the sequential scan.
+    and the sequential scan.  ``max_cached_objects`` bounds the cache:
+    long scans that forget to :meth:`release` evict their oldest entry
+    instead of growing without bound.
     """
 
     def __init__(
         self,
         correlations: CorrelationModel,
         params: MRFParameters,
+        max_cached_objects: int = 1024,
     ) -> None:
+        if max_cached_objects < 1:
+            raise ValueError("max_cached_objects must be >= 1")
         self._cor = correlations
         self._params = params
+        self._max_cached_objects = max_cached_objects
         self._row_sums: dict[str, dict[Feature, float]] = {}
         self._cors_cache: dict[tuple[Feature, ...], float] = {}
 
@@ -138,28 +194,9 @@ class CliqueScorer:
     # ------------------------------------------------------------------
     def joint_probability(self, clique: Clique, obj: MediaObject) -> float:
         """``P(n_1..n_k | O_i)`` of Eq. 7."""
-        freqs = [obj.frequency(f) for f in clique.features]
-        joint = min(freqs) if all(f > 0 for f in freqs) else 0
-        size = len(obj)
-        freq_part = joint / size if size > 0 else 0.0
-
-        smooth_part = 0.0
-        clique_set = set(clique.features)
-        rest_count = len(obj.features) - len(clique_set & obj.features.keys())
-        if rest_count > 0:
-            row_sums = self._row_sums_for(obj)
-            total = 0.0
-            for n in clique.features:
-                row = row_sums.get(n)
-                if row is None:
-                    row = self._row_sum(n, obj)
-                    row_sums[n] = row
-                inside = sum(
-                    self._cor.cor(n, m) for m in clique_set if m in obj.features
-                )
-                total += row - inside
-            smooth_part = total / (len(clique_set) * rest_count)
-
+        freq_part, smooth_part = joint_components(
+            clique, obj, self._cor, self._row_sums_for(obj)
+        )
         alpha = self._params.alpha
         return alpha * freq_part + (1.0 - alpha) * smooth_part
 
@@ -214,12 +251,13 @@ class CliqueScorer:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _row_sum(self, feature: Feature, obj: MediaObject) -> float:
-        return sum(self._cor.cor(feature, m) for m in obj.features)
-
     def _row_sums_for(self, obj: MediaObject) -> dict[Feature, float]:
         cached = self._row_sums.get(obj.object_id)
         if cached is None:
+            if len(self._row_sums) >= self._max_cached_objects:
+                # FIFO eviction: scans visit each candidate once, so the
+                # oldest entry is the least likely to be touched again.
+                self._row_sums.pop(next(iter(self._row_sums)))
             cached = {}
             self._row_sums[obj.object_id] = cached
         return cached

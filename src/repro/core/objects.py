@@ -103,12 +103,17 @@ class MediaObject:
     timestamp: int = 0
 
     def __post_init__(self) -> None:
-        bag = Counter()
         for feature, count in dict(self.features).items():
             if not isinstance(feature, Feature):
                 raise TypeError(f"feature keys must be Feature, got {type(feature).__name__}")
             if count <= 0:
                 raise ValueError(f"feature {feature} has non-positive count {count}")
+        bag = Counter()
+        # Canonical (sorted) insertion order: float summations over the
+        # bag iterate it directly, and float addition is not associative,
+        # so a generated object and its save/load round trip must present
+        # features in the same order or scores drift in the last ULP.
+        for feature, count in sorted(dict(self.features).items()):
             bag[feature] = int(count)
         object.__setattr__(self, "features", bag)
 

@@ -21,11 +21,29 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from collections.abc import Sequence
 
+from typing import TypeVar
+
 from repro.core.cliques import Clique
 from repro.core.correlation import CorrelationModel
 from repro.core.mrf import CliqueScorer, MRFParameters
 from repro.core.objects import MediaObject
 from repro.core.retrieval import RankedResult, RetrievalEngine, ranked_sort
+
+_T = TypeVar("_T")
+
+
+def split_shards(items: Sequence[_T], n: int) -> list[list[_T]]:
+    """Contiguous shards of near-equal size, preserving order.
+
+    The shared dispatch helper for every shard-parallel path (the exact
+    scan below, the index build in :mod:`repro.index.inverted`):
+    contiguous splits keep corpus order within and across shards, which
+    the bit-identical merge contracts rely on.
+    """
+    if n < 1:
+        raise ValueError("shard count must be >= 1")
+    size = (len(items) + n - 1) // n
+    return [list(items[i : i + size]) for i in range(0, len(items), size)]
 
 
 def _score_shard(
@@ -85,7 +103,7 @@ class ParallelScanner:
                 (cliques, objects, self._engine.correlations, self._engine.params, None)
             )
         else:
-            shards = self._split(objects, self._n_workers)
+            shards = split_shards(objects, self._n_workers)
             payloads = [
                 (cliques, shard, self._engine.correlations, self._engine.params, None)
                 for shard in shards
@@ -100,8 +118,5 @@ class ParallelScanner:
 
     @staticmethod
     def _split(objects: Sequence[MediaObject], n: int) -> list[list[MediaObject]]:
-        """Contiguous shards of near-equal size."""
-        if n < 1:
-            raise ValueError("shard count must be >= 1")
-        size = (len(objects) + n - 1) // n
-        return [list(objects[i : i + size]) for i in range(0, len(objects), size)]
+        """Contiguous shards of near-equal size (see :func:`split_shards`)."""
+        return split_shards(objects, n)

@@ -22,7 +22,7 @@ from repro.core.mrf import CliqueScorer, MRFParameters
 from repro.core.objects import MediaObject
 from repro.core.retrieval import RankedResult, correlation_model_for_corpus, ranked_sort
 from repro.index.inverted import CliqueInvertedIndex
-from repro.index.threshold import SortedListSource, threshold_algorithm
+from repro.index.threshold import ImpactSortedSource, SortedListSource, threshold_algorithm
 from repro.social.corpus import Corpus
 from repro.social.temporal import TemporalSplit, decay_weight
 
@@ -67,6 +67,8 @@ class Recommender:
     build_index:
         Build a clique inverted index over the candidate objects for
         Algorithm-1-style recommendation (disable for scan-only use).
+    index_workers:
+        Worker processes for the eager index build (``1`` = serial).
     """
 
     def __init__(
@@ -77,6 +79,7 @@ class Recommender:
         default_threshold: float = 0.3,
         split: TemporalSplit | None = None,
         build_index: bool = True,
+        index_workers: int = 1,
     ) -> None:
         self._corpus = corpus
         self._params = params if params is not None else MRFParameters()
@@ -93,7 +96,8 @@ class Recommender:
         if build_index:
             self._index = CliqueInvertedIndex(
                 self._correlations, max_clique_size=self._max_clique_size
-            ).build(self._candidates)
+            ).build(self._candidates, n_workers=index_workers)
+            self._index.precompute_impact(self._params.alpha)
         self._profile_cache: dict[str, UserProfile] = {}
 
     # ------------------------------------------------------------------
@@ -177,20 +181,64 @@ class Recommender:
         of the evaluation window (the "now" at which the newly incoming
         objects are being considered).
         """
-        if mode not in ("index", "scan"):
-            raise ValueError(f"mode must be 'index' or 'scan', got {mode!r}")
+        if mode not in ("index", "index-rescore", "scan"):
+            raise ValueError(
+                f"mode must be 'index', 'index-rescore' or 'scan', got {mode!r}"
+            )
         profile = self.profile_for(user)
         t_now = current_month if current_month is not None else self._split.evaluation.start
-        scorer = CliqueScorer(self._correlations, self._params)
         if mode == "scan":
+            scorer = CliqueScorer(self._correlations, self._params)
             return self._recommend_scan(profile, scorer, k, t_now)
         if self._index is None:
             raise ValueError("recommender was built with build_index=False; use mode='scan'")
-        return self._recommend_index(profile, scorer, k, t_now)
+        if mode == "index-rescore":
+            scorer = CliqueScorer(self._correlations, self._params)
+            return self._recommend_index_rescore(profile, scorer, k, t_now)
+        return self._recommend_index(profile, k, t_now)
 
     def _recommend_index(
+        self, profile: UserProfile, k: int, t_now: int
+    ) -> list[RankedResult]:
+        """Eq. 10 over impact-ordered postings: the temporal weight is
+        constant per clique, so it scales the prebuilt view as the outer
+        factor — ``outer·(inner·P)`` with ``inner = λ·CorS`` — exactly
+        the association the per-query scorer used.  No candidate is
+        rescored; early termination never touches posting tails."""
+        assert self._index is not None
+        delta = self._params.delta
+        alpha = self._params.alpha
+        sources: list[ImpactSortedSource] = []
+        for clique in profile.cliques:
+            outer = profile.temporal_weight(clique, t_now, delta)
+            if outer <= 0.0:
+                continue
+            inner = self._params.lambda_for(clique.size)
+            if inner == 0.0:
+                continue
+            posting = self._index.lookup(clique)
+            if posting is None:
+                continue
+            if self._params.use_cors:
+                cors = posting.cors
+                if cors is not None:
+                    inner *= cors
+                if inner == 0.0:
+                    continue
+            view = posting.impact_view(alpha)
+            if view.pairs:
+                sources.append(
+                    ImpactSortedSource(view.pairs, view.scores, inner=inner, outer=outer)
+                )
+        merged = threshold_algorithm(sources, k=k)
+        return [RankedResult(object_id=oid, score=s) for oid, s in merged]
+
+    def _recommend_index_rescore(
         self, profile: UserProfile, scorer: CliqueScorer, k: int, t_now: int
     ) -> list[RankedResult]:
+        """Pre-change index path (per-query rescoring) — kept as parity
+        reference and perf baseline; the scorer's bounded row-sum cache
+        caps its per-query memory."""
         assert self._index is not None
         delta = self._params.delta
         sources: list[SortedListSource] = []

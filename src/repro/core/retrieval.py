@@ -8,13 +8,20 @@ The engine owns the paper's whole preprocessing pipeline for one corpus:
    group co-membership for users, Eq. 1 across modalities;
 3. the clique inverted index over every object's FIG.
 
-Two query modes are provided:
+Three query modes are provided:
 
-* ``mode="index"`` — Algorithm 1: build the query FIG, look up each
-  clique's posting list, score the candidates with the weighted
-  potential, and merge the per-clique lists with the Threshold
-  Algorithm.  Objects sharing no clique with the query are never
-  scored (the paper's acceleration, and its approximation).
+* ``mode="index"`` — Algorithm 1 over impact-ordered postings: build
+  the query FIG, look up each clique's *prebuilt* impact-ordered
+  posting view, scale it by the constant per-clique weight
+  ``λ_{|c|}·CorS(c)``, and merge with the Threshold Algorithm through
+  lazy cursors.  No per-candidate scoring, no corpus access, genuine
+  early termination.  Objects sharing no clique with the query are
+  never considered (the paper's acceleration, and its approximation).
+* ``mode="index-rescore"`` — the pre-change Algorithm 1: walk the same
+  posting lists but recompute every (clique, candidate) potential per
+  query.  Kept as the reference the fast path is asserted
+  bit-identical against, and as the perf baseline the benchmarks
+  compare to.
 * ``mode="scan"`` — the sequential reference scan of Section 3.5's
   opening: score *every* object with the full clique sum, including
   smoothing contributions for objects that do not contain a clique.
@@ -36,7 +43,12 @@ from repro.core.fig import FeatureInteractionGraph
 from repro.core.mrf import CliqueScorer, MRFParameters
 from repro.core.objects import MediaObject
 from repro.index.inverted import CliqueInvertedIndex
-from repro.index.threshold import SortedListSource, threshold_algorithm
+from repro.index.threshold import (
+    AccessStats,
+    ImpactSortedSource,
+    SortedListSource,
+    threshold_algorithm,
+)
 from repro.social.corpus import Corpus
 from repro.text.wup import WuPalmerSimilarity
 
@@ -53,6 +65,24 @@ class RankedResult:
 
     object_id: str
     score: float
+
+
+@dataclass(frozen=True)
+class IndexQueryStats:
+    """Access accounting for one index-mode query.
+
+    ``sorted_accesses`` is the number of posting entries the Threshold
+    Algorithm actually read; ``total_posting_entries`` is what a full
+    walk of the query's posting lists would have read.  Early
+    termination shows as the first being strictly below the second —
+    the invariant the CI perf gate asserts.
+    """
+
+    sorted_accesses: int
+    random_accesses: int
+    rounds: int
+    n_sources: int
+    total_posting_entries: int
 
 
 def ranked_sort(results: Iterable[RankedResult]) -> list[RankedResult]:
@@ -113,6 +143,13 @@ class RetrievalEngine:
     build_index:
         Build the clique inverted index eagerly (disable for scan-only
         experiments to skip the preprocessing cost).
+    index:
+        A prebuilt :class:`CliqueInvertedIndex` to adopt instead of
+        building one — the path the serving layer uses to load a
+        persisted index.  Must cover at least ``params``' max clique
+        size; takes precedence over ``build_index``.
+    index_workers:
+        Worker processes for the eager index build (``1`` = serial).
     """
 
     def __init__(
@@ -122,6 +159,8 @@ class RetrievalEngine:
         thresholds: dict[tuple[str, str], float] | None = None,
         default_threshold: float = 0.3,
         build_index: bool = True,
+        index: CliqueInvertedIndex | None = None,
+        index_workers: int = 1,
     ) -> None:
         self._corpus = corpus
         self._params = params if params is not None else MRFParameters()
@@ -130,10 +169,20 @@ class RetrievalEngine:
         )
         self._max_clique_size = self._params.max_clique_size
         self._index: CliqueInvertedIndex | None = None
-        if build_index:
+        if index is not None:
+            if index.max_clique_size < self._max_clique_size:
+                raise ValueError(
+                    f"prebuilt index covers cliques up to size {index.max_clique_size}, "
+                    f"but the parameters need {self._max_clique_size}"
+                )
+            self._index = index
+        elif build_index:
             self._index = CliqueInvertedIndex(
                 self._correlations, max_clique_size=self._max_clique_size
-            ).build(corpus)
+            ).build(corpus, n_workers=index_workers)
+        if self._index is not None:
+            # First query pays no per-posting sorting cost.
+            self._index.precompute_impact(self._params.alpha)
 
     # ------------------------------------------------------------------
     # accessors
@@ -153,6 +202,18 @@ class RetrievalEngine:
     @property
     def index(self) -> CliqueInvertedIndex | None:
         return self._index
+
+    def adopt_index(self, index: CliqueInvertedIndex) -> None:
+        """Install a prebuilt (typically loaded) index on an engine
+        constructed with ``build_index=False`` — the serving layer's
+        load path.  The index must cover the parameters' clique bound."""
+        if index.max_clique_size < self._max_clique_size:
+            raise ValueError(
+                f"prebuilt index covers cliques up to size {index.max_clique_size}, "
+                f"but the parameters need {self._max_clique_size}"
+            )
+        self._index = index
+        self._index.precompute_impact(self._params.alpha)
 
     def with_params(self, params: MRFParameters) -> "RetrievalEngine":
         """Clone sharing corpus, correlation model and index, with new
@@ -195,22 +256,102 @@ class RetrievalEngine:
         the paper's queries are corpus images, and returning the query
         to itself carries no information.
         """
-        if mode not in ("index", "scan"):
-            raise ValueError(f"mode must be 'index' or 'scan', got {mode!r}")
+        if mode not in ("index", "index-rescore", "scan"):
+            raise ValueError(
+                f"mode must be 'index', 'index-rescore' or 'scan', got {mode!r}"
+            )
         cliques = self.query_cliques(query)
         exclude = {query.object_id} if exclude_query else set()
         if mode == "scan":
             return self._search_scan(cliques, k, exclude)
         if self._index is None:
             raise ValueError("engine was built with build_index=False; use mode='scan'")
+        if mode == "index-rescore":
+            return self._search_index_rescore(cliques, k, exclude)
         return self._search_index(cliques, k, exclude)
 
+    def search_with_stats(
+        self,
+        query: MediaObject,
+        k: int = 10,
+        exclude_query: bool = True,
+    ) -> tuple[list[RankedResult], IndexQueryStats]:
+        """Index-mode search plus the access accounting of the TA run —
+        the hook the perf benches and the CI early-termination gate use."""
+        if self._index is None:
+            raise ValueError("engine was built with build_index=False; use mode='scan'")
+        cliques = self.query_cliques(query)
+        exclude = {query.object_id} if exclude_query else set()
+        sources = self._index_sources(cliques, exclude)
+        stats = AccessStats()
+        merged = threshold_algorithm(sources, k=k, stats=stats)
+        results = [RankedResult(object_id=oid, score=s) for oid, s in merged]
+        return results, IndexQueryStats(
+            sorted_accesses=stats.sorted_accesses,
+            random_accesses=stats.random_accesses,
+            rounds=stats.rounds,
+            n_sources=len(sources),
+            total_posting_entries=sum(len(s) for s in sources),
+        )
+
     # ------------------------------------------------------------------
-    # Algorithm 1 — index mode
+    # Algorithm 1 — index mode over impact-ordered postings
     # ------------------------------------------------------------------
+    def _index_sources(
+        self, cliques: list[Clique], exclude: set[str]
+    ) -> list[ImpactSortedSource]:
+        """One lazy TA source per query clique with a non-empty posting
+        and a positive constant weight ``λ_{|c|}·CorS(c)``.
+
+        The weight multiplies *outside* the stored α-mixed component,
+        associating exactly as the pre-change scorer did (λ, then CorS,
+        then the joint probability), so scaled scores are bit-identical
+        to ``mode="index-rescore"``.
+        """
+        assert self._index is not None
+        alpha = self._params.alpha
+        exclude_set = frozenset(exclude)
+        sources: list[ImpactSortedSource] = []
+        for clique in cliques:
+            weight = self._params.lambda_for(clique.size)
+            if weight == 0.0:
+                continue
+            posting = self._index.lookup(clique)
+            if posting is None:
+                continue
+            if self._params.use_cors:
+                cors = posting.cors
+                if cors is not None:
+                    weight *= cors
+                if weight == 0.0:
+                    continue
+            view = posting.impact_view(alpha)
+            if view.pairs:
+                sources.append(
+                    ImpactSortedSource(
+                        view.pairs, view.scores, inner=weight, exclude=exclude_set
+                    )
+                )
+        return sources
+
     def _search_index(
         self, cliques: list[Clique], k: int, exclude: set[str]
     ) -> list[RankedResult]:
+        sources = self._index_sources(cliques, exclude)
+        merged = threshold_algorithm(sources, k=k)
+        return [RankedResult(object_id=oid, score=s) for oid, s in merged]
+
+    # ------------------------------------------------------------------
+    # Algorithm 1 — pre-change reference (per-query rescoring)
+    # ------------------------------------------------------------------
+    def _search_index_rescore(
+        self, cliques: list[Clique], k: int, exclude: set[str]
+    ) -> list[RankedResult]:
+        """Walk the posting lists but recompute every potential — the
+        pre-impact-ordering query path, kept as parity reference and
+        perf baseline.  The scorer's bounded row-sum cache keeps this
+        path's per-query memory capped (it previously grew with the
+        candidate set)."""
         assert self._index is not None
         scorer = CliqueScorer(self._correlations, self._params)
         sources: list[SortedListSource] = []

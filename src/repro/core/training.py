@@ -17,6 +17,14 @@ over training queries", or any other metric) over
 * the smoothing α of Eq. 7;
 * optionally the decay δ of Eq. 10 (for recommendation training).
 
+Index reuse across moves.  Every coordinate the trainer sweeps — the λ
+weights, α and δ — multiplies or re-mixes *outside* the components the
+inverted index stores (postings hold the α-independent parts of Eq. 7;
+λ, CorS and decay are applied at query time), so objectives built on
+``engine.with_params(candidate)`` share one built index across the
+entire ascent: a λ or δ move costs nothing index-side, and an α move
+at most re-sorts cached impact views lazily.
+
 A separate helper sweeps the FIG edge threshold, which the paper calls
 "the trained correlation threshold" (Section 3.2) — it changes the
 graph itself, so it cannot share the engine-reuse fast path and is kept

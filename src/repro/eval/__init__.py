@@ -24,7 +24,7 @@ from repro.eval.significance import (
     paired_bootstrap_ci,
     paired_permutation_test,
 )
-from repro.eval.timing import TimingReport, time_per_query
+from repro.eval.timing import TimingReport, percentile, time_per_query
 
 __all__ = [
     "ComparisonResult",
@@ -40,6 +40,7 @@ __all__ = [
     "ndcg_at_n",
     "paired_bootstrap_ci",
     "paired_permutation_test",
+    "percentile",
     "precision_at_n",
     "recall_at_n",
     "reciprocal_rank",

@@ -10,6 +10,7 @@ engine is likewise measured after its preprocessing stage.
 
 from __future__ import annotations
 
+import math
 import time
 from collections.abc import Sequence
 from dataclasses import dataclass
@@ -26,12 +27,37 @@ class TimingReport:
     minimum: float
     maximum: float
     n_queries: int
+    p50: float = 0.0
+    p95: float = 0.0
 
     def format_row(self, label: str) -> str:
         return (
             f"{label:<14} mean={self.mean * 1000:8.2f} ms  "
-            f"min={self.minimum * 1000:8.2f} ms  max={self.maximum * 1000:8.2f} ms"
+            f"p50={self.p50 * 1000:8.2f} ms  p95={self.p95 * 1000:8.2f} ms  "
+            f"max={self.maximum * 1000:8.2f} ms"
         )
+
+    def as_dict(self) -> dict[str, float]:
+        """Milliseconds, for the JSON perf artifacts."""
+        return {
+            "mean_ms": self.mean * 1000,
+            "min_ms": self.minimum * 1000,
+            "max_ms": self.maximum * 1000,
+            "p50_ms": self.p50 * 1000,
+            "p95_ms": self.p95 * 1000,
+            "n_queries": self.n_queries,
+        }
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100]) of ``samples``."""
+    if not samples:
+        raise ValueError("need at least one sample")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(samples)
+    rank = math.ceil(q / 100.0 * len(ordered))
+    return ordered[max(rank - 1, 0)]
 
 
 def time_per_query(
@@ -40,7 +66,7 @@ def time_per_query(
     k: int = 10,
     warmup: bool = True,
 ) -> TimingReport:
-    """Measure mean/min/max wall-clock seconds per query."""
+    """Measure mean/min/max/p50/p95 wall-clock seconds per query."""
     if not queries:
         raise ValueError("need at least one query")
     if warmup:
@@ -55,4 +81,6 @@ def time_per_query(
         minimum=min(samples),
         maximum=max(samples),
         n_queries=len(samples),
+        p50=percentile(samples, 50.0),
+        p95=percentile(samples, 95.0),
     )

@@ -12,12 +12,21 @@ from repro.index.compression import (
     encode_varint,
 )
 from repro.index.inverted import CliqueInvertedIndex
-from repro.index.postings import Posting
-from repro.index.threshold import SortedListSource, sorted_access_count, threshold_algorithm
+from repro.index.postings import ImpactView, Posting
+from repro.index.threshold import (
+    AccessStats,
+    ImpactSortedSource,
+    SortedListSource,
+    sorted_access_count,
+    threshold_algorithm,
+)
 
 __all__ = [
+    "AccessStats",
     "CliqueInvertedIndex",
     "CompressedPosting",
+    "ImpactSortedSource",
+    "ImpactView",
     "Posting",
     "compression_ratio",
     "decode_postings",

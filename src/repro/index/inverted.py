@@ -2,21 +2,63 @@
 
 Preprocessing represents every database object as a FIG, enumerates its
 cliques, and indexes them: clique key -> :class:`Posting` holding the
-clique's CorS and the ids of objects containing the clique.  At query
-time, the retrieval engine looks up each query clique and only scores
-the returned candidates — the paper's acceleration over the sequential
-scan.
+clique's CorS and, per containing object, the two α-independent
+components of the Eq. 7 joint probability.  Both quantities are
+query-independent — ``ϕ'(c, O_i) = λ_{|c|}·CorS(c)·P(n_1..n_k|O_i)``
+depends only on the clique, the candidate and the MRF parameters — so
+the index computes them **once at build time**.  At query time the
+retrieval engine multiplies each posting by its constant per-clique
+weight and hands the prebuilt impact-ordered lists straight to the
+Threshold Algorithm: no per-candidate scoring, no corpus access, and
+genuine early termination.
+
+Building is shard-parallel: the corpus splits into contiguous shards
+(via the same dispatch helper as the parallel scan), each worker scores
+its shard's (clique, object) pairs with its own correlation model, and
+the per-shard partial postings merge in shard order — bit-identical to
+the serial build because every component is a pure function of
+``(clique, object)`` computed over canonical iteration orders.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator
+from collections.abc import Iterable, Iterator, Sequence
+from concurrent.futures import ProcessPoolExecutor
 
 from repro.core.cliques import Clique
 from repro.core.correlation import CorrelationModel
 from repro.core.fig import FeatureInteractionGraph
-from repro.core.objects import MediaObject
+from repro.core.mrf import joint_components
+from repro.core.objects import Feature, MediaObject
 from repro.index.postings import Posting
+
+#: Objects whose row-sum caches are kept alive during a rescore pass.
+_RESCORE_CACHE_CAP = 256
+
+#: One shard's partial postings: key -> (cors, [(oid, freq, smooth)]).
+ShardPostings = dict[str, tuple[float, list[tuple[str, float, float]]]]
+
+
+def _build_shard(
+    payload: tuple[Sequence[MediaObject], CorrelationModel, int],
+) -> ShardPostings:
+    """Worker body: enumerate and score one shard's cliques (module-level
+    so it pickles under every start method)."""
+    objects, correlations, max_clique_size = payload
+    partial: ShardPostings = {}
+    for obj in objects:
+        fig = FeatureInteractionGraph.from_object(obj, correlations)
+        row_sums: dict[Feature, float] = {}
+        for clique in fig.cliques(max_size=max_clique_size):
+            freq_part, smooth_part = joint_components(clique, obj, correlations, row_sums)
+            record = partial.get(clique.key)
+            if record is None:
+                record = (correlations.cors(clique.features), [])
+                partial[clique.key] = record
+            entries = record[1]
+            if not entries or entries[-1][0] != obj.object_id:
+                entries.append((obj.object_id, freq_part, smooth_part))
+    return partial
 
 
 class CliqueInvertedIndex:
@@ -25,8 +67,8 @@ class CliqueInvertedIndex:
     Parameters
     ----------
     correlations:
-        Correlation model used to build each object's FIG and the
-        stored CorS weights.
+        Correlation model used to build each object's FIG, the stored
+        CorS weights and the build-time joint components.
     max_clique_size:
         Clique enumeration bound (matches the scorer's λ support).
     """
@@ -43,26 +85,103 @@ class CliqueInvertedIndex:
     def add_object(self, obj: MediaObject) -> int:
         """Index one object; returns the number of cliques it produced.
 
-        CorS weights are *not* computed here — they are filled lazily on
-        :meth:`lookup` (only query cliques ever need them, and eager
-        computation would dominate preprocessing on large corpora).
+        Scores every (clique, object) pair as it goes: CorS per new
+        clique and the Eq. 7 components per entry are query-independent,
+        so build time is the only place they need to be computed.
         """
         fig = FeatureInteractionGraph.from_object(obj, self._cor)
         cliques = fig.cliques(max_size=self._max_clique_size)
+        row_sums: dict[Feature, float] = {}
         for clique in cliques:
             posting = self._postings.get(clique.key)
             if posting is None:
-                posting = Posting(clique.key)
+                posting = Posting(clique.key, cors=self._cor.cors(clique.features))
                 self._postings[clique.key] = posting
-            posting.add(obj.object_id)
+            freq_part, smooth_part = joint_components(clique, obj, self._cor, row_sums)
+            posting.add(obj.object_id, freq_part, smooth_part)
         self._n_objects += 1
         return len(cliques)
 
-    def build(self, objects: Iterable[MediaObject]) -> "CliqueInvertedIndex":
-        """Index every object; returns self for chaining."""
-        for obj in objects:
-            self.add_object(obj)
+    def build(
+        self, objects: Iterable[MediaObject], n_workers: int = 1
+    ) -> "CliqueInvertedIndex":
+        """Index every object; returns self for chaining.
+
+        ``n_workers > 1`` scores contiguous corpus shards in a process
+        pool and merges the partial postings in shard order — the same
+        dispatch pattern as :class:`repro.core.parallel.ParallelScanner`,
+        and bit-identical to the serial build.  One worker (the default)
+        runs inline with no pool.
+        """
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        materialized = list(objects)
+        if n_workers == 1 or len(materialized) < 2 * n_workers:
+            for obj in materialized:
+                self.add_object(obj)
+            return self
+
+        from repro.core.parallel import split_shards
+
+        shards = split_shards(materialized, n_workers)
+        payloads = [(shard, self._cor, self._max_clique_size) for shard in shards]
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            for partial in pool.map(_build_shard, payloads):
+                self._merge_shard(partial)
+        self._n_objects += len(materialized)
         return self
+
+    def _merge_shard(self, partial: ShardPostings) -> None:
+        """Append one shard's scored entries, preserving corpus order."""
+        for key, (cors, entries) in partial.items():
+            posting = self._postings.get(key)
+            if posting is None:
+                posting = Posting(key, cors=cors)
+                self._postings[key] = posting
+            posting.extend_scored(entries)
+
+    def adopt_posting(self, posting: Posting) -> None:
+        """Install a deserialized posting (the storage load path).
+
+        Raises ``ValueError`` on a duplicate key — a loader feeding the
+        same posting twice would double-count its objects.
+        """
+        if posting.key in self._postings:
+            raise ValueError(f"duplicate posting {posting.key!r}")
+        self._postings[posting.key] = posting
+
+    def set_n_objects(self, n: int) -> None:
+        """Restore the indexed-object count (storage load path)."""
+        if n < 0:
+            raise ValueError("object count must be >= 0")
+        self._n_objects = n
+
+    def rescore(self, corpus: Iterable[MediaObject]) -> None:
+        """Recompute every posting's components from ``corpus`` — the
+        upgrade path for legacy (unscored) index artifacts."""
+        by_id = {obj.object_id: obj for obj in corpus}
+        row_sum_cache: dict[str, dict[Feature, float]] = {}
+        for posting in self._postings.values():
+            clique = Clique.from_key(posting.key)
+            if posting.cors is None:
+                posting.set_cors(self._cor.cors(clique.features))
+            components: dict[str, tuple[float, float]] = {}
+            for object_id in posting:
+                obj = by_id[object_id]
+                row_sums = row_sum_cache.get(object_id)
+                if row_sums is None:
+                    if len(row_sum_cache) >= _RESCORE_CACHE_CAP:
+                        row_sum_cache.pop(next(iter(row_sum_cache)))
+                    row_sums = {}
+                    row_sum_cache[object_id] = row_sums
+                components[object_id] = joint_components(clique, obj, self._cor, row_sums)
+            posting.rescore(components)
+
+    def precompute_impact(self, alpha: float) -> None:
+        """Materialize every posting's impact-ordered view for ``alpha``
+        so the first query pays no sorting cost."""
+        for posting in self._postings.values():
+            posting.impact_view(alpha)
 
     # ------------------------------------------------------------------
     # queries
@@ -76,6 +195,10 @@ class CliqueInvertedIndex:
         """Number of indexed objects."""
         return self._n_objects
 
+    @property
+    def correlations(self) -> CorrelationModel:
+        return self._cor
+
     def __len__(self) -> int:
         """Number of distinct cliques indexed."""
         return len(self._postings)
@@ -87,7 +210,7 @@ class CliqueInvertedIndex:
     def lookup(self, clique: Clique | str) -> Posting | None:
         """Posting for a clique (``None`` when no object contains it) —
         Algorithm 1's ``InvList(c_i)``.  Fills the posting's CorS on
-        first access."""
+        first access when a legacy artifact left it unset."""
         key = clique.key if isinstance(clique, Clique) else clique
         posting = self._postings.get(key)
         if posting is not None and posting.cors is None:

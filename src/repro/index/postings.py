@@ -2,9 +2,23 @@
 
 Section 3.5: "For each clique, we store the correlation strength CorS
 of features in the clique and the objects which contain this clique."
-A :class:`Posting` is that per-clique record: the stored CorS weight
-plus the ids of the containing objects, kept in insertion (= corpus)
-order, deduplicated.
+A :class:`Posting` is that per-clique record: the stored CorS weight,
+the ids of the containing objects (insertion = corpus order,
+deduplicated), and — since the impact-ordering change — the two
+α-independent components of each object's Eq. 7 joint probability,
+computed once at index-build time.
+
+Impact order.  The full potential factors as ``ϕ'(c, O_i) =
+λ_{|c|}·CorS(c)·(α·freq + (1-α)·smooth)`` where λ and CorS are
+*constant across one posting* (they depend only on the clique), so the
+descending-potential order of a posting's entries is fully determined
+by ``P(α) = α·freq + (1-α)·smooth``.  :meth:`Posting.impact_view`
+materializes that order for a given α and caches it — the Threshold
+Algorithm then gets genuinely score-sorted lists with no per-query
+scoring or sorting.  λ, CorS and temporal decay multiply outside the
+stored components, and α only re-mixes them, so parameter sweeps
+(``with_params``, the coordinate-ascent trainer) reuse the same built
+posting arrays unchanged.
 """
 
 from __future__ import annotations
@@ -13,22 +27,48 @@ from collections.abc import Iterator
 
 from repro.diagnostics.contracts import check_no_duplicates, contracts_enabled
 
+#: Per-posting bound on cached impact views.  Views are keyed by α;
+#: training grids sweep a handful of values, so a small FIFO suffices.
+MAX_IMPACT_VIEWS = 8
+
+
+class ImpactView:
+    """One α-specific impact-ordered view of a posting.
+
+    ``pairs`` holds ``(object_id, P)`` with ``P = α·freq + (1-α)·smooth``,
+    sorted by descending ``P`` then ascending id (the ``ranked_sort``
+    tie-break), with non-positive entries dropped — exactly the entries
+    the pre-change query path would have built per query.  ``scores``
+    maps the same ids to ``P`` for O(1) random access.
+    """
+
+    __slots__ = ("alpha", "pairs", "scores")
+
+    def __init__(self, alpha: float, pairs: list[tuple[str, float]]) -> None:
+        self.alpha = alpha
+        self.pairs = pairs
+        self.scores = {oid: p for oid, p in pairs}
+
 
 class Posting:
-    """One inverted-index entry: clique key, stored CorS, object ids.
+    """One inverted-index entry: clique key, stored CorS, scored entries.
 
     Object ids are appended in corpus order; because the index builder
     visits each object once and an object emits each distinct clique
-    once, deduplication only needs a tail check — keeping the posting a
-    bare list (memory matters: large corpora hold millions of postings).
+    once, deduplication only needs a tail check — keeping the posting
+    parallel bare lists (memory matters: large corpora hold millions of
+    postings).
     """
 
-    __slots__ = ("_key", "_cors", "_object_ids")
+    __slots__ = ("_key", "_cors", "_object_ids", "_freq", "_smooth", "_views")
 
     def __init__(self, key: str, cors: float | None = None) -> None:
         self._key = key
         self._cors = float(cors) if cors is not None else None
         self._object_ids: list[str] = []
+        self._freq: list[float] = []
+        self._smooth: list[float] = []
+        self._views: dict[float, ImpactView] = {}
 
     @property
     def key(self) -> str:
@@ -39,25 +79,78 @@ class Posting:
     def cors(self) -> float | None:
         """Correlation strength of the clique (Eq. 8).
 
-        Filled lazily by the index on first use: computing CorS for
-        every distinct clique of a large corpus at build time would
-        dominate preprocessing, and only query cliques ever need it.
+        Computed eagerly by the index builder (it is query-independent,
+        like the joint components); still fillable lazily on lookup for
+        postings loaded from a legacy artifact.
         """
         return self._cors
 
     def set_cors(self, value: float) -> None:
         self._cors = float(value)
 
-    def add(self, object_id: str) -> None:
-        """Append an object to the posting (idempotent for repeated
-        tail adds, the only repetition the index builder can produce)."""
+    def add(self, object_id: str, freq_part: float = 0.0, smooth_part: float = 0.0) -> None:
+        """Append a scored entry (idempotent for repeated tail adds, the
+        only repetition the index builder can produce)."""
         if not self._object_ids or self._object_ids[-1] != object_id:
             self._object_ids.append(object_id)
+            self._freq.append(freq_part)
+            self._smooth.append(smooth_part)
+            self._views.clear()
             if contracts_enabled():
                 # A non-tail repeat means the builder visited an object
                 # twice — the posting would double-count it at merge time.
                 check_no_duplicates(self._object_ids, what=f"posting {self._key!r}")
 
+    def extend_scored(self, entries: list[tuple[str, float, float]]) -> None:
+        """Bulk append of ``(object_id, freq_part, smooth_part)`` rows —
+        the shard-merge path of the parallel index build."""
+        for object_id, freq_part, smooth_part in entries:
+            self.add(object_id, freq_part, smooth_part)
+
+    def components(self, index: int) -> tuple[float, float]:
+        """``(freq_part, smooth_part)`` of the ``index``-th entry."""
+        return self._freq[index], self._smooth[index]
+
+    def rescore(self, components: dict[str, tuple[float, float]]) -> None:
+        """Replace every entry's components (legacy-artifact upgrade
+        path).  Ids absent from ``components`` keep zero components."""
+        for i, object_id in enumerate(self._object_ids):
+            freq_part, smooth_part = components.get(object_id, (0.0, 0.0))
+            self._freq[i] = freq_part
+            self._smooth[i] = smooth_part
+        self._views.clear()
+
+    # ------------------------------------------------------------------
+    # impact-ordered access
+    # ------------------------------------------------------------------
+    def impact_view(self, alpha: float) -> ImpactView:
+        """The α-specific impact-ordered view (cached, FIFO-bounded).
+
+        Non-positive ``P`` entries are dropped: the pre-change query
+        path filtered ``score > 0`` per query, and with λ·CorS ≥ 0 a
+        zero ``P`` can never contribute to a ranking.
+        """
+        view = self._views.get(alpha)
+        if view is None:
+            mixed = [
+                (oid, alpha * f + (1.0 - alpha) * s)
+                for oid, f, s in zip(self._object_ids, self._freq, self._smooth)
+            ]
+            pairs = sorted(
+                ((oid, p) for oid, p in mixed if p > 0.0),
+                key=lambda e: (-e[1], e[0]),
+            )
+            view = ImpactView(alpha, pairs)
+            if len(self._views) >= MAX_IMPACT_VIEWS:
+                # pop-with-default: concurrent readers may race the
+                # eviction; losing a cached view is harmless.
+                self._views.pop(next(iter(self._views)), None)
+            self._views[alpha] = view
+        return view
+
+    # ------------------------------------------------------------------
+    # container protocol
+    # ------------------------------------------------------------------
     def __contains__(self, object_id: str) -> bool:
         return object_id in self._object_ids
 
@@ -72,4 +165,4 @@ class Posting:
         return tuple(self._object_ids)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Posting({self._key!r}, cors={self._cors:.4f}, n={len(self)})"
+        return f"Posting({self._key!r}, cors={self._cors!r}, n={len(self)})"

@@ -14,14 +14,34 @@ which is what Algorithm 1 needs: an object absent from a clique's
 candidate list contributes nothing for that clique.  With non-negative
 scores and sum aggregation this keeps the aggregate monotone, so the
 early-termination guarantee holds.
+
+Two source flavours feed the walk:
+
+* :class:`SortedListSource` — eager: sorts arbitrary ``(id, score)``
+  pairs at construction.  The reference path, and the right tool when
+  scores are computed per query.
+* :class:`ImpactSortedSource` — lazy: wraps a *prebuilt* impact-ordered
+  posting view (see :mod:`repro.index.postings`) and scales stored
+  scores by the query's constant weight on demand, via a cursor that
+  only ever advances as far as TA actually reads.  Early termination
+  therefore skips not just scoring but even *touching* a posting's
+  tail — the sublinear behaviour Algorithm 1 promises.
+
+:class:`AccessStats` counts sorted/random accesses so benchmarks and
+the CI perf gate can assert the early-termination win instead of
+trusting it.
 """
 
 from __future__ import annotations
 
 import heapq
-from collections.abc import Callable, Sequence
+from collections.abc import Callable, Collection, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Protocol
 
 from repro.diagnostics.contracts import check_sorted_descending, contracts_enabled
+
+_EMPTY_EXCLUDE: frozenset[str] = frozenset()
 
 
 class _ReverseStr:
@@ -44,6 +64,17 @@ class _ReverseStr:
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, _ReverseStr) and self.value == other.value
+
+
+class TopKSource(Protocol):
+    """What the TA walk needs from an input list: its length,
+    descending sorted access by rank, and O(1) random access."""
+
+    def __len__(self) -> int: ...
+
+    def entry(self, rank: int) -> tuple[str, float]: ...
+
+    def score(self, object_id: str) -> float: ...
 
 
 class SortedListSource:
@@ -81,10 +112,93 @@ class SortedListSource:
         return self._scores.get(object_id, 0.0)
 
 
+class ImpactSortedSource:
+    """Lazy TA input over a prebuilt impact-ordered posting view.
+
+    The stored ``pairs`` hold the α-mixed joint probability ``P``; the
+    query-time potential is ``outer·(inner·P)`` with ``inner =
+    λ_{|c|}·CorS(c)`` and ``outer`` an additional per-clique constant
+    (1.0 for retrieval; the profile's temporal weight for
+    recommendation).  The two-step association mirrors the pre-change
+    scoring exactly, so scaled scores are bit-identical to what the
+    per-query scorer produced.
+
+    Sorted access materializes scaled entries through a cursor that
+    advances only as far as TA reads — a posting's tail beyond the
+    termination depth is never touched.  ``exclude`` ids (the query's
+    own id) are skipped during cursor advance and score 0 on random
+    access, matching the pre-change filter.
+    """
+
+    __slots__ = ("_pairs", "_scores", "_inner", "_outer", "_exclude", "_scaled", "_cursor", "_len")
+
+    def __init__(
+        self,
+        pairs: Sequence[tuple[str, float]],
+        scores: Mapping[str, float],
+        inner: float,
+        outer: float = 1.0,
+        exclude: Collection[str] = _EMPTY_EXCLUDE,
+    ) -> None:
+        self._pairs = pairs
+        self._scores = scores
+        self._inner = inner
+        self._outer = outer
+        self._exclude = exclude
+        self._scaled: list[tuple[str, float]] = []
+        self._cursor = 0
+        excluded_present = sum(1 for oid in exclude if oid in scores)
+        self._len = len(pairs) - excluded_present
+
+    def __len__(self) -> int:
+        return self._len
+
+    def entry(self, rank: int) -> tuple[str, float]:
+        """Sorted access: the ``rank``-th best non-excluded entry,
+        scaled lazily on first read."""
+        while len(self._scaled) <= rank:
+            object_id, p = self._pairs[self._cursor]
+            self._cursor += 1
+            if object_id in self._exclude:
+                continue
+            self._scaled.append((object_id, self._outer * (self._inner * p)))
+        return self._scaled[rank]
+
+    def score(self, object_id: str) -> float:
+        """Random access; missing or excluded objects score 0."""
+        if object_id in self._exclude:
+            return 0.0
+        p = self._scores.get(object_id)
+        if p is None:
+            return 0.0
+        return self._outer * (self._inner * p)
+
+
+@dataclass
+class AccessStats:
+    """Mutable access counters filled by :func:`threshold_algorithm`.
+
+    ``sorted_accesses`` counts entries read through sorted access (the
+    quantity the index bounds sublinearly), ``random_accesses`` counts
+    per-source score probes, and ``rounds`` is the termination depth.
+    """
+
+    sorted_accesses: int = 0
+    random_accesses: int = 0
+    rounds: int = 0
+
+    def merge(self, other: "AccessStats") -> None:
+        """Accumulate another query's counters (benchmark aggregation)."""
+        self.sorted_accesses += other.sorted_accesses
+        self.random_accesses += other.random_accesses
+        self.rounds += other.rounds
+
+
 def threshold_algorithm(
-    sources: Sequence[SortedListSource],
+    sources: Sequence[TopKSource],
     k: int,
     aggregate: Callable[[Sequence[float]], float] = sum,
+    stats: AccessStats | None = None,
 ) -> list[tuple[str, float]]:
     """Top-``k`` objects by aggregated score across ``sources``.
 
@@ -96,7 +210,9 @@ def threshold_algorithm(
     The walk does one sorted access per source per round (Fagin's
     round-robin), fully scores unseen objects by random access, and
     stops when ``k`` objects have been found whose scores are all >= the
-    frontier threshold, or when every list is exhausted.
+    frontier threshold, or when every list is exhausted.  ``stats``,
+    when given, is filled with the access counts of this run — the
+    hook the perf benches and the CI early-termination gate read.
     """
     if k < 1:
         raise ValueError("k must be >= 1")
@@ -113,10 +229,14 @@ def threshold_algorithm(
         for source in sources:
             if depth < len(source):
                 object_id, score = source.entry(depth)
+                if stats is not None:
+                    stats.sorted_accesses += 1
                 frontier.append(score)
                 if object_id not in seen:
                     seen.add(object_id)
                     full = aggregate([s.score(object_id) for s in sources])
+                    if stats is not None:
+                        stats.random_accesses += len(sources)
                     entry = (full, _ReverseStr(object_id))
                     if len(heap) < k:
                         heapq.heappush(heap, entry)
@@ -130,37 +250,15 @@ def threshold_algorithm(
             if heap[0][0] >= threshold:
                 break
 
+    if stats is not None:
+        stats.rounds = depth
     results = sorted(heap, key=lambda e: (-e[0], e[1].value))
     return [(rev.value, score) for score, rev in results]
 
 
-def sorted_access_count(sources: Sequence[SortedListSource], k: int) -> int:
-    """Instrumented variant for the index-ablation bench: run TA and
-    return the number of sorted-access rounds it needed (the early-
-    termination depth)."""
-    if k < 1:
-        raise ValueError("k must be >= 1")
-    if not sources:
-        return 0
-    seen: set[str] = set()
-    heap: list[tuple[float, _ReverseStr]] = []
-    depth = 0
-    max_len = max(len(s) for s in sources)
-    while depth < max_len:
-        frontier: list[float] = []
-        for source in sources:
-            if depth < len(source):
-                object_id, score = source.entry(depth)
-                frontier.append(score)
-                if object_id not in seen:
-                    seen.add(object_id)
-                    full = sum(s.score(object_id) for s in sources)
-                    entry = (full, _ReverseStr(object_id))
-                    if len(heap) < k:
-                        heapq.heappush(heap, entry)
-                    elif entry > heap[0]:
-                        heapq.heapreplace(heap, entry)
-        depth += 1
-        if len(heap) >= k and heap[0][0] >= sum(frontier):
-            break
-    return depth
+def sorted_access_count(sources: Sequence[TopKSource], k: int) -> int:
+    """Run TA and return the number of sorted-access rounds it needed
+    (the early-termination depth) — kept for the index-ablation bench."""
+    stats = AccessStats()
+    threshold_algorithm(sources, k, stats=stats)
+    return stats.rounds

@@ -257,6 +257,16 @@ class QueryService:
     def stats(self) -> dict[str, Any]:
         snapshot = self._snapshot()
         cache_stats = self._cache.stats()
+        provenance = snapshot.index_provenance
+        index_stats: dict[str, Any] | None = None
+        if provenance is not None:
+            index_stats = {
+                "origin": provenance.origin,
+                "build_seconds": provenance.build_seconds,
+                "cliques": provenance.n_cliques,
+                "postings": provenance.total_postings,
+                "format_version": provenance.format_version,
+            }
         return {
             "snapshot": {
                 "generation": snapshot.generation,
@@ -265,6 +275,7 @@ class QueryService:
                 "loaded_at": snapshot.loaded_at,
                 "recommendation": snapshot.recommender is not None,
             },
+            "index": index_stats,
             "cache": {
                 "hits": cache_stats.hits,
                 "misses": cache_stats.misses,

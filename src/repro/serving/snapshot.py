@@ -29,8 +29,37 @@ from pathlib import Path
 from repro.core.mrf import MRFParameters
 from repro.core.recommendation import Recommender
 from repro.core.retrieval import RetrievalEngine
+from repro.index.inverted import CliqueInvertedIndex
 from repro.social.corpus import Corpus
-from repro.storage.store import load_corpus, load_params
+from repro.storage.store import (
+    INDEX_FORMAT_VERSION,
+    StorageError,
+    load_corpus,
+    load_index,
+    load_params,
+)
+
+#: Artifact the snapshot loader probes for a persisted retrieval index
+#: (written by ``repro index`` / :func:`repro.storage.store.save_index`).
+INDEX_ARTIFACT = "index.jsonl"
+
+
+@dataclass(frozen=True)
+class IndexProvenance:
+    """Where the serving retrieval index came from, and what it holds.
+
+    ``origin`` is ``"built"`` (preprocessed from the corpus at load
+    time) or ``"loaded"`` (deserialized from ``index.jsonl``);
+    ``build_seconds`` is the wall time of whichever of those happened.
+    Surfaced verbatim by the service's ``/stats`` endpoint so operators
+    can tell a cold preprocessing run from an artifact pickup.
+    """
+
+    origin: str
+    build_seconds: float
+    n_cliques: int
+    total_postings: int
+    format_version: int
 
 
 @dataclass(frozen=True)
@@ -51,6 +80,9 @@ class EngineSnapshot:
     loaded_at:
         Wall-clock seconds (``time.time``) at load completion — feeds
         the ``/metrics`` snapshot-age gauge.
+    index_provenance:
+        How the retrieval index came to be (``None`` when the snapshot
+        was built with ``build_index=False``).
     """
 
     engine: RetrievalEngine
@@ -58,6 +90,7 @@ class EngineSnapshot:
     generation: int
     source: str
     loaded_at: float
+    index_provenance: IndexProvenance | None = None
 
     @property
     def corpus(self) -> Corpus:
@@ -92,7 +125,12 @@ def build_snapshot(
         else:
             params = MRFParameters()
     corpus = load_corpus(directory)
-    engine = RetrievalEngine(corpus, params=params, build_index=build_index)
+    provenance: IndexProvenance | None = None
+    if build_index:
+        engine = RetrievalEngine(corpus, params=params, build_index=False)
+        engine, provenance = _attach_index(engine, corpus, directory)
+    else:
+        engine = RetrievalEngine(corpus, params=params, build_index=False)
     recommender = (
         Recommender(corpus, params=params, build_index=build_index)
         if corpus.favorites
@@ -104,6 +142,50 @@ def build_snapshot(
         generation=generation,
         source=str(directory),
         loaded_at=loaded_at if loaded_at is not None else time.time(),
+        index_provenance=provenance,
+    )
+
+
+def _attach_index(
+    engine: RetrievalEngine, corpus: Corpus, directory: Path
+) -> tuple[RetrievalEngine, IndexProvenance]:
+    """Give the engine its retrieval index: pick up ``index.jsonl`` when
+    a valid one sits next to the corpus, otherwise preprocess.
+
+    A stale artifact (object count differing from the corpus) or a
+    corrupt one falls back to building — serving correctness never
+    depends on the artifact being right, only cold-start time does.
+    """
+    artifact = directory.joinpath(INDEX_ARTIFACT)
+    if artifact.is_file():
+        started = time.perf_counter()
+        try:
+            index = load_index(artifact, engine.correlations, corpus=corpus)
+        except StorageError:
+            index = None
+        if index is not None and index.n_objects == len(corpus):
+            engine.adopt_index(index)
+            stats = index.stats()
+            return engine, IndexProvenance(
+                origin="loaded",
+                build_seconds=time.perf_counter() - started,
+                n_cliques=int(stats["n_cliques"]),
+                total_postings=int(stats["total_postings"]),
+                format_version=INDEX_FORMAT_VERSION,
+            )
+
+    started = time.perf_counter()
+    index = CliqueInvertedIndex(
+        engine.correlations, max_clique_size=engine.params.max_clique_size
+    ).build(corpus)
+    engine.adopt_index(index)
+    stats = index.stats()
+    return engine, IndexProvenance(
+        origin="built",
+        build_seconds=time.perf_counter() - started,
+        n_cliques=int(stats["n_cliques"]),
+        total_postings=int(stats["total_postings"]),
+        format_version=INDEX_FORMAT_VERSION,
     )
 
 

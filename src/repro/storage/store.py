@@ -16,6 +16,15 @@ JSON-lines keeps object loading streamable and diffs readable; the
 centroid matrix is the only binary artifact.  ``MRFParameters`` get a
 single-file JSON round trip so trained parameters can ship with an
 index.
+
+The clique inverted index persists as ``index.jsonl``: a metadata first
+line followed by one posting per line.  Format version 2 stores each
+entry's build-time Eq. 7 components (``freq`` / ``smooth`` arrays
+parallel to ``ids``) so a loaded index serves impact-ordered queries
+without touching the corpus; version-1 artifacts (ids only) still load
+but need the corpus to rescore — the upgrade path.  JSON float
+serialization uses ``repr`` shortest round-trip, so stored components
+are bit-identical after a load.
 """
 
 from __future__ import annotations
@@ -25,14 +34,21 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.correlation import CorrelationModel
 from repro.core.mrf import MRFParameters
 from repro.core.objects import Feature, MediaObject
+from repro.index.inverted import CliqueInvertedIndex
+from repro.index.postings import Posting
 from repro.social.corpus import Corpus, FavoriteEvent
 from repro.social.users import SocialGraph
 from repro.text.taxonomy import Taxonomy
 from repro.vision.visual_words import VisualCodebook
 
 FORMAT_VERSION = 1
+
+#: Index artifact format.  v1 = posting ids only (rescore on load);
+#: v2 = ids + build-time Eq. 7 components (impact-ready, no rescore).
+INDEX_FORMAT_VERSION = 2
 
 
 class StorageError(RuntimeError):
@@ -268,6 +284,136 @@ def load_params(file_path: str | Path) -> MRFParameters:
         )
     except (KeyError, AttributeError, ValueError) as exc:
         raise StorageError(f"corrupt parameter file {path}: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# clique inverted index
+# ----------------------------------------------------------------------
+def save_index(index: CliqueInvertedIndex, file_path: str | Path) -> Path:
+    """Write the index as ``index.jsonl`` (meta line + posting lines).
+
+    Postings serialize in index iteration order (first-encounter corpus
+    order), so a save/load round trip preserves the exact structure —
+    and therefore the exact rankings — of the in-memory index.
+    """
+    path = Path(file_path)
+    n_cliques = len(index)
+    meta = {
+        "format_version": INDEX_FORMAT_VERSION,
+        "kind": "clique-index",
+        "max_clique_size": index.max_clique_size,
+        "n_objects": index.n_objects,
+        "n_cliques": n_cliques,
+    }
+    with path.open("w") as fh:
+        fh.write(json.dumps(meta) + "\n")
+        for posting in index.iter_postings():
+            freq: list[float] = []
+            smooth: list[float] = []
+            for i in range(len(posting)):
+                f, s = posting.components(i)
+                freq.append(f)
+                smooth.append(s)
+            record = {
+                "key": posting.key,
+                "cors": posting.cors,
+                "ids": list(posting.object_ids),
+                "freq": freq,
+                "smooth": smooth,
+            }
+            fh.write(json.dumps(record) + "\n")
+    return path
+
+
+def load_index(
+    file_path: str | Path,
+    correlations: CorrelationModel,
+    corpus: Corpus | None = None,
+    max_clique_size: int | None = None,
+) -> CliqueInvertedIndex:
+    """Load an index written by :func:`save_index`.
+
+    Version-2 artifacts carry their build-time components and load
+    ready to serve.  Version-1 artifacts (posting ids only) need
+    ``corpus`` to recompute the components — without it the load fails
+    rather than silently returning an index that scores everything 0.
+    ``max_clique_size`` overrides the stored bound (it only matters for
+    engines built with differently-shaped parameters).
+    """
+    path = Path(file_path)
+    try:
+        fh = path.open()
+    except FileNotFoundError:
+        raise StorageError(f"missing index artifact: {path}") from None
+    except OSError as exc:
+        raise StorageError(f"unreadable index artifact {path}: {exc}") from exc
+
+    with fh:
+        first = fh.readline()
+        if not first:
+            raise StorageError(f"empty index artifact: {path}")
+        try:
+            meta = json.loads(first)
+        except json.JSONDecodeError as exc:
+            raise StorageError(f"corrupt index metadata in {path}: {exc}") from exc
+        if not isinstance(meta, dict) or meta.get("kind") != "clique-index":
+            raise StorageError(f"{path} is not a clique-index artifact")
+        version = meta.get("format_version")
+        if version not in (1, INDEX_FORMAT_VERSION):
+            raise StorageError(f"unsupported index format version {version!r}")
+        if version == 1 and corpus is None:
+            raise StorageError(
+                f"index artifact {path} is format version 1 (no stored components); "
+                "pass the corpus so the postings can be rescored"
+            )
+
+        bound = max_clique_size if max_clique_size is not None else meta.get("max_clique_size", 3)
+        index = CliqueInvertedIndex(correlations, max_clique_size=bound)
+        n_postings = 0
+        for line_number, line in enumerate(fh, start=2):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise StorageError(
+                    f"corrupt or truncated {path} at line {line_number}: {exc}"
+                ) from exc
+            key = _record_field(record, "key", path, line_number)
+            ids = _record_field(record, "ids", path, line_number)
+            cors = record.get("cors")
+            posting = Posting(key, cors=cors)
+            if version == 1:
+                for object_id in ids:
+                    posting.add(object_id)
+            else:
+                freq = _record_field(record, "freq", path, line_number)
+                smooth = _record_field(record, "smooth", path, line_number)
+                if len(freq) != len(ids) or len(smooth) != len(ids):
+                    raise StorageError(
+                        f"corrupt posting in {path} line {line_number}: component "
+                        "arrays do not match the id list"
+                    )
+                posting.extend_scored(list(zip(ids, freq, smooth)))
+            try:
+                index.adopt_posting(posting)
+            except ValueError:
+                raise StorageError(
+                    f"corrupt index artifact {path}: duplicate posting {key!r} "
+                    f"at line {line_number}"
+                ) from None
+            n_postings += 1
+
+    if n_postings != meta.get("n_cliques", n_postings):
+        raise StorageError(
+            f"truncated {path}: metadata promises {meta.get('n_cliques')} postings, "
+            f"found {n_postings}"
+        )
+    index.set_n_objects(int(meta.get("n_objects", 0)))
+    if version == 1:
+        assert corpus is not None
+        index.rescore(corpus)
+    return index
 
 
 def _taxonomy_nodes(taxonomy: Taxonomy) -> list[str]:

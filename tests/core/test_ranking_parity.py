@@ -1,0 +1,140 @@
+"""Property-style ranking parity across every query path.
+
+The impact-ordering change rebuilt ``mode="index"`` on postings scored
+at build time; these tests pin the contract that made that safe: every
+path ranks with ``ranked_sort`` semantics and agrees **bit-identically**
+(ids AND float scores, ties broken by ascending id) with its reference:
+
+* ``mode="index"`` == ``mode="index-rescore"`` (the pre-change path) at
+  every α/λ mix — λ and CorS multiply outside the stored components,
+  and α only re-mixes them;
+* ``mode="scan"`` == ``ParallelScanner`` with ``n_workers > 1``;
+* at α=1 the scan's smoothing-only contributions vanish exactly, so
+  all four paths coincide;
+* all of the above survive an index persistence round trip.
+
+The corpus carries an exact feature-duplicate ("twin") object so score
+ties are guaranteed, not incidental.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mrf import MRFParameters
+from repro.core.parallel import ParallelScanner
+from repro.core.retrieval import RetrievalEngine
+from repro.social.corpus import Corpus
+from repro.storage.store import load_index, save_index
+
+#: α values swept by the property tests (the trainer's grid shape).
+ALPHAS = (0.0, 0.3, 0.7, 1.0)
+N_QUERIES = 12
+
+
+@pytest.fixture(scope="module")
+def tie_corpus(tiny_corpus):
+    """The tiny corpus plus an exact duplicate of object 0 under an id
+    sorting last — every query matching object 0 produces a hard tie."""
+    objects = list(tiny_corpus)
+    twin = dataclasses.replace(objects[0], object_id="zzz-twin")
+    return Corpus(
+        [*objects, twin],
+        social=tiny_corpus.social,
+        taxonomy=tiny_corpus.taxonomy,
+        codebook=tiny_corpus.codebook,
+        n_months=tiny_corpus.n_months,
+    )
+
+
+@pytest.fixture(scope="module")
+def base_engine(tie_corpus):
+    return RetrievalEngine(tie_corpus, params=MRFParameters())
+
+
+@pytest.fixture(scope="module")
+def engines(base_engine):
+    """One engine per α, all sharing the single built index — the
+    ``with_params`` sweep the impact ordering had to keep valid."""
+    return {
+        alpha: base_engine.with_params(MRFParameters(alpha=alpha)) for alpha in ALPHAS
+    }
+
+
+def _pairs(results):
+    return [(r.object_id, r.score) for r in results]
+
+
+@settings(deadline=None, max_examples=30)
+@given(q=st.integers(0, N_QUERIES - 1), alpha=st.sampled_from(ALPHAS))
+def test_index_matches_prechange_rescore_bitwise(engines, tie_corpus, q, alpha):
+    engine = engines[alpha]
+    query = tie_corpus[q]
+    fast = engine.search(query, k=10, mode="index")
+    assert _pairs(fast) == _pairs(engine.search(query, k=10, mode="index-rescore"))
+
+
+def test_scan_matches_parallel_scanner_bitwise(base_engine, tie_corpus):
+    scanner = ParallelScanner(base_engine, n_workers=2)
+    for q in range(4):
+        query = tie_corpus[q]
+        assert _pairs(scanner.search(query, k=10)) == _pairs(
+            base_engine.search(query, k=10, mode="scan")
+        )
+
+
+def test_alpha1_all_four_paths_coincide(engines, tie_corpus):
+    engine = engines[1.0]
+    scanner = ParallelScanner(engine, n_workers=2)
+    for q in range(6):
+        query = tie_corpus[q]
+        fast = _pairs(engine.search(query, k=10, mode="index"))
+        assert fast == _pairs(engine.search(query, k=10, mode="index-rescore"))
+        assert fast == _pairs(engine.search(query, k=10, mode="scan"))
+        assert fast == _pairs(scanner.search(query, k=10))
+
+
+def test_twin_tie_broken_by_ascending_id(engines, tie_corpus):
+    """Query object 0 without excluding it: the query and its twin tie
+    bit-exactly and must order by ascending id in every path."""
+    query = tie_corpus[0]
+    for alpha in ALPHAS:
+        engine = engines[alpha]
+        for mode in ("index", "index-rescore"):
+            top = engine.search(query, k=5, exclude_query=False, mode=mode)
+            assert [r.object_id for r in top[:2]] == [query.object_id, "zzz-twin"]
+            assert top[0].score == top[1].score, (alpha, mode)
+    scan_top = engines[1.0].search(query, k=5, exclude_query=False, mode="scan")
+    assert [r.object_id for r in scan_top[:2]] == [query.object_id, "zzz-twin"]
+    assert scan_top[0].score == scan_top[1].score
+
+
+def test_parity_survives_persistence_round_trip(base_engine, tie_corpus, tmp_path):
+    path = tmp_path / "index.jsonl"
+    save_index(base_engine.index, path)
+    reloaded = RetrievalEngine(tie_corpus, params=MRFParameters(), build_index=False)
+    reloaded.adopt_index(load_index(path, reloaded.correlations))
+    for q in range(N_QUERIES):
+        query = tie_corpus[q]
+        before = _pairs(base_engine.search(query, k=10, mode="index"))
+        assert before == _pairs(reloaded.search(query, k=10, mode="index"))
+        assert before == _pairs(reloaded.search(query, k=10, mode="index-rescore"))
+    # parameter sweeps over the loaded index stay bit-identical too
+    swept = reloaded.with_params(MRFParameters(alpha=1.0))
+    ref = base_engine.with_params(MRFParameters(alpha=1.0))
+    query = tie_corpus[1]
+    assert _pairs(swept.search(query, k=10, mode="index")) == _pairs(
+        ref.search(query, k=10, mode="scan")
+    )
+
+
+def test_search_with_stats_matches_search_and_terminates_early(base_engine, tie_corpus):
+    query = tie_corpus[2]
+    results, stats = base_engine.search_with_stats(query, k=5)
+    assert _pairs(results) == _pairs(base_engine.search(query, k=5, mode="index"))
+    assert stats.sorted_accesses < stats.total_posting_entries
+    assert stats.rounds >= 1 and stats.n_sources >= 1

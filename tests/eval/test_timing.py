@@ -5,7 +5,7 @@ import time
 import pytest
 
 from repro.core.retrieval import RankedResult
-from repro.eval.timing import TimingReport, time_per_query
+from repro.eval.timing import TimingReport, percentile, time_per_query
 
 
 class SleepySystem:
@@ -46,4 +46,33 @@ def test_requires_queries():
 def test_format_row_mentions_stats():
     report = TimingReport(mean=0.001, minimum=0.0005, maximum=0.002, n_queries=3)
     row = report.format_row("FIG")
-    assert "FIG" in row and "mean=" in row and "ms" in row
+    assert "FIG" in row and "mean=" in row and "p50=" in row and "ms" in row
+
+
+def test_report_carries_percentiles():
+    report = time_per_query(SleepySystem(0.001), queries=["q1", "q2", "q3"], warmup=False)
+    assert report.minimum <= report.p50 <= report.p95 <= report.maximum
+    data = report.as_dict()
+    assert data["n_queries"] == 3
+    assert data["p50_ms"] == pytest.approx(report.p50 * 1000)
+    assert data["p95_ms"] == pytest.approx(report.p95 * 1000)
+
+
+def test_percentile_nearest_rank():
+    samples = [float(i) for i in range(1, 11)]  # 1..10
+    assert percentile(samples, 50.0) == 5.0
+    assert percentile(samples, 95.0) == 10.0
+    assert percentile(samples, 0.0) == 1.0
+    assert percentile(samples, 100.0) == 10.0
+    assert percentile([7.0], 50.0) == 7.0
+
+
+def test_percentile_unsorted_input():
+    assert percentile([3.0, 1.0, 2.0], 50.0) == 2.0
+
+
+def test_percentile_invalid_inputs():
+    with pytest.raises(ValueError):
+        percentile([], 50.0)
+    with pytest.raises(ValueError):
+        percentile([1.0], 150.0)

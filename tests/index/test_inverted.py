@@ -94,3 +94,84 @@ def test_max_clique_size_respected(tiny_corpus, correlations):
     index.build(list(tiny_corpus)[:10])
     for posting in index.iter_postings():
         assert "|" not in posting.key  # singletons only
+
+
+# ----------------------------------------------------------------------
+# build-time scoring and the shard-parallel build
+# ----------------------------------------------------------------------
+def _assert_identical(a: CliqueInvertedIndex, b: CliqueInvertedIndex) -> None:
+    assert len(a) == len(b)
+    assert a.n_objects == b.n_objects
+    for posting in a.iter_postings():
+        other = b.lookup(posting.key)
+        assert other is not None
+        assert other.object_ids == posting.object_ids
+        assert other.cors == posting.cors
+        for i in range(len(posting)):
+            assert other.components(i) == posting.components(i)
+
+
+def test_build_scores_postings_eagerly(built):
+    for posting in built.iter_postings():
+        assert posting.cors is not None
+        # at least one entry of every posting carries a positive
+        # frequency part — the objects *contain* the clique
+        parts = [posting.components(i) for i in range(len(posting))]
+        assert any(f > 0.0 for f, _ in parts)
+
+
+def test_parallel_build_bit_identical_to_serial(tiny_corpus, correlations):
+    serial = CliqueInvertedIndex(correlations, max_clique_size=2).build(tiny_corpus)
+    sharded = CliqueInvertedIndex(correlations, max_clique_size=2).build(
+        tiny_corpus, n_workers=2
+    )
+    _assert_identical(serial, sharded)
+
+
+def test_parallel_build_small_corpus_runs_inline(tiny_corpus, correlations):
+    # fewer objects than 2*workers: the pool must be skipped
+    few = list(tiny_corpus)[:3]
+    index = CliqueInvertedIndex(correlations, max_clique_size=2).build(few, n_workers=64)
+    assert index.n_objects == 3
+
+
+def test_build_invalid_workers(tiny_corpus, correlations):
+    with pytest.raises(ValueError):
+        CliqueInvertedIndex(correlations, max_clique_size=2).build(tiny_corpus, n_workers=0)
+
+
+def test_adopt_posting_rejects_duplicate_key(correlations):
+    from repro.index.postings import Posting
+
+    index = CliqueInvertedIndex(correlations, max_clique_size=2)
+    index.adopt_posting(Posting("T:a", cors=0.5))
+    with pytest.raises(ValueError):
+        index.adopt_posting(Posting("T:a", cors=0.5))
+
+
+def test_set_n_objects_rejects_negative(correlations):
+    index = CliqueInvertedIndex(correlations, max_clique_size=2)
+    with pytest.raises(ValueError):
+        index.set_n_objects(-1)
+
+
+def test_rescore_restores_build_time_components(tiny_corpus, correlations):
+    reference = CliqueInvertedIndex(correlations, max_clique_size=2).build(tiny_corpus)
+    # strip the components (a legacy v1 artifact carries ids only)
+    from repro.index.postings import Posting
+
+    legacy = CliqueInvertedIndex(correlations, max_clique_size=2)
+    for posting in reference.iter_postings():
+        bare = Posting(posting.key)
+        for object_id in posting:
+            bare.add(object_id)
+        legacy.adopt_posting(bare)
+    legacy.set_n_objects(reference.n_objects)
+    legacy.rescore(tiny_corpus)
+    _assert_identical(reference, legacy)
+
+
+def test_precompute_impact_populates_views(built):
+    built.precompute_impact(0.37)
+    for posting in built.iter_postings():
+        assert 0.37 in posting._views

@@ -4,7 +4,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.index.threshold import SortedListSource, sorted_access_count, threshold_algorithm
+from repro.index.threshold import (
+    AccessStats,
+    ImpactSortedSource,
+    SortedListSource,
+    sorted_access_count,
+    threshold_algorithm,
+)
 
 
 def _brute_force_topk(sources, k):
@@ -76,6 +82,86 @@ def test_results_sorted_and_unique():
     scores = [s for _, s in result]
     assert len(ids) == len(set(ids))
     assert scores == sorted(scores, reverse=True)
+
+
+# ----------------------------------------------------------------------
+# lazy impact-ordered sources
+# ----------------------------------------------------------------------
+def _impact_source(pairs, inner=1.0, outer=1.0, exclude=frozenset()):
+    return ImpactSortedSource(pairs, dict(pairs), inner=inner, outer=outer, exclude=exclude)
+
+
+def test_impact_source_scales_sorted_and_random_access():
+    src = _impact_source([("a", 0.5), ("b", 0.25)], inner=2.0, outer=3.0)
+    assert src.entry(0) == ("a", 3.0 * (2.0 * 0.5))
+    assert src.score("b") == 3.0 * (2.0 * 0.25)
+    assert src.score("zzz") == 0.0
+
+
+def test_impact_source_excludes_query_id():
+    src = _impact_source([("q", 0.9), ("a", 0.5)], exclude={"q"})
+    assert len(src) == 1
+    assert src.entry(0) == ("a", 0.5)
+    assert src.score("q") == 0.0
+
+
+def test_impact_source_exclude_absent_id_keeps_length():
+    src = _impact_source([("a", 0.5)], exclude={"nope"})
+    assert len(src) == 1
+
+
+def test_impact_source_cursor_is_lazy():
+    src = _impact_source([(f"o{i}", 1.0 - i * 0.01) for i in range(100)])
+    src.entry(2)
+    assert src._cursor == 3  # never touched the tail
+    src.entry(1)
+    assert src._cursor == 3  # re-reads come from the materialized prefix
+
+
+def test_impact_source_interchangeable_with_eager_source():
+    pairs = [("a", 3.0), ("c", 2.0), ("b", 1.0)]
+    eager = SortedListSource(list(pairs))
+    lazy = _impact_source(pairs)
+    assert threshold_algorithm([eager], k=3) == threshold_algorithm([lazy], k=3)
+
+
+def test_impact_source_early_termination_skips_tail():
+    n = 200
+    pairs = [("top", 100.0)] + [(f"x{i:03d}", 1.0 - i * 1e-4) for i in range(n)]
+    s1, s2 = _impact_source(pairs), _impact_source(pairs)
+    stats = AccessStats()
+    threshold_algorithm([s1, s2], k=1, stats=stats)
+    assert stats.rounds <= 3
+    assert s1._cursor <= 3  # the posting tail was never materialized
+    assert stats.sorted_accesses < 2 * len(pairs)
+
+
+# ----------------------------------------------------------------------
+# access accounting
+# ----------------------------------------------------------------------
+def test_access_stats_counts_full_walk():
+    src = SortedListSource([("a", 3.0), ("b", 2.0), ("c", 1.0)])
+    stats = AccessStats()
+    threshold_algorithm([src], k=3, stats=stats)
+    assert stats.sorted_accesses == 3
+    assert stats.random_accesses == 3  # one probe per newly-seen object
+    assert stats.rounds == 3
+
+
+def test_access_stats_merge_accumulates():
+    a = AccessStats(sorted_accesses=2, random_accesses=4, rounds=1)
+    a.merge(AccessStats(sorted_accesses=3, random_accesses=1, rounds=2))
+    assert (a.sorted_accesses, a.random_accesses, a.rounds) == (5, 5, 3)
+
+
+def test_sorted_access_count_matches_stats_rounds():
+    sources = [
+        SortedListSource([(f"o{i}", float(20 - i)) for i in range(20)]),
+        SortedListSource([(f"o{i}", float(i % 5)) for i in range(20)]),
+    ]
+    stats = AccessStats()
+    threshold_algorithm(sources, k=3, stats=stats)
+    assert sorted_access_count(sources, k=3) == stats.rounds
 
 
 @settings(deadline=None, max_examples=60)

@@ -205,6 +205,48 @@ def test_healthz_and_stats(service, loaded_manager):
     assert stats["cache"]["capacity"] == 128
 
 
+def test_stats_reports_index_provenance(service, loaded_manager):
+    from repro.storage.store import INDEX_FORMAT_VERSION
+
+    index_stats = service.stats()["index"]
+    prov = loaded_manager.current.index_provenance
+    assert index_stats["origin"] == prov.origin == "built"
+    assert index_stats["build_seconds"] == prov.build_seconds
+    assert index_stats["cliques"] == prov.n_cliques
+    assert index_stats["postings"] == prov.total_postings
+    assert index_stats["format_version"] == INDEX_FORMAT_VERSION
+
+
+def test_stats_index_provenance_loaded_artifact(tmp_path, tiny_corpus):
+    """A snapshot that picked up ``index.jsonl`` reports itself as
+    loaded-from-artifact through the stats endpoint."""
+    from repro.serving.snapshot import build_snapshot
+    from repro.storage.store import save_corpus, save_index
+
+    path = tmp_path / "corpus"
+    save_corpus(tiny_corpus, path)
+    built = build_snapshot(path, generation=1)
+    save_index(built.engine.index, path / "index.jsonl")
+
+    manager = SnapshotManager(path)
+    manager.load()
+    service = QueryService(manager, cache=ResultCache(8))
+    index_stats = service.stats()["index"]
+    assert index_stats["origin"] == "loaded"
+    assert index_stats["postings"] > 0
+
+
+def test_stats_no_index_reports_none(tmp_path, tiny_corpus):
+    from repro.storage.store import save_corpus
+
+    path = tmp_path / "corpus"
+    save_corpus(tiny_corpus, path)
+    manager = SnapshotManager(path, build_index=False)
+    manager.load()
+    service = QueryService(manager, cache=ResultCache(8))
+    assert service.stats()["index"] is None
+
+
 def test_metrics_text_reports_snapshot_age(service):
     text = service.metrics_text(now=1060.0)  # manager clock stamped 1000.0
     assert "repro_snapshot_age_seconds 60" in text

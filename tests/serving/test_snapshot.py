@@ -80,3 +80,77 @@ def test_snapshot_results_match_fresh_engine(rec_corpus_dir, rec_corpus):
     cold = RetrievalEngine(load_corpus(rec_corpus_dir))
     query = snapshot.corpus[0]
     assert snapshot.engine.search(query, k=5) == cold.search(cold.corpus.get(query.object_id), k=5)
+
+
+# ----------------------------------------------------------------------
+# index provenance: built vs loaded-from-artifact
+# ----------------------------------------------------------------------
+def _corpus_on_disk(tmp_path, corpus):
+    from repro.storage.store import save_corpus
+
+    path = tmp_path / "corpus"
+    save_corpus(corpus, path)
+    return path
+
+
+def test_fresh_corpus_builds_index(tmp_path, tiny_corpus):
+    snapshot = build_snapshot(_corpus_on_disk(tmp_path, tiny_corpus), generation=1)
+    prov = snapshot.index_provenance
+    assert prov is not None
+    assert prov.origin == "built"
+    assert prov.build_seconds >= 0.0
+    assert prov.n_cliques == len(snapshot.engine.index)
+    assert prov.total_postings > 0
+
+
+def test_index_artifact_next_to_corpus_is_picked_up(tmp_path, tiny_corpus):
+    from repro.storage.store import INDEX_FORMAT_VERSION, save_index
+
+    path = _corpus_on_disk(tmp_path, tiny_corpus)
+    built = build_snapshot(path, generation=1)
+    save_index(built.engine.index, path / "index.jsonl")
+
+    loaded = build_snapshot(path, generation=2)
+    prov = loaded.index_provenance
+    assert prov.origin == "loaded"
+    assert prov.format_version == INDEX_FORMAT_VERSION
+    assert prov.n_cliques == len(built.engine.index)
+    # the adopted index answers bit-identically to the built one
+    query = loaded.corpus[0]
+    assert loaded.engine.search(query, k=5) == built.engine.search(query, k=5)
+
+
+def test_stale_index_artifact_falls_back_to_build(tmp_path, tiny_corpus):
+    import json
+
+    from repro.storage.store import save_index
+
+    path = _corpus_on_disk(tmp_path, tiny_corpus)
+    built = build_snapshot(path, generation=1)
+    artifact = path / "index.jsonl"
+    save_index(built.engine.index, artifact)
+    # tamper the object count: the snapshot loader must treat the
+    # artifact as stale and rebuild rather than serve a partial index
+    lines = artifact.read_text().splitlines()
+    meta = json.loads(lines[0])
+    meta["n_objects"] = 1
+    artifact.write_text("\n".join([json.dumps(meta)] + lines[1:]) + "\n")
+
+    snapshot = build_snapshot(path, generation=2)
+    assert snapshot.index_provenance.origin == "built"
+    assert snapshot.engine.index.n_objects == len(tiny_corpus)
+
+
+def test_corrupt_index_artifact_falls_back_to_build(tmp_path, tiny_corpus):
+    path = _corpus_on_disk(tmp_path, tiny_corpus)
+    (path / "index.jsonl").write_text("{broken\n")
+    snapshot = build_snapshot(path, generation=1)
+    assert snapshot.index_provenance.origin == "built"
+
+
+def test_no_index_no_provenance(tmp_path, tiny_corpus):
+    snapshot = build_snapshot(
+        _corpus_on_disk(tmp_path, tiny_corpus), generation=1, build_index=False
+    )
+    assert snapshot.index_provenance is None
+    assert snapshot.engine.index is None

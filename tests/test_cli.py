@@ -48,6 +48,42 @@ def test_info(corpus_dir, capsys):
     assert "objects" in out and "users" in out and "avg features" in out
 
 
+def test_index_writes_artifact(tmp_path, tiny_corpus, capsys):
+    from pathlib import Path
+
+    from repro.storage.store import save_corpus as _save
+
+    corpus_dir = tmp_path / "corpus"
+    _save(tiny_corpus, corpus_dir)
+    assert main(["index", str(corpus_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "cliques" in out and "postings" in out
+    artifact = Path(corpus_dir) / "index.jsonl"
+    assert artifact.exists()
+    # a search against the indexed corpus still works and the artifact
+    # round-trips into an engine with identical rankings
+    from repro.core.retrieval import RetrievalEngine
+    from repro.storage.store import load_corpus, load_index
+
+    corpus = load_corpus(corpus_dir)
+    built = RetrievalEngine(corpus)
+    loaded = RetrievalEngine(corpus, build_index=False)
+    loaded.adopt_index(load_index(artifact, loaded.correlations))
+    query = corpus[0]
+    assert built.search(query, k=5) == loaded.search(query, k=5)
+
+
+def test_index_invalid_workers(corpus_dir, capsys):
+    assert main(["index", corpus_dir, "--workers", "0"]) == 2
+    assert "--workers" in capsys.readouterr().err
+
+
+def test_index_missing_corpus_dir(tmp_path, capsys):
+    code = main(["index", str(tmp_path / "nope")])
+    assert code == 2
+    assert capsys.readouterr().err.startswith("error:")
+
+
 def test_search(corpus_dir, tiny_corpus, capsys):
     query_id = tiny_corpus[0].object_id
     assert main(["search", corpus_dir, "--query", query_id, "--k", "3"]) == 0

@@ -1,0 +1,139 @@
+"""CI perf-smoke gate for the impact-ordered index.
+
+Builds a small synthetic corpus, indexes it, runs index-mode queries
+through :meth:`RetrievalEngine.search_with_stats`, and enforces the two
+properties the impact-ordering change bought:
+
+* **early termination** — the Threshold Algorithm's sorted-access reads
+  must stay under a budget expressed as a fraction of the total posting
+  length of each query's lists (a full walk is ratio 1.0; regressing to
+  one means TA's early exit stopped firing);
+* **parity** — index-mode rankings stay bit-identical to the pre-change
+  per-query rescoring path on every smoke query.
+
+Writes a machine-readable JSON artifact (latency p50/p95, access
+counts) for the CI run to upload, and exits non-zero on any violation.
+
+Usage::
+
+    python -m tools.perf_smoke --objects 500 --queries 50 \
+        --out perf_smoke.json --budget-ratio 0.9
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.core.retrieval import RetrievalEngine
+from repro.eval import percentile, sample_queries
+from repro.social.generator import GeneratorConfig, SyntheticFlickr
+
+
+def run_smoke(
+    n_objects: int = 500,
+    n_queries: int = 50,
+    k: int = 10,
+    budget_ratio: float = 0.9,
+    seed: int = 7,
+) -> dict:
+    """Run the smoke workload; the returned report carries ``ok``."""
+    corpus = SyntheticFlickr(
+        GeneratorConfig(n_objects=n_objects), seed=seed
+    ).generate_retrieval_corpus()
+
+    build_start = time.perf_counter()
+    engine = RetrievalEngine(corpus)
+    build_seconds = time.perf_counter() - build_start
+
+    queries = sample_queries(corpus, n_queries=n_queries, seed=seed)
+    samples: list[float] = []
+    sorted_accesses = 0
+    total_entries = 0
+    parity_failures = []
+    for query in queries:
+        start = time.perf_counter()
+        results, stats = engine.search_with_stats(query, k=k)
+        samples.append(time.perf_counter() - start)
+        sorted_accesses += stats.sorted_accesses
+        total_entries += stats.total_posting_entries
+        if results != engine.search(query, k=k, mode="index-rescore"):
+            parity_failures.append(query.object_id)
+
+    ratio = sorted_accesses / total_entries if total_entries else 0.0
+    within_budget = ratio < budget_ratio
+    return {
+        "gate": "perf_smoke",
+        "ok": within_budget and not parity_failures,
+        "n_objects": n_objects,
+        "n_queries": len(queries),
+        "k": k,
+        "index_build_seconds": build_seconds,
+        "latency_ms": {
+            "p50": percentile(samples, 50.0) * 1000,
+            "p95": percentile(samples, 95.0) * 1000,
+            "mean": sum(samples) / len(samples) * 1000,
+        },
+        "ta_access": {
+            "sorted_accesses": sorted_accesses,
+            "total_posting_entries": total_entries,
+            "ratio": ratio,
+            "budget_ratio": budget_ratio,
+            "within_budget": within_budget,
+        },
+        "parity_failures": parity_failures,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--objects", type=int, default=500)
+    parser.add_argument("--queries", type=int, default=50)
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument(
+        "--budget-ratio",
+        type=float,
+        default=0.9,
+        help="sorted accesses must stay under this fraction of total posting length",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", type=Path, default=None, help="JSON artifact path")
+    args = parser.parse_args(argv)
+
+    report = run_smoke(
+        n_objects=args.objects,
+        n_queries=args.queries,
+        k=args.k,
+        budget_ratio=args.budget_ratio,
+        seed=args.seed,
+    )
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(text + "\n")
+    print(text)
+
+    access = report["ta_access"]
+    if not access["within_budget"]:
+        print(
+            f"perf-smoke FAIL: TA read {access['sorted_accesses']} of "
+            f"{access['total_posting_entries']} posting entries "
+            f"(ratio {access['ratio']:.3f} >= budget {access['budget_ratio']:.3f})",
+            file=sys.stderr,
+        )
+        return 1
+    if report["parity_failures"]:
+        print(
+            f"perf-smoke FAIL: {len(report['parity_failures'])} queries diverged "
+            f"from the rescoring reference: {report['parity_failures'][:5]}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CI entry point
+    raise SystemExit(main())
