@@ -173,11 +173,20 @@ def baseline_recommenders():
 # ----------------------------------------------------------------------
 # reporting
 # ----------------------------------------------------------------------
-def report(name: str, title: str, lines: list[str], capsys) -> None:
-    """Print the series to the terminal and persist it for EXPERIMENTS.md."""
+def report(name: str, title: str, lines: list[str], capsys, data: dict | None = None) -> None:
+    """Print the series to the terminal and persist it for EXPERIMENTS.md.
+
+    ``data`` is the machine-readable series behind the table; when
+    given, it is persisted as ``results/<name>.json`` (stable per-bench
+    filename) so the perf trajectory accumulates across PRs without
+    re-parsing human tables.  Benches with richer payloads call
+    :func:`report_json` directly instead.
+    """
     text = "\n".join([f"== {title} ==", *lines, ""])
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text)
+    if data is not None:
+        report_json(name, {"bench": name, "title": title, **data})
     if capsys is not None:
         with capsys.disabled():
             print("\n" + text)

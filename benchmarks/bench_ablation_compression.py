@@ -9,6 +9,8 @@ decode correctness over every posting.  Expected shape: multi-x
 compression, higher for long (dense-gap) postings.
 """
 
+from __future__ import annotations
+
 import pytest
 
 import _harness as H
@@ -50,6 +52,12 @@ def run_experiment():
 @pytest.mark.benchmark(group="ablation")
 def test_ablation_compression(benchmark, capsys):
     rows, (ratio, mismatches) = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    H.report("ablation_compression", "Ablation: posting-list compression", rows, capsys)
+    H.report(
+        "ablation_compression",
+        "Ablation: posting-list compression",
+        rows,
+        capsys,
+        data={"compression_ratio": ratio, "decode_mismatches": mismatches},
+    )
     assert mismatches == 0, "compressed postings must decode exactly"
     assert ratio > 3.0, "varint/delta should compress the index multi-x"

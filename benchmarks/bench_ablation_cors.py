@@ -9,6 +9,8 @@ boosts cliques whose features genuinely co-vary and silences
 coincidental ones.
 """
 
+from __future__ import annotations
+
 import pytest
 
 import _harness as H
@@ -34,6 +36,12 @@ def run_experiment():
 @pytest.mark.benchmark(group="ablation")
 def test_ablation_cors(benchmark, capsys):
     rows, results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    H.report("ablation_cors", "Ablation: Eq. 9 CorS clique weighting", rows, capsys)
+    H.report(
+        "ablation_cors",
+        "Ablation: Eq. 9 CorS clique weighting",
+        rows,
+        capsys,
+        data={"precision": {("with_cors" if k else "no_cors"): dict(v) for k, v in results.items()}},
+    )
     # CorS weighting should not hurt at the deepest cutoff.
     assert results[True][20] >= results[False][20] - 0.03

@@ -11,6 +11,8 @@ candidates).  This ablation measures both sides of the trade:
   exact scan's.
 """
 
+from __future__ import annotations
+
 import pytest
 
 import _harness as H
@@ -49,7 +51,18 @@ def run_experiment():
 @pytest.mark.benchmark(group="ablation")
 def test_ablation_index(benchmark, capsys):
     rows, stats = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    H.report("ablation_index", "Ablation: inverted index + TA vs sequential scan", rows, capsys)
+    H.report(
+        "ablation_index",
+        "Ablation: inverted index + TA vs sequential scan",
+        rows,
+        capsys,
+        data={
+            "modes": {
+                m: {"p_at_10": p, "latency_s": t} for m, (p, t) in stats.items()
+            },
+            "speedup": stats["scan"][1] / stats["index"][1],
+        },
+    )
     index_p, index_t = stats["index"]
     scan_p, scan_t = stats["scan"]
     assert index_t < scan_t / 2, "the index must be substantially faster than the scan"

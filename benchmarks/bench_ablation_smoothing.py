@@ -10,6 +10,8 @@ interior blend — frequency alone ignores correlated near-matches,
 smoothing alone blurs exact evidence.
 """
 
+from __future__ import annotations
+
 import pytest
 
 import _harness as H
@@ -35,7 +37,13 @@ def run_experiment():
 @pytest.mark.benchmark(group="ablation")
 def test_ablation_smoothing(benchmark, capsys):
     rows, series = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    H.report("ablation_smoothing", "Ablation: Eq. 7 smoothing α sweep", rows, capsys)
+    H.report(
+        "ablation_smoothing",
+        "Ablation: Eq. 7 smoothing α sweep",
+        rows,
+        capsys,
+        data={"p_at_10": {str(a): p for a, p in series.items()}},
+    )
     best = max(series, key=series.get)
     # the best blend is at least as good as both extremes
     assert series[best] >= series[0.0]

@@ -10,6 +10,8 @@ a plateau or interior optimum, with index size shrinking monotonically
 as the threshold rises.
 """
 
+from __future__ import annotations
+
 import pytest
 
 import _harness as H
@@ -41,7 +43,17 @@ def run_experiment():
 @pytest.mark.benchmark(group="ablation")
 def test_ablation_threshold(benchmark, capsys):
     rows, series = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    H.report("ablation_threshold", "Ablation: FIG edge threshold sweep", rows, capsys)
+    H.report(
+        "ablation_threshold",
+        "Ablation: FIG edge threshold sweep",
+        rows,
+        capsys,
+        data={
+            "series": {
+                str(t): {"p_at_10": p, "n_cliques": n} for t, (p, n) in series.items()
+            }
+        },
+    )
     sizes = [series[t][1] for t in THRESHOLDS]
     assert sizes == sorted(sizes, reverse=True), (
         "raising the threshold must shrink the clique index monotonically"

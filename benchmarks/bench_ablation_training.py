@@ -8,6 +8,8 @@ ascent on held-out training queries.  Expected shape: training helps or
 at worst matches the defaults on evaluation queries.
 """
 
+from __future__ import annotations
+
 import pytest
 
 import _harness as H
@@ -41,6 +43,12 @@ def run_experiment():
 @pytest.mark.benchmark(group="ablation")
 def test_ablation_training(benchmark, capsys):
     rows, results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    H.report("ablation_training", "Ablation: trained vs default MRF parameters", rows, capsys)
+    H.report(
+        "ablation_training",
+        "Ablation: trained vs default MRF parameters",
+        rows,
+        capsys,
+        data={"precision": {k: dict(v) for k, v in results.items()}},
+    )
     # Training generalizes: no collapse relative to the defaults.
     assert results["trained"][10] >= results["default"][10] - 0.05

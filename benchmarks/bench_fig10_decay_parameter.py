@@ -7,6 +7,8 @@ favorites track the user's drifting interest), but very strong decay
 discards too much history.
 """
 
+from __future__ import annotations
+
 import pytest
 
 import _harness as H
@@ -30,7 +32,13 @@ def run_experiment():
 @pytest.mark.benchmark(group="fig10")
 def test_fig10_decay_parameter(benchmark, capsys):
     rows, series = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    H.report("fig10_decay_parameter", "Figure 10: recommendation P@10 vs δ", rows, capsys)
+    H.report(
+        "fig10_decay_parameter",
+        "Figure 10: recommendation P@10 vs δ",
+        rows,
+        capsys,
+        data={"p_at_10": {str(d): p for d, p in series.items()}},
+    )
 
     best_delta = max(series, key=series.get)
     # The optimum is strictly inside (0.1, 1.0]: moderate decay wins or

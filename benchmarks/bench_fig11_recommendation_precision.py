@@ -10,6 +10,8 @@ The bench also checks the Fig. 10 discussion's modality claim: for
 retrieval's ordering), because favoriting is socially driven.
 """
 
+from __future__ import annotations
+
 import pytest
 
 import _harness as H
@@ -54,6 +56,7 @@ def test_fig11_recommendation_precision(benchmark, capsys):
         "Figure 11: recommendation P@N by system",
         rows,
         capsys,
+        data={"precision": {name: dict(p) for name, p in results.items()}},
     )
     # FIG beats every baseline at every cutoff (the ~15% margin claim).
     for n in CUTOFFS:

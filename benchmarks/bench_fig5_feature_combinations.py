@@ -7,6 +7,8 @@ visual is the weakest single modality, text slightly beats user, every
 pair beats its singles, and the full combination is best.
 """
 
+from __future__ import annotations
+
 import pytest
 
 import _harness as H
@@ -47,7 +49,13 @@ def run_experiment():
 @pytest.mark.benchmark(group="fig5")
 def test_fig5_feature_combinations(benchmark, capsys):
     rows, results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    H.report("fig5_feature_combinations", "Figure 5: feature combinations (P@N)", rows, capsys)
+    H.report(
+        "fig5_feature_combinations",
+        "Figure 5: feature combinations (P@N)",
+        rows,
+        capsys,
+        data={"precision": {label: dict(p) for label, p in results.items()}},
+    )
 
     # Shape checks from the paper (see DESIGN.md §5).
     p20 = {label: results[label][20] for label, _ in COMBOS}

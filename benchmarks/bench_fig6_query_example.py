@@ -8,6 +8,8 @@ pairs.  Expected shape: top results share far more features of every
 modality than random pairs do.
 """
 
+from __future__ import annotations
+
 import numpy as np
 import pytest
 
@@ -55,6 +57,17 @@ def run_experiment():
 @pytest.mark.benchmark(group="fig6")
 def test_fig6_query_example(benchmark, capsys):
     rows, stats = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    H.report("fig6_query_example", "Figure 6: shared features of top results", rows, capsys)
+    H.report(
+        "fig6_query_example",
+        "Figure 6: shared features of top results",
+        rows,
+        capsys,
+        data={
+            "shared": {
+                t.name.lower(): {"top": top, "random": rand}
+                for t, (top, rand) in stats.items()
+            }
+        },
+    )
     for t, (top, rand) in stats.items():
         assert top > rand, f"top results must share more {t.name} features than random pairs"

@@ -8,6 +8,8 @@ TP's conjunctive product ranks among the stronger baselines instead of
 last, because topical relevance is abundant in all three modalities.)
 """
 
+from __future__ import annotations
+
 import pytest
 
 import _harness as H
@@ -37,7 +39,13 @@ def run_experiment():
 @pytest.mark.benchmark(group="fig7")
 def test_fig7_retrieval_precision(benchmark, capsys):
     rows, results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    H.report("fig7_retrieval_precision", "Figure 7: FIG vs LSA/TP/RB (P@N)", rows, capsys)
+    H.report(
+        "fig7_retrieval_precision",
+        "Figure 7: FIG vs LSA/TP/RB (P@N)",
+        rows,
+        capsys,
+        data={"precision": {name: dict(p) for name, p in results.items()}},
+    )
 
     # FIG wins at the deeper cutoffs (the paper's headline claim);
     # shallow cutoffs are noisy with 20 queries, so we check @10/@20.

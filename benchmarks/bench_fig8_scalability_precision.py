@@ -8,6 +8,8 @@ method (larger databases contain more close matches), FIG on top
 throughout.
 """
 
+from __future__ import annotations
+
 import pytest
 
 import _harness as H
@@ -42,6 +44,10 @@ def test_fig8_scalability_precision(benchmark, capsys):
         "Figure 8: P@10 vs database size (500..2500)",
         rows,
         capsys,
+        data={
+            "sizes": list(H.SWEEP_SIZES),
+            "p_at_10": {name: values for name, values in series.items()},
+        },
     )
     for name, values in series.items():
         assert values[-1] >= values[0] - 0.05, (

@@ -25,6 +25,8 @@ Alongside the ``.txt`` table it writes ``results/fig9_query_latency.json``
 with p50/p95 per corpus size — the machine-readable BENCH_* artifact.
 """
 
+from __future__ import annotations
+
 import pytest
 
 import _harness as H

@@ -19,6 +19,8 @@ Writes ``results/index_build.{txt,json}`` with p50/p95 per corpus size
 — the machine-readable BENCH_* artifact for the build trajectory.
 """
 
+from __future__ import annotations
+
 import time
 
 import pytest

@@ -15,6 +15,8 @@ Unlike the figure benches, the artifact is machine-readable JSON
 tracked across commits.
 """
 
+from __future__ import annotations
+
 import json
 import statistics
 import tempfile

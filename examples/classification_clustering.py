@@ -6,6 +6,8 @@ a distance-weighted kNN topic classifier and k-medoids clustering.
 Run:  python examples/classification_clustering.py
 """
 
+from __future__ import annotations
+
 import numpy as np
 
 from repro import GeneratorConfig, RetrievalEngine, SyntheticFlickr

@@ -6,6 +6,8 @@ images into bags of visual words.
 Run:  python examples/full_vision_pipeline.py
 """
 
+from __future__ import annotations
+
 import numpy as np
 
 from repro.vision import (

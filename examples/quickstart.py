@@ -4,6 +4,8 @@ engine, and run a query (Sections 3.2-3.5 end to end).
 Run:  python examples/quickstart.py
 """
 
+from __future__ import annotations
+
 from repro import GeneratorConfig, RetrievalEngine, SyntheticFlickr
 
 

@@ -5,6 +5,8 @@ plain FIG recommender against the temporal FIG-T variant.
 Run:  python examples/recommendation_example.py
 """
 
+from __future__ import annotations
+
 from repro import GeneratorConfig, MRFParameters, Recommender, SyntheticFlickr
 from repro.eval import FavoriteOracle
 

@@ -5,6 +5,8 @@ correlations drive the ranking.
 Run:  python examples/retrieval_example.py
 """
 
+from __future__ import annotations
+
 from repro import FeatureType, GeneratorConfig, RetrievalEngine, SyntheticFlickr
 
 

@@ -7,6 +7,8 @@ cache), free-form similarity, recommendation, a hot reload, and a
 Run:  python examples/serving_example.py
 """
 
+from __future__ import annotations
+
 import json
 import tempfile
 import threading

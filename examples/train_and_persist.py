@@ -5,6 +5,8 @@ trained parameters to disk, reload both and query.
 Run:  python examples/train_and_persist.py
 """
 
+from __future__ import annotations
+
 import tempfile
 from pathlib import Path
 

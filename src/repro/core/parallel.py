@@ -21,29 +21,14 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from collections.abc import Sequence
 
-from typing import TypeVar
-
 from repro.core.cliques import Clique
 from repro.core.correlation import CorrelationModel
 from repro.core.mrf import CliqueScorer, MRFParameters
 from repro.core.objects import MediaObject
 from repro.core.retrieval import RankedResult, RetrievalEngine, ranked_sort
+from repro.core.sharding import split_shards
 
-_T = TypeVar("_T")
-
-
-def split_shards(items: Sequence[_T], n: int) -> list[list[_T]]:
-    """Contiguous shards of near-equal size, preserving order.
-
-    The shared dispatch helper for every shard-parallel path (the exact
-    scan below, the index build in :mod:`repro.index.inverted`):
-    contiguous splits keep corpus order within and across shards, which
-    the bit-identical merge contracts rely on.
-    """
-    if n < 1:
-        raise ValueError("shard count must be >= 1")
-    size = (len(items) + n - 1) // n
-    return [list(items[i : i + size]) for i in range(0, len(items), size)]
+__all__ = ["ParallelScanner", "split_shards"]
 
 
 def _score_shard(

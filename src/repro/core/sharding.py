@@ -1,0 +1,28 @@
+"""Contiguous corpus sharding for every shard-parallel path.
+
+Lives in the fusion tier (below the index) so both the shard-parallel
+index build in :mod:`repro.index.inverted` and the parallel scanner in
+:mod:`repro.core.parallel` can import it without an upward or cyclic
+dependency — ``parallel`` sits above the index it drives, ``inverted``
+below it, and this module below both.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import TypeVar
+
+_T = TypeVar("_T")
+
+
+def split_shards(items: Sequence[_T], n: int) -> list[list[_T]]:
+    """Contiguous shards of near-equal size, preserving order.
+
+    Contiguous splits keep corpus order within and across shards, which
+    the bit-identical merge contracts of the parallel scan and the
+    shard-parallel index build rely on.
+    """
+    if n < 1:
+        raise ValueError("shard count must be >= 1")
+    size = (len(items) + n - 1) // n
+    return [list(items[i : i + size]) for i in range(0, len(items), size)]

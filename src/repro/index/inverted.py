@@ -30,6 +30,7 @@ from repro.core.correlation import CorrelationModel
 from repro.core.fig import FeatureInteractionGraph
 from repro.core.mrf import joint_components
 from repro.core.objects import Feature, MediaObject
+from repro.core.sharding import split_shards
 from repro.index.postings import Posting
 
 #: Objects whose row-sum caches are kept alive during a rescore pass.
@@ -120,8 +121,6 @@ class CliqueInvertedIndex:
             for obj in materialized:
                 self.add_object(obj)
             return self
-
-        from repro.core.parallel import split_shards
 
         shards = split_shards(materialized, n_workers)
         payloads = [(shard, self._cor, self._max_clique_size) for shard in shards]

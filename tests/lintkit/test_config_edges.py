@@ -1,0 +1,158 @@
+"""Config edge cases: every malformed input is a loud error, never a
+silent skip — a typo in a suppression or the layers table must not
+quietly disable a checker."""
+
+from __future__ import annotations
+
+import pytest
+
+from tools.lintkit.config import LayersConfig, LintConfig
+from tools.lintkit.framework import all_checkers
+from tools.lintkit.runner import lint_source
+
+
+# ----------------------------------------------------------------------
+# unknown checker names in suppression comments (LK000)
+# ----------------------------------------------------------------------
+def test_unknown_name_in_ignore_suppression_is_reported():
+    violations = lint_source(
+        "from __future__ import annotations\n"
+        "x = 1  # lintkit: ignore[flaot-equality]\n",
+        path="src/repro/core/mod.py",
+    )
+    assert [v.rule for v in violations] == ["LK000"]
+    assert "flaot-equality" in violations[0].message
+    assert violations[0].checker == "unknown-suppression"
+
+
+def test_unknown_name_in_skip_file_suppression_is_reported():
+    violations = lint_source(
+        "# lintkit: skip-file[no-such-checker]\n"
+        "from __future__ import annotations\n"
+        "x = 1\n",
+        path="src/repro/core/mod.py",
+    )
+    assert [v.rule for v in violations] == ["LK000"]
+    assert "no-such-checker" in violations[0].message
+
+
+def test_known_suppression_names_are_silent():
+    source = (
+        "from __future__ import annotations\n"
+        "x = 1  # lintkit: ignore[float-equality, silent-exception]\n"
+    )
+    violations = lint_source(source, path="src/repro/core/mod.py")
+    assert violations == []
+
+
+def test_unknown_suppression_is_itself_suppressable_by_skip_all():
+    # A full skip-file also silences the unknown-suppression findings —
+    # the file opted out of linting entirely.
+    source = "# lintkit: skip-file\nx = 1  # lintkit: ignore[bogus]\n"
+    assert lint_source(source, path="src/repro/core/mod.py") == []
+
+
+# ----------------------------------------------------------------------
+# unknown checker names in select / ignore / exempt configuration
+# ----------------------------------------------------------------------
+def test_unknown_select_name_raises():
+    config = LintConfig(select=("not-a-checker",))
+    with pytest.raises(ValueError, match="not-a-checker"):
+        config.active_checkers(all_checkers())
+
+
+def test_unknown_exempt_name_raises():
+    config = LintConfig(exempt=(("not-a-checker", ("src/",)),))
+    with pytest.raises(ValueError, match="not-a-checker"):
+        config.active_checkers(all_checkers())
+
+
+# ----------------------------------------------------------------------
+# overlapping / duplicate exempt paths
+# ----------------------------------------------------------------------
+def test_duplicate_exempt_fragments_rejected():
+    with pytest.raises(ValueError, match="duplicate"):
+        LintConfig.from_mapping(
+            {"exempt": {"float-equality": ["repro/serving", "repro/serving"]}}
+        )
+
+
+def test_overlapping_exempt_fragments_rejected():
+    with pytest.raises(ValueError, match="overlapping"):
+        LintConfig.from_mapping(
+            {"exempt": {"float-equality": ["repro/serving", "repro/serving/http.py"]}}
+        )
+
+
+def test_non_list_exempt_value_rejected():
+    with pytest.raises(ValueError, match="float-equality"):
+        LintConfig.from_mapping({"exempt": {"float-equality": "repro/serving"}})
+
+
+def test_disjoint_exempt_fragments_accepted():
+    config = LintConfig.from_mapping(
+        {"exempt": {"float-equality": ["repro/serving", "repro/index"]}}
+    )
+    assert config.is_exempt("float-equality", "src/repro/serving/http.py")
+    assert not config.is_exempt("float-equality", "src/repro/core/mrf.py")
+
+
+# ----------------------------------------------------------------------
+# malformed [tool.lintkit.layers] entries
+# ----------------------------------------------------------------------
+def test_layers_unknown_key_rejected():
+    with pytest.raises(ValueError, match="unknown key"):
+        LayersConfig.from_mapping({"root": "repro", "tiers": []})
+
+
+def test_layers_empty_root_rejected():
+    with pytest.raises(ValueError, match="root"):
+        LayersConfig.from_mapping({"root": ""})
+
+
+def test_layers_empty_order_rejected():
+    with pytest.raises(ValueError, match="order"):
+        LayersConfig.from_mapping({"order": []})
+
+
+def test_layers_bad_order_entry_names_the_index():
+    with pytest.raises(ValueError, match=r"order\[1\]"):
+        LayersConfig.from_mapping({"order": [["core"], 7]})
+
+
+def test_layers_empty_tier_list_rejected():
+    with pytest.raises(ValueError, match=r"order\[0\]"):
+        LayersConfig.from_mapping({"order": [[]]})
+
+
+def test_layers_non_string_anywhere_rejected():
+    with pytest.raises(ValueError, match="anywhere"):
+        LayersConfig.from_mapping({"anywhere": [1]})
+
+
+def test_layers_module_in_tier_and_top_rejected():
+    with pytest.raises(ValueError, match="both a tier"):
+        LayersConfig.from_mapping({"order": [["cli"]], "top": ["cli"]})
+
+
+def test_layers_table_must_be_a_table():
+    with pytest.raises(ValueError, match="layers must be a table"):
+        LintConfig.from_mapping({"layers": ["core", "serving"]})
+
+
+def test_well_formed_layers_round_trip():
+    config = LintConfig.from_mapping(
+        {
+            "layers": {
+                "root": "repro",
+                "order": ["text", ["core", "social"], "serving"],
+                "anywhere": ["diagnostics"],
+                "top": ["cli"],
+            }
+        }
+    )
+    assert config.layers is not None
+    assert config.layers.tier_of("core.mrf") == ("core", 1)
+    assert config.layers.tier_of("diagnostics.trace") == ("diagnostics", "anywhere")
+    assert config.layers.tier_of("cli") == ("cli", "top")
+    assert config.layers.tier_of("unknown") is None

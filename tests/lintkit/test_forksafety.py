@@ -1,0 +1,229 @@
+"""Fork/process-safety analyzer: resources crossing pool submissions.
+
+The known-bad fixtures are the LK201 acceptance corpus; the known-good
+ones encode the sanctioned worker shape (`_score_shard` /
+`_build_shard`: module-level functions fed plain data).
+"""
+
+from __future__ import annotations
+
+from tools.lintkit.config import LintConfig
+from tools.lintkit.runner import lint_source
+
+IN_SCOPE = "src/repro/core/mod.py"
+
+
+def run(source: str) -> list:
+    return lint_source(
+        source, path=IN_SCOPE, config=LintConfig(select=("fork-unsafe-capture",))
+    )
+
+
+def test_module_global_lock_read_by_worker_fires():
+    violations = run(
+        """
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+_LOCK = threading.Lock()
+
+def worker(x):
+    with _LOCK:
+        return x + 1
+
+def run_all(items):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(worker, items))
+""",
+    )
+    assert len(violations) == 1
+    assert violations[0].rule == "LK201"
+    assert "_LOCK" in violations[0].message
+    assert "threading lock" in violations[0].message
+
+
+def test_closure_over_local_file_handle_fires():
+    violations = run(
+        """
+from concurrent.futures import ProcessPoolExecutor
+
+def run_all(path, items):
+    log = open(path, "a")
+
+    def worker(x):
+        log.write(str(x))
+        return x
+
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(worker, items))
+""",
+    )
+    assert len(violations) == 1
+    assert "open file handle" in violations[0].message
+
+
+def test_transitive_capture_through_helper_fires():
+    violations = run(
+        """
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+_LOCK = threading.Lock()
+
+def helper(x):
+    with _LOCK:
+        return x
+
+def worker(x):
+    return helper(x)
+
+def run_all(items):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(worker, items))
+""",
+    )
+    assert len(violations) == 1
+    assert "via helper()" in violations[0].message
+
+
+def test_resource_default_argument_fires():
+    violations = run(
+        """
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+_SEM = threading.Semaphore(4)
+
+def worker(x, gate=_SEM):
+    return x
+
+def run_all(items):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(worker, items))
+""",
+    )
+    assert len(violations) == 1
+    assert "default argument" in violations[0].message
+
+
+def test_resource_passed_as_submission_argument_fires():
+    violations = run(
+        """
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+_LOCK = threading.Lock()
+
+def worker(x, lock):
+    return x
+
+def run_one(item):
+    with ProcessPoolExecutor() as pool:
+        return pool.submit(worker, item, _LOCK).result()
+""",
+    )
+    assert len(violations) == 1
+    assert "argument" in violations[0].message
+
+
+def test_bound_method_of_lock_owning_class_fires():
+    violations = run(
+        """
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+class Builder:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def work(self, x):
+        return x
+
+    def run_all(self, items):
+        with ProcessPoolExecutor() as pool:
+            return [pool.submit(self.work, i).result() for i in items]
+""",
+    )
+    assert len(violations) == 1
+    assert "pickles the whole instance" in violations[0].message
+    assert "self._lock" in violations[0].message
+
+
+def test_thread_pool_submissions_are_exempt():
+    violations = run(
+        """
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+_LOCK = threading.Lock()
+
+def worker(x):
+    with _LOCK:
+        return x
+
+def run_all(items):
+    with ThreadPoolExecutor() as tp:
+        return list(tp.map(worker, items))
+""",
+    )
+    # Threads share the address space; the lock is the same object.
+    assert violations == []
+
+
+def test_module_level_pure_worker_is_clean():
+    violations = run(
+        """
+from concurrent.futures import ProcessPoolExecutor
+
+def _score_shard(payload):
+    shard, model = payload
+    return [model + x for x in shard]
+
+def run_all(payloads):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(_score_shard, payloads))
+""",
+    )
+    assert violations == []
+
+
+def test_parameter_shadowing_a_resource_name_is_clean():
+    violations = run(
+        """
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+log = threading.Lock()
+
+def worker(log):
+    return log + 1
+
+def run_all(items):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(worker, items))
+""",
+    )
+    # worker's own parameter shadows the module-level lock.
+    assert violations == []
+
+
+def test_mmap_and_socket_captures_fire():
+    violations = run(
+        """
+import mmap
+import socket
+from concurrent.futures import ProcessPoolExecutor
+
+def run_all(fd, items):
+    view = mmap.mmap(fd, 0)
+    conn = socket.socket()
+
+    def worker(x):
+        return view[x], conn
+
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(worker, items))
+""",
+    )
+    kinds = {v.message.split(", a ")[1].split(",")[0] for v in violations}
+    assert kinds == {"mmap view", "socket"}

@@ -139,7 +139,20 @@ def test_all_checkers_registers_the_full_suite():
         "missing-future-annotations",
         "nondeterministic-call",
         "silent-exception",
+        "lock-guarded-attr",
+        "lock-blocking-call",
+        "lock-order-cycle",
+        "fork-unsafe-capture",
+        "layer-upward-import",
+        "layer-cycle",
     }
+
+
+def test_every_checker_has_a_unique_rule_id():
+    checkers = all_checkers().values()
+    rule_ids = [cls.rule_id for cls in checkers]
+    assert all(rule_ids), "every registered checker needs a stable rule_id"
+    assert len(set(rule_ids)) == len(rule_ids)
 
 
 def test_register_rejects_anonymous_checker():

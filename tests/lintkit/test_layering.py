@@ -1,0 +1,233 @@
+"""Import-layering conformance: upward imports, cycles, declarations.
+
+Known-bad fixtures are the LK301/LK302 acceptance corpus (including
+the canonical violation: ``core`` importing ``serving``); known-good
+fixtures encode the allowances (façade ``__init__``, deferred cycle
+break, ``anywhere`` modules).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tools.lintkit.config import LayersConfig, LintConfig
+from tools.lintkit.runner import lint_sources
+
+LAYERS = LayersConfig(
+    root="repro",
+    order=(("text", "vision"), ("core",), ("index",), ("serving",)),
+    anywhere=("diagnostics",),
+    top=("cli",),
+)
+CONFIG = LintConfig(select=("layer-upward-import", "layer-cycle"), layers=LAYERS)
+
+
+def run(sources: dict[str, str]) -> list:
+    return lint_sources(sources, config=CONFIG)
+
+
+def test_core_importing_serving_is_an_upward_import():
+    violations = run(
+        {
+            "src/repro/core/mrf.py": "from repro.serving.http import Handler\n",
+            "src/repro/serving/http.py": "Handler = object\n",
+        }
+    )
+    assert [v.rule for v in violations] == ["LK301"]
+    assert "upward import" in violations[0].message
+    assert violations[0].path == "src/repro/core/mrf.py"
+
+
+def test_downward_and_same_tier_imports_are_clean():
+    violations = run(
+        {
+            "src/repro/text/wup.py": "X = 1\n",
+            "src/repro/core/a.py": "from repro.text.wup import X\n",
+            "src/repro/core/b.py": "from repro.core.a import X\n",
+            "src/repro/serving/s.py": "from repro.core.b import X\n",
+        }
+    )
+    assert violations == []
+
+
+def test_import_cycle_is_reported_once():
+    violations = run(
+        {
+            "src/repro/core/a.py": "from repro.core.b import X\nY = 1\n",
+            "src/repro/core/b.py": "from repro.core.a import Y\nX = 1\n",
+        }
+    )
+    assert [v.rule for v in violations] == ["LK302"]
+    assert "repro.core.a -> repro.core.b -> repro.core.a" in violations[0].message
+
+
+def test_deferred_import_breaks_the_cycle_but_not_the_layering():
+    sources = {
+        "src/repro/index/build.py": (
+            "def build():\n"
+            "    from repro.serving.http import Handler\n"
+            "    return Handler\n"
+        ),
+        "src/repro/serving/http.py": "from repro.index.build import build\nHandler = object\n",
+    }
+    violations = run(sources)
+    # No LK302: one edge is deferred.  But the deferred upward import
+    # (index -> serving) is still an LK301 architecture violation.
+    assert [v.rule for v in violations] == ["LK301"]
+    assert "deferred" in violations[0].message
+
+
+def test_deferred_downward_import_is_fully_clean():
+    violations = run(
+        {
+            "src/repro/core/a.py": (
+                "def use():\n"
+                "    from repro.text.wup import X\n"
+                "    return X\n"
+            ),
+            "src/repro/text/wup.py": "X = 1\n",
+        }
+    )
+    assert violations == []
+
+
+def test_type_checking_imports_are_excluded_from_the_cycle_graph():
+    violations = run(
+        {
+            "src/repro/core/a.py": (
+                "from typing import TYPE_CHECKING\n"
+                "if TYPE_CHECKING:\n"
+                "    from repro.core.b import X\n"
+                "Y = 1\n"
+            ),
+            "src/repro/core/b.py": "from repro.core.a import Y\nX = 1\n",
+        }
+    )
+    assert violations == []
+
+
+def test_package_init_facade_may_reexport_own_subtree():
+    violations = run(
+        {
+            "src/repro/serving/__init__.py": "from repro.serving.http import Handler\n",
+            "src/repro/serving/http.py": "Handler = object\n",
+        }
+    )
+    assert violations == []
+
+
+def test_root_init_is_implicitly_top():
+    violations = run(
+        {
+            "src/repro/__init__.py": "from repro.serving.http import Handler\n",
+            "src/repro/serving/http.py": "Handler = object\n",
+        }
+    )
+    assert violations == []
+
+
+def test_anywhere_module_is_importable_from_the_bottom_tier():
+    violations = run(
+        {
+            "src/repro/text/wup.py": "from repro.diagnostics.trace import span\n",
+            "src/repro/diagnostics/trace.py": "span = object\n",
+        }
+    )
+    assert violations == []
+
+
+def test_anywhere_module_may_not_import_tiers():
+    violations = run(
+        {
+            "src/repro/diagnostics/trace.py": "from repro.core.a import X\n",
+            "src/repro/core/a.py": "X = 1\n",
+        }
+    )
+    assert [v.rule for v in violations] == ["LK301"]
+    assert "'anywhere'" in violations[0].message
+
+
+def test_only_top_may_import_top():
+    violations = run(
+        {
+            "src/repro/serving/s.py": "from repro.cli.main import main\n",
+            "src/repro/cli/main.py": "def main(): pass\n",
+        }
+    )
+    assert [v.rule for v in violations] == ["LK301"]
+    assert "top-layer" in violations[0].message
+
+
+def test_top_may_import_everything():
+    violations = run(
+        {
+            "src/repro/cli/main.py": (
+                "from repro.core.a import X\nfrom repro.serving.s import Y\n"
+            ),
+            "src/repro/core/a.py": "X = 1\n",
+            "src/repro/serving/s.py": "Y = 1\n",
+        }
+    )
+    assert violations == []
+
+
+def test_undeclared_module_is_reported():
+    violations = run(
+        {
+            "src/repro/mystery/new_thing.py": "Z = 1\n",
+        }
+    )
+    assert [v.rule for v in violations] == ["LK301"]
+    assert "matches no prefix" in violations[0].message
+
+
+def test_relative_imports_resolve_for_layering():
+    violations = run(
+        {
+            "src/repro/core/pkg/__init__.py": "",
+            "src/repro/core/pkg/a.py": "from ..b import X\n",
+            "src/repro/core/b.py": "X = 1\n",
+        }
+    )
+    assert violations == []
+
+
+def test_relative_upward_import_still_fires():
+    violations = run(
+        {
+            "src/repro/core/a.py": "from ..serving.http import Handler\n",
+            "src/repro/serving/http.py": "Handler = object\n",
+        }
+    )
+    # ``from ..serving`` climbs out of core into the serving tier.
+    assert [v.rule for v in violations] == ["LK301"]
+
+
+def test_no_layers_config_disables_both_checkers():
+    config = LintConfig(select=("layer-upward-import", "layer-cycle"))
+    violations = lint_sources(
+        {"src/repro/core/a.py": "from repro.serving.s import X\n"}, config=config
+    )
+    assert violations == []
+
+
+def test_most_specific_prefix_wins():
+    layers = LayersConfig(
+        root="repro",
+        order=(("core.objects",), ("core",), ("index",)),
+    )
+    config = LintConfig(select=("layer-upward-import",), layers=layers)
+    violations = lint_sources(
+        {
+            # core.objects (tier 0) importing core (tier 1): upward.
+            "src/repro/core/objects.py": "from repro.core.mrf import f\n",
+            "src/repro/core/mrf.py": "def f(): pass\n",
+        },
+        config=config,
+    )
+    assert [v.rule for v in violations] == ["LK301"]
+
+
+def test_duplicate_tier_assignment_rejected():
+    with pytest.raises(ValueError, match="more than one tier"):
+        LayersConfig(root="repro", order=(("core",), ("core",)))

@@ -1,0 +1,472 @@
+"""Lock-discipline analyzer: guarded attrs, blocking calls, lock order.
+
+Every known-bad fixture here is the acceptance corpus for rule IDs
+LK101/LK102/LK103 — each must fire; the known-good fixtures encode the
+serving-layer patterns (`ResultCache`, `SnapshotManager`, the metrics
+registry) that must stay silent.
+"""
+
+from __future__ import annotations
+
+from tools.lintkit.config import LintConfig
+from tools.lintkit.runner import lint_source
+
+IN_SCOPE = "src/repro/serving/mod.py"
+
+
+def run(checker: str, source: str) -> list:
+    return lint_source(source, path=IN_SCOPE, config=LintConfig(select=(checker,)))
+
+
+# ----------------------------------------------------------------------
+# LK101 lock-guarded-attr
+# ----------------------------------------------------------------------
+def test_unguarded_read_of_inferred_guarded_attr_fires():
+    violations = run(
+        "lock-guarded-attr",
+        """
+import threading
+
+class Cache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = {}
+
+    def put(self, k, v):
+        with self._lock:
+            self._items[k] = v
+
+    def peek(self, k):
+        return self._items.get(k)
+""",
+    )
+    assert len(violations) == 1
+    assert violations[0].rule == "LK101"
+    assert "_items" in violations[0].message
+    assert "peek" in violations[0].message
+
+
+def test_unguarded_write_fires_and_names_the_lock():
+    violations = run(
+        "lock-guarded-attr",
+        """
+import threading
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._n = 0
+
+    def bump(self):
+        with self._lock:
+            self._n += 1
+
+    def reset(self):
+        self._n = 0
+""",
+    )
+    assert len(violations) == 1
+    assert "self._lock" in violations[0].message
+    assert violations[0].fix
+
+
+def test_init_and_post_init_and_del_are_exempt():
+    violations = run(
+        "lock-guarded-attr",
+        """
+import threading
+
+class C:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._state = []
+        self._state.append(0)
+
+    def __post_init__(self):
+        self._state = []
+
+    def __del__(self):
+        self._state = None
+
+    def add(self, x):
+        with self._lock:
+            self._state.append(x)
+""",
+    )
+    assert violations == []
+
+
+def test_guarded_by_annotation_guards_without_a_locked_write():
+    violations = run(
+        "lock-guarded-attr",
+        """
+import threading
+
+class C:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._gen = 0  # lintkit: guarded-by(self._lock)
+
+    def read(self):
+        return self._gen
+""",
+    )
+    assert len(violations) == 1
+    assert "_gen" in violations[0].message
+
+
+def test_mutator_call_counts_as_write_for_inference():
+    violations = run(
+        "lock-guarded-attr",
+        """
+import threading
+
+class C:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._seen = set()
+
+    def mark(self, x):
+        with self._lock:
+            self._seen.add(x)
+
+    def was_seen(self, x):
+        return x in self._seen
+""",
+    )
+    assert len(violations) == 1
+    assert "was_seen" in violations[0].message
+
+
+def test_access_under_the_right_lock_is_clean():
+    violations = run(
+        "lock-guarded-attr",
+        """
+import threading
+
+class C:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []
+
+    def add(self, x):
+        with self._lock:
+            self._items.append(x)
+
+    def snapshot(self):
+        with self._lock:
+            return list(self._items)
+""",
+    )
+    assert violations == []
+
+
+def test_holding_a_different_lock_is_not_enough():
+    violations = run(
+        "lock-guarded-attr",
+        """
+import threading
+
+class C:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+        self._items = []
+
+    def add(self, x):
+        with self._a:
+            self._items.append(x)
+
+    def wrong(self):
+        with self._b:
+            return len(self._items)
+""",
+    )
+    assert len(violations) == 1
+
+
+def test_dataclass_field_lock_is_recognized():
+    violations = run(
+        "lock-guarded-attr",
+        """
+import threading
+from dataclasses import dataclass, field
+
+@dataclass
+class Registry:
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def __post_init__(self):
+        self._metrics = {}
+
+    def register(self, name, m):
+        with self._lock:
+            self._metrics[name] = m
+
+    def names(self):
+        return sorted(self._metrics)
+""",
+    )
+    assert len(violations) == 1
+    assert "names" in violations[0].message
+
+
+def test_nested_function_body_is_not_considered_under_the_lock():
+    violations = run(
+        "lock-guarded-attr",
+        """
+import threading
+
+class C:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []
+
+    def add_later(self, x):
+        with self._lock:
+            self._items.append(x)
+
+            def later():
+                self._items.append(x)
+
+            return later
+""",
+    )
+    # The closure may run on another thread with no lock held.
+    assert len(violations) == 1
+
+
+# ----------------------------------------------------------------------
+# LK102 lock-blocking-call
+# ----------------------------------------------------------------------
+def test_sleep_under_lock_fires():
+    violations = run(
+        "lock-blocking-call",
+        """
+import threading
+import time
+
+class C:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def slow(self):
+        with self._lock:
+            time.sleep(0.5)
+""",
+    )
+    assert len(violations) == 1
+    assert violations[0].rule == "LK102"
+    assert "time.sleep" in violations[0].message
+
+
+def test_subprocess_and_open_under_lock_fire():
+    violations = run(
+        "lock-blocking-call",
+        """
+import threading
+import subprocess
+
+class C:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def run_tool(self, path):
+        with self._lock:
+            subprocess.run(["tool"], check=True)
+            with open(path) as fh:
+                return fh.read()
+""",
+    )
+    assert {v.message.split(" ")[0] for v in violations} == {"subprocess.run", "open"}
+
+
+def test_thread_join_under_lock_fires():
+    violations = run(
+        "lock-blocking-call",
+        """
+import threading
+
+class C:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._worker = threading.Thread(target=print)
+
+    def stop(self):
+        with self._lock:
+            self._worker.join()
+""",
+    )
+    assert len(violations) == 1
+    assert "join" in violations[0].message
+
+
+def test_sleep_outside_lock_is_clean():
+    violations = run(
+        "lock-blocking-call",
+        """
+import threading
+import time
+
+class C:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def slow(self):
+        time.sleep(0.5)
+        with self._lock:
+            pass
+""",
+    )
+    assert violations == []
+
+
+def test_module_level_lock_blocking_call_fires():
+    violations = run(
+        "lock-blocking-call",
+        """
+import threading
+import time
+
+_LOCK = threading.Lock()
+
+def slow():
+    with _LOCK:
+        time.sleep(1)
+""",
+    )
+    assert len(violations) == 1
+
+
+# ----------------------------------------------------------------------
+# LK103 lock-order-cycle
+# ----------------------------------------------------------------------
+def test_opposite_nested_acquisition_order_fires():
+    violations = run(
+        "lock-order-cycle",
+        """
+import threading
+
+class C:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+
+    def one(self):
+        with self._a:
+            with self._b:
+                pass
+
+    def two(self):
+        with self._b:
+            with self._a:
+                pass
+""",
+    )
+    assert len(violations) == 1
+    assert violations[0].rule == "LK103"
+    assert "C._a" in violations[0].message and "C._b" in violations[0].message
+
+
+def test_consistent_nesting_is_clean():
+    violations = run(
+        "lock-order-cycle",
+        """
+import threading
+
+class C:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+
+    def one(self):
+        with self._a:
+            with self._b:
+                pass
+
+    def two(self):
+        with self._a:
+            with self._b:
+                pass
+""",
+    )
+    assert violations == []
+
+
+def test_cycle_through_a_self_method_call_is_found():
+    violations = run(
+        "lock-order-cycle",
+        """
+import threading
+
+class C:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+
+    def outer(self):
+        with self._a:
+            self.inner()
+
+    def inner(self):
+        with self._b:
+            pass
+
+    def other(self):
+        with self._b:
+            with self._a:
+                pass
+""",
+    )
+    assert len(violations) == 1
+
+
+def test_reentrant_same_lock_is_not_a_cycle():
+    violations = run(
+        "lock-order-cycle",
+        """
+import threading
+
+class C:
+    def __init__(self):
+        self._a = threading.Lock()
+
+    def one(self):
+        with self._a:
+            self.helper()
+
+    def helper(self):
+        with self._a:
+            pass
+""",
+    )
+    # Re-acquiring the same lock is a re-entrancy bug, not an order
+    # inversion; the cycle checker stays out of it.
+    assert violations == []
+
+
+def test_snapshot_manager_nesting_pattern_is_clean():
+    # The real SnapshotManager pattern: reload lock strictly outside
+    # the swap lock, one direction only.
+    violations = run(
+        "lock-order-cycle",
+        """
+import threading
+
+class SnapshotManager:
+    def __init__(self):
+        self._reload_lock = threading.Lock()
+        self._swap_lock = threading.Lock()
+        self._current = None
+
+    def load(self, snapshot):
+        with self._reload_lock:
+            with self._swap_lock:
+                self._current = snapshot
+
+    def current(self):
+        with self._swap_lock:
+            return self._current
+""",
+    )
+    assert violations == []

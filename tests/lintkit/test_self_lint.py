@@ -30,6 +30,31 @@ def test_tools_are_clean():
     assert violations == [], "\n".join(v.render() for v in violations)
 
 
+def test_benchmarks_and_examples_are_clean():
+    violations = lint_paths(
+        [str(REPO_ROOT / "benchmarks"), str(REPO_ROOT / "examples")], _config()
+    )
+    assert violations == [], "\n".join(v.render() for v in violations)
+
+
+def test_full_repo_run_with_all_analyzers_is_clean():
+    # The acceptance gate: one run over every linted tree with the
+    # full registry (including the lock/fork/layering analyzers and
+    # the pyproject layers table) must report nothing.
+    config = _config()
+    assert config.layers is not None, "[tool.lintkit.layers] must be declared"
+    violations = lint_paths(
+        [
+            str(REPO_ROOT / "src" / "repro"),
+            str(REPO_ROOT / "tools"),
+            str(REPO_ROOT / "benchmarks"),
+            str(REPO_ROOT / "examples"),
+        ],
+        config,
+    )
+    assert violations == [], "\n".join(v.render() for v in violations)
+
+
 def test_src_repro_spends_no_suppressions():
     offenders = [
         path

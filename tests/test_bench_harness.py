@@ -1,0 +1,63 @@
+"""Bench harness reporting: stable per-bench artifact filenames.
+
+The perf trajectory accumulates across PRs only if every bench writes
+to the same ``benchmarks/results/<bench>.json`` path each run — these
+tests pin the contract without running the (slow) benches themselves.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+import _harness as H  # noqa: E402
+
+
+def test_report_writes_text_and_json_artifacts(tmp_path, monkeypatch):
+    monkeypatch.setattr(H, "RESULTS_DIR", tmp_path)
+    H.report(
+        "some_bench",
+        "A title",
+        ["row one", "row two"],
+        capsys=None,
+        data={"series": {"a": 1.0}},
+    )
+    text = (tmp_path / "some_bench.txt").read_text()
+    assert "== A title ==" in text and "row one" in text
+    payload = json.loads((tmp_path / "some_bench.json").read_text())
+    assert payload["bench"] == "some_bench"
+    assert payload["title"] == "A title"
+    assert payload["series"] == {"a": 1.0}
+
+
+def test_report_without_data_writes_no_json(tmp_path, monkeypatch):
+    monkeypatch.setattr(H, "RESULTS_DIR", tmp_path)
+    H.report("text_only", "T", ["r"], capsys=None)
+    assert (tmp_path / "text_only.txt").exists()
+    assert not (tmp_path / "text_only.json").exists()
+
+
+def test_report_json_is_deterministic_and_sorted(tmp_path, monkeypatch):
+    monkeypatch.setattr(H, "RESULTS_DIR", tmp_path)
+    path = H.report_json("b", {"z": 1, "a": 2})
+    assert path == tmp_path / "b.json"
+    first = path.read_text()
+    H.report_json("b", {"a": 2, "z": 1})
+    assert path.read_text() == first
+
+
+def test_every_bench_reports_a_json_artifact():
+    """Static gate: each bench module either passes ``data=`` to
+    ``H.report`` or calls ``report_json`` / writes the artifact itself,
+    so no bench silently drops out of the perf trajectory."""
+    for bench in sorted((REPO_ROOT / "benchmarks").glob("bench_*.py")):
+        source = bench.read_text(encoding="utf-8")
+        assert (
+            "data=" in source
+            or "report_json" in source
+            or ".json" in source
+        ), f"{bench.name} writes no JSON perf artifact"

@@ -7,7 +7,10 @@ from tools.lintkit.checkers import (  # noqa: F401  — registration side effect
     division,
     exceptions,
     floats,
+    forksafety,
     future_import,
+    layering,
+    locks,
     mutable_defaults,
     ordering,
     picklability,

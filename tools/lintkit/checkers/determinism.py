@@ -82,6 +82,7 @@ class _CallCollector(ast.NodeVisitor):
 @register
 class NondeterministicCallChecker(Checker):
     name = "nondeterministic-call"
+    rule_id = "LK007"
     description = "clock/unseeded-RNG call inside a deterministic module"
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:

@@ -201,6 +201,7 @@ def _catches_zero_division(handler: ast.ExceptHandler) -> bool:
 @register
 class UnguardedDivisionChecker(Checker):
     name = "unguarded-division"
+    rule_id = "LK002"
     description = "division with an untested denominator in numeric code"
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:

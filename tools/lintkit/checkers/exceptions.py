@@ -39,6 +39,7 @@ def _reraises(handler: ast.ExceptHandler) -> bool:
 @register
 class SilentExceptionChecker(Checker):
     name = "silent-exception"
+    rule_id = "LK008"
     description = "bare/broad except that never re-raises"
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:

@@ -30,6 +30,7 @@ def _is_nonzero_float(node: ast.expr) -> bool:
 @register
 class FloatEqualityChecker(Checker):
     name = "float-equality"
+    rule_id = "LK001"
     description = "== / != against non-zero float literals in scoring code"
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:

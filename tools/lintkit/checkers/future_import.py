@@ -38,6 +38,7 @@ def _is_docstring(stmt: ast.stmt) -> bool:
 @register
 class FutureAnnotationsChecker(Checker):
     name = "missing-future-annotations"
+    rule_id = "LK006"
     description = "module lacks `from __future__ import annotations`"
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:

@@ -1,0 +1,363 @@
+"""Import-layering conformance: the package dependency architecture.
+
+The repo's architecture is layered — feature extractors at the bottom
+(``text`` / ``vision`` / ``core.objects``), fusion and graph machinery
+above them (``social``, ``core``), the index above that, engines and
+batch surfaces next, ``serving`` on top, ``cli`` above everything and
+``diagnostics`` importable from anywhere (and depending on nothing).
+The layering is *declared* in ``[tool.lintkit.layers]`` in
+``pyproject.toml`` and *enforced* here by two project-scope checkers
+over the module import graph of the run:
+
+* ``layer-upward-import`` (LK301) — an edge from tier ``i`` to tier
+  ``j > i`` (or into ``top``, or out of an ``anywhere`` module into a
+  tiered one) inverts the architecture.  Modules under the root package
+  that match no declared prefix are reported too: an undeclared module
+  is exactly how layering rot starts.
+* ``layer-cycle`` (LK302) — strongly connected components in the
+  top-level import graph.  Cycles make the package order-of-import
+  fragile and module boundaries meaningless.  Function-local (deferred)
+  imports and ``TYPE_CHECKING`` blocks are excluded from the cycle
+  graph — deferring is the sanctioned way to break a true cycle — but
+  deferred imports still count for the *layer* check: hiding an upward
+  import inside a function does not make the architecture sound.
+
+Allowances: a package ``__init__`` may import anything in its own
+subtree (re-export façade), and the root package ``__init__`` is
+implicitly ``top``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from tools.lintkit.framework import (
+    FileContext,
+    ProjectChecker,
+    ProjectContext,
+    Violation,
+    register,
+)
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One import: importer module -> imported module (both relative to
+    the layers root, ``""`` meaning the root package itself)."""
+
+    importer: str
+    imported: str
+    node: ast.AST
+    ctx: FileContext
+    deferred: bool
+    type_checking: bool
+
+
+@dataclass
+class ImportGraph:
+    """Modules and edges of one run, relative to the layers root."""
+
+    #: relative module name -> the file that defines it.
+    modules: dict[str, FileContext]
+    #: relative module name -> True when the file is an ``__init__.py``.
+    is_package: dict[str, bool]
+    edges: list[ImportEdge]
+
+
+def _module_of(path: str, root: str) -> tuple[str, bool] | None:
+    """``(relative module, is package __init__)`` for a file path, or
+    ``None`` when the file is not under the root package."""
+    parts = path.split("/")
+    if root not in parts:
+        return None
+    rel = parts[parts.index(root) + 1 :]
+    if not rel or not rel[-1].endswith(".py"):
+        return None
+    rel[-1] = rel[-1][: -len(".py")]
+    if rel[-1] == "__init__":
+        return ".".join(rel[:-1]), True
+    return ".".join(rel), False
+
+
+def _deferred_and_guarded(tree: ast.Module) -> tuple[set[int], set[int]]:
+    """(ids of import nodes inside functions, ids inside TYPE_CHECKING)."""
+    deferred: set[int] = set()
+    guarded: set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for sub in ast.walk(node):
+                if isinstance(sub, (ast.Import, ast.ImportFrom)):
+                    deferred.add(id(sub))
+        elif isinstance(node, ast.If):
+            test = node.test
+            name = (
+                test.id
+                if isinstance(test, ast.Name)
+                else getattr(test, "attr", "")
+                if isinstance(test, ast.Attribute)
+                else ""
+            )
+            if name == "TYPE_CHECKING":
+                for sub in ast.walk(node):
+                    if isinstance(sub, (ast.Import, ast.ImportFrom)):
+                        guarded.add(id(sub))
+    return deferred, guarded
+
+
+def _resolve_from(
+    node: ast.ImportFrom, importer: str, importer_is_pkg: bool, root: str
+) -> list[str] | None:
+    """Absolute (root-qualified) module names an ``ImportFrom`` brings
+    in, or ``None`` when it does not touch the root package."""
+    if node.level == 0:
+        module = node.module or ""
+        if module != root and not module.startswith(root + "."):
+            return None
+        base = module[len(root) :].lstrip(".")
+    else:
+        # Relative import: climb from the importer's package.
+        package = importer if importer_is_pkg else ".".join(importer.split(".")[:-1])
+        steps = package.split(".") if package else []
+        climb = node.level - 1
+        if climb > len(steps):
+            return None
+        steps = steps[: len(steps) - climb] if climb else steps
+        base = ".".join(steps)
+        if node.module:
+            base = f"{base}.{node.module}" if base else node.module
+    out = []
+    for alias in node.names:
+        candidate = f"{base}.{alias.name}" if base else alias.name
+        out.append(candidate)
+    # The caller decides between "base.name is a module" and "name is an
+    # attribute of base" using the known-modules set; hand both forms up.
+    return [base, *out]
+
+
+def build_import_graph(project: ProjectContext, root: str) -> ImportGraph:
+    cached = project.cache.get("import-graph")
+    if isinstance(cached, ImportGraph):
+        return cached
+    modules: dict[str, FileContext] = {}
+    is_package: dict[str, bool] = {}
+    for ctx in project.files:
+        located = _module_of(ctx.path, root)
+        if located is None:
+            continue
+        module, pkg = located
+        modules[module] = ctx
+        is_package[module] = pkg
+    edges: list[ImportEdge] = []
+    for module, ctx in modules.items():
+        deferred_ids, guarded_ids = _deferred_and_guarded(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            targets: list[str] = []
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    name = alias.name
+                    if name == root or name.startswith(root + "."):
+                        targets.append(name[len(root) :].lstrip("."))
+            elif isinstance(node, ast.ImportFrom):
+                resolved = _resolve_from(node, module, is_package[module], root)
+                if resolved is None:
+                    continue
+                base, *candidates = resolved
+                for candidate in candidates:
+                    # ``from pkg import name``: edge to ``pkg.name`` when
+                    # that is a known module, else to ``pkg`` itself.
+                    targets.append(candidate if candidate in modules else base)
+            else:
+                continue
+            for target in targets:
+                if target == module:
+                    continue
+                edges.append(
+                    ImportEdge(
+                        importer=module,
+                        imported=target,
+                        node=node,
+                        ctx=ctx,
+                        deferred=id(node) in deferred_ids,
+                        type_checking=id(node) in guarded_ids,
+                    )
+                )
+    graph = ImportGraph(modules=modules, is_package=is_package, edges=edges)
+    project.cache["import-graph"] = graph
+    return graph
+
+
+def _tier_label(tier: int | str) -> str:
+    return f"tier {tier}" if isinstance(tier, int) else str(tier)
+
+
+@register
+class LayerUpwardImportChecker(ProjectChecker):
+    name = "layer-upward-import"
+    rule_id = "LK301"
+    description = "import against the declared layer order (or undeclared module)"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Violation]:
+        layers = project.config.layers
+        if layers is None:
+            return
+        graph = build_import_graph(project, layers.root)
+
+        def placement(module: str) -> tuple[str, int | str] | None:
+            if module == "":  # the root package __init__ façade
+                return ("", "top")
+            return layers.tier_of(module)
+
+        # Undeclared modules: every module in the run must map somewhere.
+        for module, ctx in sorted(graph.modules.items()):
+            if module and placement(module) is None:
+                yield Violation(
+                    path=ctx.path,
+                    line=1,
+                    col=1,
+                    checker=self.name,
+                    rule=self.rule_id,
+                    message=(
+                        f"module {layers.root}.{module} matches no prefix in "
+                        "[tool.lintkit.layers]; assign it to a tier"
+                    ),
+                    fix="add the module (or a parent package) to a tier in pyproject.toml",
+                )
+
+        for edge in graph.edges:
+            src = placement(edge.importer)
+            dst = placement(edge.imported)
+            if src is None or dst is None:
+                continue  # undeclared modules already reported above
+            _src_prefix, src_tier = src
+            _dst_prefix, dst_tier = dst
+            # Package façade: __init__ re-exporting its own subtree.
+            if graph.is_package.get(edge.importer, False) and (
+                edge.imported == edge.importer
+                or edge.imported.startswith(edge.importer + ".")
+                or edge.importer == ""
+            ):
+                continue
+            if src_tier == "top":
+                continue
+            if dst_tier == "anywhere":
+                continue
+            if src_tier == "anywhere":
+                yield edge.ctx.violation(
+                    edge.node,
+                    self.name,
+                    f"{layers.root}.{edge.importer} is declared 'anywhere' "
+                    f"(dependency-free) but imports "
+                    f"{layers.root}.{edge.imported} ({_tier_label(dst_tier)})",
+                    rule=self.rule_id,
+                    fix="keep 'anywhere' modules self-contained, or move this one into a tier",
+                )
+                continue
+            if dst_tier == "top":
+                yield edge.ctx.violation(
+                    edge.node,
+                    self.name,
+                    f"{layers.root}.{edge.importer} ({_tier_label(src_tier)}) "
+                    f"imports top-layer module {layers.root}.{edge.imported}; "
+                    "only other top modules may do that",
+                    rule=self.rule_id,
+                    fix="invert the dependency or move the shared code below both",
+                )
+                continue
+            assert isinstance(src_tier, int) and isinstance(dst_tier, int)
+            if dst_tier > src_tier:
+                how = " (deferred import — still an architecture edge)" if edge.deferred else ""
+                yield edge.ctx.violation(
+                    edge.node,
+                    self.name,
+                    f"upward import: {layers.root}.{edge.importer} "
+                    f"(tier {src_tier}) imports {layers.root}.{edge.imported} "
+                    f"(tier {dst_tier}){how}",
+                    rule=self.rule_id,
+                    fix="move the shared code down a layer or invert the dependency",
+                )
+
+
+@register
+class LayerCycleChecker(ProjectChecker):
+    name = "layer-cycle"
+    rule_id = "LK302"
+    description = "import cycle between modules of the root package"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Violation]:
+        layers = project.config.layers
+        if layers is None:
+            return
+        graph = build_import_graph(project, layers.root)
+        adjacency: dict[str, set[str]] = {}
+        witness: dict[tuple[str, str], ImportEdge] = {}
+        for edge in graph.edges:
+            if edge.deferred or edge.type_checking:
+                continue
+            if edge.imported not in graph.modules:
+                continue
+            adjacency.setdefault(edge.importer, set()).add(edge.imported)
+            witness.setdefault((edge.importer, edge.imported), edge)
+        for component in _sccs(adjacency):
+            cycle = sorted(component)
+            anchor: ImportEdge | None = None
+            for a in cycle:
+                for b in cycle:
+                    hit = witness.get((a, b))
+                    if hit is not None:
+                        anchor = hit
+                        break
+                if anchor is not None:
+                    break
+            pretty = " -> ".join(f"{layers.root}.{m}" for m in [*cycle, cycle[0]])
+            if anchor is None:
+                continue
+            yield anchor.ctx.violation(
+                anchor.node,
+                self.name,
+                f"import cycle: {pretty}",
+                rule=self.rule_id,
+                fix="break the cycle by extracting the shared piece into a "
+                "lower module (or defer one import into the function that needs it)",
+            )
+
+
+def _sccs(adjacency: dict[str, set[str]]) -> list[list[str]]:
+    """Strongly connected components with more than one node, or with a
+    self-loop — i.e. actual cycles."""
+    index = 0
+    indices: dict[str, int] = {}
+    low: dict[str, int] = {}
+    stack: list[str] = []
+    on_stack: set[str] = set()
+    out: list[list[str]] = []
+    nodes = sorted(set(adjacency) | {n for targets in adjacency.values() for n in targets})
+
+    def strongconnect(v: str) -> None:
+        nonlocal index
+        indices[v] = low[v] = index
+        index += 1
+        stack.append(v)
+        on_stack.add(v)
+        for w in sorted(adjacency.get(v, ())):
+            if w not in indices:
+                strongconnect(w)
+                low[v] = min(low[v], low[w])
+            elif w in on_stack:
+                low[v] = min(low[v], indices[w])
+        if low[v] == indices[v]:
+            component: list[str] = []
+            while True:
+                w = stack.pop()
+                on_stack.discard(w)
+                component.append(w)
+                if w == v:
+                    break
+            if len(component) > 1 or v in adjacency.get(v, ()):
+                out.append(sorted(component))
+
+    for node in nodes:
+        if node not in indices:
+            strongconnect(node)
+    return sorted(out)

@@ -1,0 +1,556 @@
+"""Lock-discipline analysis: guarded attributes, blocking calls, order.
+
+The serving layer's thread-safety contract is *lock-per-structure*:
+every mutable structure shared between request threads is owned by one
+``threading.Lock``/``RLock`` and touched only inside ``with`` blocks on
+it (``ResultCache``, ``SnapshotManager``, the metrics registry).  Three
+checkers enforce that contract statically, per class:
+
+* ``lock-guarded-attr`` (LK101) — the guarded-attribute set of a class
+  is *inferred*: any ``self.X`` written inside a ``with self.<lock>:``
+  body (outside ``__init__``) is considered owned by that lock, as is
+  any attribute whose assignment carries an explicit
+  ``# lintkit: guarded-by(self._lock)`` annotation.  Reads or writes of
+  a guarded attribute while none of its guarding locks is held are
+  flagged.  ``__init__``/``__post_init__``/``__del__`` are exempt —
+  the object is not shared yet (or no longer).
+* ``lock-blocking-call`` (LK102) — ``time.sleep``, subprocess dispatch,
+  socket/url I/O, ``open()``/``input()`` and ``Thread.join`` made while
+  a lock is held serialize every other holder behind the slow
+  operation (and ``join`` under a lock the joined thread wants is a
+  deadlock).  Only *direct* calls inside the ``with`` body are flagged;
+  the analyzer does not chase into helpers.
+* ``lock-order-cycle`` (LK103) — nested ``with`` acquisitions (plus
+  acquisitions made by ``self.*()`` methods called under a lock,
+  resolved transitively within the class) build a module-wide
+  acquisition-order graph over ``Class.attr`` / module-global lock
+  identities; any strongly connected component is a potential deadlock
+  and is reported once per cycle.
+
+The analysis is ``with``-statement based: bare ``.acquire()`` /
+``.release()`` pairs are invisible to it (none exist in this codebase;
+prefer ``with``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from tools.lintkit.framework import Checker, FileContext, Violation, register
+
+#: Constructor names that create a lock object.
+_LOCK_CONSTRUCTORS = {"Lock", "RLock", "Condition"}
+#: Constructor names that create a thread handle (for ``.join``).
+_THREAD_CONSTRUCTORS = {"Thread"}
+
+#: Dotted call names that block (or can block unboundedly).
+_BLOCKING_DOTTED = {
+    "time.sleep",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "subprocess.Popen",
+    "os.system",
+    "os.popen",
+    "socket.create_connection",
+    "urllib.request.urlopen",
+    "requests.get",
+    "requests.post",
+    "requests.put",
+    "requests.delete",
+    "requests.request",
+}
+#: Bare call names that block on I/O.
+_BLOCKING_BARE = {"open", "input"}
+
+#: Mutating-method names: a call ``self.X.append(...)`` counts as a
+#: *write* of ``X`` for guarded-set inference.
+_MUTATORS = {
+    "append",
+    "add",
+    "clear",
+    "discard",
+    "extend",
+    "insert",
+    "move_to_end",
+    "pop",
+    "popitem",
+    "remove",
+    "setdefault",
+    "sort",
+    "update",
+    "__setitem__",
+}
+
+_GUARDED_BY_RE = re.compile(
+    r"#\s*lintkit:\s*guarded-by\(\s*(?:self\.)?(?P<lock>[A-Za-z_]\w*)\s*\)"
+)
+
+#: Methods where unguarded access is fine: the object is under
+#: construction (not yet published to other threads) or being torn down.
+_EXEMPT_METHODS = {"__init__", "__post_init__", "__new__", "__del__"}
+
+
+@dataclass(frozen=True)
+class Access:
+    """One ``self.X`` touch: where, what, how, and under which locks."""
+
+    node: ast.AST
+    attr: str
+    is_write: bool
+    held: frozenset[str]
+    method: str
+
+
+@dataclass(frozen=True)
+class Acquisition:
+    """One ``with <lock>`` entry and the locks already held there."""
+
+    node: ast.AST
+    lock: str
+    held: frozenset[str]
+    method: str
+
+
+@dataclass(frozen=True)
+class BlockingCall:
+    """One blocking call made while at least one lock was held."""
+
+    node: ast.AST
+    callee: str
+    held: frozenset[str]
+
+
+@dataclass
+class ClassLocks:
+    """Lock-discipline facts of one class (or of the module scope,
+    where ``name`` is ``"<module>"`` and locks are global names)."""
+
+    name: str
+    locks: set[str] = field(default_factory=set)
+    threads: set[str] = field(default_factory=set)
+    #: attr -> lock attrs guarding it (inferred + annotated).
+    guarded: dict[str, set[str]] = field(default_factory=dict)
+    accesses: list[Access] = field(default_factory=list)
+    acquisitions: list[Acquisition] = field(default_factory=list)
+    blocking: list[BlockingCall] = field(default_factory=list)
+    #: method name -> lock attrs it acquires anywhere inside (fixpoint
+    #: over self-calls, for the ordering graph).
+    method_acquires: dict[str, set[str]] = field(default_factory=dict)
+    #: method name -> (node, callee method, held) self-calls under lock.
+    locked_self_calls: list[tuple[ast.AST, str, frozenset[str], str]] = field(
+        default_factory=list
+    )
+
+
+def _dotted(node: ast.expr) -> str:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _is_constructor_call(node: ast.expr, names: set[str]) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    callee = func.id if isinstance(func, ast.Name) else getattr(func, "attr", "")
+    return callee in names
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    """``X`` when ``node`` is ``self.X``, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _guarded_annotations(ctx: FileContext) -> dict[int, str]:
+    """line number -> lock name for ``guarded-by`` annotations."""
+    notes: dict[int, str] = {}
+    for lineno, text in enumerate(ctx.source.splitlines(), start=1):
+        match = _GUARDED_BY_RE.search(text)
+        if match is not None:
+            notes[lineno] = match.group("lock")
+    return notes
+
+
+class _MethodWalker:
+    """Walks one function body tracking the held-lock set."""
+
+    def __init__(self, info: ClassLocks, method: str, lock_names: set[str], is_self_scope: bool):
+        self.info = info
+        self.method = method
+        self.lock_names = lock_names
+        self.is_self_scope = is_self_scope
+        #: Attribute nodes already recorded as mutator-call writes, so
+        #: the plain-attribute pass does not double-count them as reads.
+        self._consumed: set[int] = set()
+
+    def _lock_of(self, expr: ast.expr) -> str | None:
+        if self.is_self_scope:
+            attr = _self_attr(expr)
+            return attr if attr is not None and attr in self.lock_names else None
+        if isinstance(expr, ast.Name) and expr.id in self.lock_names:
+            return expr.id
+        return None
+
+    def walk(self, body: list[ast.stmt], held: frozenset[str]) -> None:
+        for stmt in body:
+            self._statement(stmt, held)
+
+    def _statement(self, stmt: ast.stmt, held: frozenset[str]) -> None:
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            new_held = set(held)
+            for item in stmt.items:
+                lock = self._lock_of(item.context_expr)
+                if lock is not None:
+                    self.info.acquisitions.append(
+                        Acquisition(item.context_expr, lock, frozenset(new_held), self.method)
+                    )
+                    new_held.add(lock)
+                else:
+                    self._expression(item.context_expr, held)
+                if item.optional_vars is not None:
+                    self._expression(item.optional_vars, held)
+            self.walk(stmt.body, frozenset(new_held))
+            return
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # A nested function may run on another thread later: its
+            # body is analyzed with *no* locks considered held.
+            self.walk(stmt.body, frozenset())
+            return
+        if isinstance(stmt, ast.ClassDef):
+            return
+        for expr in ast.iter_child_nodes(stmt):
+            if isinstance(expr, ast.stmt):
+                continue
+            if isinstance(expr, ast.expr):
+                self._expression(expr, held, store_root=_store_root(stmt, expr))
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                self._statement(child, held)
+            elif isinstance(child, (ast.ExceptHandler, ast.match_case)):
+                for grand in ast.iter_child_nodes(child):
+                    if isinstance(grand, ast.stmt):
+                        self._statement(grand, held)
+
+    def _expression(self, expr: ast.expr, held: frozenset[str], store_root: bool = False) -> None:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Attribute):
+                self._attribute(node, held)
+            elif isinstance(node, ast.Call):
+                self._call(node, held)
+
+    def _attribute(self, node: ast.Attribute, held: frozenset[str]) -> None:
+        if not self.is_self_scope or id(node) in self._consumed:
+            return
+        attr = _self_attr(node)
+        if attr is None or attr in self.lock_names:
+            return
+        is_write = isinstance(node.ctx, (ast.Store, ast.Del))
+        self.info.accesses.append(Access(node, attr, is_write, held, self.method))
+
+    def _call(self, node: ast.Call, held: frozenset[str]) -> None:
+        func = node.func
+        # self.X.mutator(...) is a write of X.
+        if isinstance(func, ast.Attribute) and func.attr in _MUTATORS:
+            attr = _self_attr(func.value)
+            if attr is not None and self.is_self_scope and attr not in self.lock_names:
+                self.info.accesses.append(Access(func.value, attr, True, held, self.method))
+                self._consumed.add(id(func.value))
+        if not held:
+            # Blocking calls and locked self-calls only matter under a lock.
+            return
+        dotted = _dotted(func)
+        bare = func.id if isinstance(func, ast.Name) else ""
+        if dotted in _BLOCKING_DOTTED or bare in _BLOCKING_BARE:
+            self.info.blocking.append(BlockingCall(node, dotted or bare, held))
+        elif isinstance(func, ast.Attribute) and func.attr == "join":
+            receiver = func.value
+            attr = _self_attr(receiver)
+            name = receiver.id if isinstance(receiver, ast.Name) else ""
+            looks_like_thread = (
+                (attr is not None and attr in self.info.threads)
+                or any(hint in name.lower() for hint in ("thread", "worker", "proc"))
+            )
+            if looks_like_thread:
+                self.info.blocking.append(BlockingCall(node, f"{_dotted(func)}()", held))
+        elif self.is_self_scope:
+            attr = _self_attr(func)
+            if attr is not None:
+                self.info.locked_self_calls.append((node, attr, held, self.method))
+
+
+def _store_root(stmt: ast.stmt, expr: ast.expr) -> bool:
+    if isinstance(stmt, ast.Assign):
+        return expr in stmt.targets
+    if isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        return expr is stmt.target
+    return False
+
+
+def _subscript_writes(info: ClassLocks, func: ast.AST) -> None:
+    """``self.X[k] = v`` / ``self.X[k] += v`` / ``del self.X[k]`` count
+    as writes of ``X`` — rewrite matching Load accesses in place."""
+    targets: set[int] = set()
+    for node in ast.walk(func):
+        candidates: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            candidates = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            candidates = [node.target]
+        elif isinstance(node, ast.Delete):
+            candidates = list(node.targets)
+        for target in candidates:
+            if isinstance(target, ast.Subscript):
+                inner = target.value
+                if _self_attr(inner) is not None:
+                    targets.add(id(inner))
+    if not targets:
+        return
+    info.accesses = [
+        Access(a.node, a.attr, True, a.held, a.method) if id(a.node) in targets else a
+        for a in info.accesses
+    ]
+
+
+def _analyze_class(
+    cls: ast.ClassDef, annotations: dict[int, str]
+) -> ClassLocks:
+    info = ClassLocks(name=cls.name)
+    methods: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = {}
+    # Pass 1: lock / thread attribute discovery.
+    for node in cls.body:
+        if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            rendered = ast.dump(node)
+            if "Lock" in rendered or "Condition" in rendered:
+                info.locks.add(node.target.id)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            methods[node.name] = node
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Assign):
+                    for target in sub.targets:
+                        attr = _self_attr(target)
+                        if attr is None:
+                            continue
+                        if _is_constructor_call(sub.value, _LOCK_CONSTRUCTORS):
+                            info.locks.add(attr)
+                        elif _is_constructor_call(sub.value, _THREAD_CONSTRUCTORS):
+                            info.threads.add(attr)
+    # Pass 2: walk each method with the held-lock tracker.
+    for name, func in methods.items():
+        walker = _MethodWalker(info, name, info.locks, is_self_scope=True)
+        walker.walk(func.body, frozenset())
+        _subscript_writes(info, func)
+    # Pass 3: guarded-set inference — writes under a lock outside the
+    # construction methods, plus explicit annotations.
+    for access in info.accesses:
+        if access.is_write and access.held and access.method not in _EXEMPT_METHODS:
+            info.guarded.setdefault(access.attr, set()).update(access.held)
+    for node in ast.walk(cls):
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            lock = annotations.get(node.lineno)
+            if lock is None or lock not in info.locks:
+                continue
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                attr = _self_attr(target) or (
+                    target.id if isinstance(target, ast.Name) else None
+                )
+                if attr is not None and attr not in info.locks:
+                    info.guarded.setdefault(attr, set()).add(lock)
+    # Pass 4: per-method acquired-locks fixpoint over self-calls.
+    acquires: dict[str, set[str]] = {name: set() for name in methods}
+    for acq in info.acquisitions:
+        acquires.setdefault(acq.method, set()).add(acq.lock)
+    calls: dict[str, set[str]] = {name: set() for name in methods}
+    for _node, callee, _held, caller in info.locked_self_calls:
+        if callee in methods:
+            calls.setdefault(caller, set()).add(callee)
+    changed = True
+    while changed:
+        changed = False
+        for caller, callees in calls.items():
+            for callee in callees:
+                extra = acquires.get(callee, set()) - acquires.get(caller, set())
+                if extra:
+                    acquires.setdefault(caller, set()).update(extra)
+                    changed = True
+    info.method_acquires = acquires
+    return info
+
+
+def _module_scope(tree: ast.Module, annotations: dict[int, str]) -> ClassLocks:
+    """Module-level lock facts: global locks and the acquisition order
+    of module-level functions (guarded-attr inference is class-only)."""
+    info = ClassLocks(name="<module>")
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and _is_constructor_call(
+            node.value, _LOCK_CONSTRUCTORS
+        ):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    info.locks.add(target.id)
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            walker = _MethodWalker(info, node.name, info.locks, is_self_scope=False)
+            walker.walk(node.body, frozenset())
+    return info
+
+
+def analyze_locks(ctx: FileContext) -> list[ClassLocks]:
+    """All lock-discipline facts of one file (memoized on the context)."""
+    cached = ctx.cache.get("locks")
+    if cached is not None:
+        assert isinstance(cached, list)
+        return cached
+    annotations = _guarded_annotations(ctx)
+    infos = [
+        _analyze_class(node, annotations)
+        for node in ast.walk(ctx.tree)
+        if isinstance(node, ast.ClassDef)
+    ]
+    infos.append(_module_scope(ctx.tree, annotations))
+    ctx.cache["locks"] = infos
+    return infos
+
+
+@register
+class LockGuardedAttrChecker(Checker):
+    name = "lock-guarded-attr"
+    rule_id = "LK101"
+    description = "lock-guarded attribute accessed without holding its lock"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for info in analyze_locks(ctx):
+            for access in info.accesses:
+                guards = info.guarded.get(access.attr)
+                if not guards or access.method in _EXEMPT_METHODS:
+                    continue
+                if access.held & guards:
+                    continue
+                verb = "written" if access.is_write else "read"
+                lock_list = " / ".join(f"self.{g}" for g in sorted(guards))
+                yield ctx.violation(
+                    access.node,
+                    self.name,
+                    f"{info.name}.{access.attr} is guarded by {lock_list} "
+                    f"but {verb} in {access.method}() without it",
+                    rule=self.rule_id,
+                    fix=f"wrap the access in `with {lock_list.split(' / ')[0]}:`"
+                    " or copy the value out under the lock",
+                )
+
+
+@register
+class LockBlockingCallChecker(Checker):
+    name = "lock-blocking-call"
+    rule_id = "LK102"
+    description = "blocking call (sleep/subprocess/socket/join/open) under a held lock"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for info in analyze_locks(ctx):
+            for call in info.blocking:
+                held = ", ".join(sorted(call.held))
+                yield ctx.violation(
+                    call.node,
+                    self.name,
+                    f"{call.callee} called while holding {held}; every other "
+                    "holder serializes behind this blocking operation",
+                    rule=self.rule_id,
+                    fix="move the blocking work outside the critical section",
+                )
+
+
+@register
+class LockOrderCycleChecker(Checker):
+    name = "lock-order-cycle"
+    rule_id = "LK103"
+    description = "inconsistent lock acquisition order (potential deadlock cycle)"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        # Module-wide acquisition-order graph over qualified lock ids.
+        edges: dict[str, set[str]] = {}
+        witness: dict[tuple[str, str], ast.AST] = {}
+        for info in analyze_locks(ctx):
+            prefix = "" if info.name == "<module>" else f"{info.name}."
+            for acq in info.acquisitions:
+                for held in acq.held:
+                    edge = (prefix + held, prefix + acq.lock)
+                    edges.setdefault(edge[0], set()).add(edge[1])
+                    witness.setdefault(edge, acq.node)
+            # Acquisitions made by self-methods called under a lock.
+            for node, callee, held, _caller in info.locked_self_calls:
+                for inner in info.method_acquires.get(callee, set()):
+                    for outer in held:
+                        if inner == outer:
+                            continue
+                        edge = (prefix + outer, prefix + inner)
+                        edges.setdefault(edge[0], set()).add(edge[1])
+                        witness.setdefault(edge, node)
+        for cycle in _cycles(edges):
+            pretty = " -> ".join([*cycle, cycle[0]])
+            anchor = witness.get((cycle[0], cycle[1 % len(cycle)]))
+            node = anchor if anchor is not None else ctx.tree
+            yield ctx.violation(
+                node,
+                self.name,
+                f"lock acquisition order cycle: {pretty}; two threads taking "
+                "these locks in opposite orders deadlock",
+                rule=self.rule_id,
+                fix="pick one global acquisition order and restructure the "
+                "nested acquisition to follow it",
+            )
+
+
+def _cycles(edges: dict[str, set[str]]) -> list[list[str]]:
+    """Strongly connected components with >1 node (or a self-loop),
+    each returned as a deterministic lock-id cycle."""
+    index = 0
+    indices: dict[str, int] = {}
+    low: dict[str, int] = {}
+    stack: list[str] = []
+    on_stack: set[str] = set()
+    out: list[list[str]] = []
+    nodes = sorted(set(edges) | {n for targets in edges.values() for n in targets})
+
+    def strongconnect(v: str) -> None:
+        nonlocal index
+        indices[v] = low[v] = index
+        index += 1
+        stack.append(v)
+        on_stack.add(v)
+        for w in sorted(edges.get(v, ())):
+            if w not in indices:
+                strongconnect(w)
+                low[v] = min(low[v], low[w])
+            elif w in on_stack:
+                low[v] = min(low[v], indices[w])
+        if low[v] == indices[v]:
+            component: list[str] = []
+            while True:
+                w = stack.pop()
+                on_stack.discard(w)
+                component.append(w)
+                if w == v:
+                    break
+            if len(component) > 1 or v in edges.get(v, ()):
+                out.append(sorted(component))
+
+    for node in nodes:
+        if node not in indices:
+            strongconnect(node)
+    return sorted(out)

@@ -29,6 +29,7 @@ def _is_mutable(node: ast.expr) -> bool:
 @register
 class MutableDefaultChecker(Checker):
     name = "mutable-default"
+    rule_id = "LK003"
     description = "mutable default argument (list/dict/set/...)"
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:

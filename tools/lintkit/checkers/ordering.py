@@ -50,6 +50,7 @@ def _contains_negation(node: ast.expr) -> bool:
 @register
 class RankingSortTiebreakChecker(Checker):
     name = "ranking-sort-tiebreak"
+    rule_id = "LK005"
     description = "descending ranking sort whose key has no tie-break tuple"
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:

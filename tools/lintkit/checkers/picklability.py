@@ -79,6 +79,7 @@ def _collect_pool_names(tree: ast.Module) -> tuple[set[str], set[str]]:
 @register
 class ExecutorPicklabilityChecker(Checker):
     name = "executor-picklability"
+    rule_id = "LK004"
     description = "lambda/nested function dispatched through a process pool"
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:

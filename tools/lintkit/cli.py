@@ -7,13 +7,14 @@ internal error (unreadable path, unknown checker, bad config).
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from collections.abc import Sequence
 from pathlib import Path
 
 from tools.lintkit.config import LintConfig, find_pyproject
 from tools.lintkit.framework import all_checkers
-from tools.lintkit.reporters import REPORTERS
+from tools.lintkit.reporters import REPORTERS, render_json
 from tools.lintkit.runner import LintError, lint_paths
 
 EXIT_CLEAN = 0
@@ -58,6 +59,17 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="list registered checkers and exit",
     )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help="lint only git-modified files under the given paths (pre-commit mode)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="also write the JSON report to PATH (the CI artifact)",
+    )
     return parser
 
 
@@ -80,11 +92,9 @@ def _load_config(argv_paths: list[str], args: argparse.Namespace) -> LintConfig:
     select = _split(args.select)
     ignore = _split(args.ignore)
     if select or ignore:
-        config = LintConfig(
-            scoring_paths=config.scoring_paths,
-            deterministic_paths=config.deterministic_paths,
-            numeric_paths=config.numeric_paths,
-            exclude=config.exclude,
+        # replace() keeps everything else (exempt, layers, path scopes).
+        config = dataclasses.replace(
+            config,
             select=select or config.select,
             ignore=ignore or config.ignore,
         )
@@ -102,10 +112,19 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     try:
         config = _load_config(list(args.paths), args)
-        violations = lint_paths(list(args.paths), config)
+        violations = lint_paths(list(args.paths), config, only_changed=args.changed)
     except (LintError, ValueError) as exc:
         print(f"lintkit: error: {exc}", file=sys.stderr)
         return EXIT_ERROR
+
+    if args.output is not None:
+        try:
+            out = Path(args.output)
+            out.parent.mkdir(parents=True, exist_ok=True)
+            out.write_text(render_json(violations) + "\n", encoding="utf-8")
+        except OSError as exc:
+            print(f"lintkit: error: cannot write report: {exc}", file=sys.stderr)
+            return EXIT_ERROR
 
     print(REPORTERS[args.format](violations))
     return EXIT_VIOLATIONS if violations else EXIT_CLEAN

@@ -6,6 +6,23 @@ Path scoping uses plain substring fragments against posix-style paths
 suite ships are *domain-aware*, so several only make sense inside the
 numeric scoring / deterministic modules, and the fragments say where
 those live.  An empty fragment tuple means "everywhere".
+
+The ``[tool.lintkit.layers]`` table declares the package's import
+layering, consumed by the ``layer-upward-import`` / ``layer-cycle``
+project checkers (see :mod:`tools.lintkit.checkers.layering`)::
+
+    [tool.lintkit.layers]
+    root = "repro"
+    order = [["text", "vision"], ["social"], ["core"], ["index"], ["serving"]]
+    anywhere = ["diagnostics"]
+    top = ["cli"]
+
+``order`` lists tiers bottom-up; each entry is a module-path prefix
+relative to ``root`` and the most specific prefix wins, so a package
+can sit in one tier while one of its modules is pinned to another
+(``"core"`` in tier 2, ``"core.objects"`` in tier 0).  Malformed
+entries raise ``ValueError`` with the offending key — a broken layers
+table must never silently disable the conformance check.
 """
 
 from __future__ import annotations
@@ -43,6 +60,120 @@ DEFAULT_NUMERIC_PATHS = (
     "repro/baselines",
 )
 
+_LAYERS_KEYS = {"root", "order", "anywhere", "top"}
+
+
+@dataclass(frozen=True)
+class LayersConfig:
+    """Declared import layering of one root package.
+
+    ``order`` is bottom-up: a module in tier ``i`` may import tiers
+    ``j <= i``.  ``anywhere`` modules are importable from every tier
+    but may themselves import only other ``anywhere`` modules (they
+    are diagnostics/support code and must stay dependency-free).
+    ``top`` modules may import anything; nothing outside ``top`` may
+    import them.  The root package's own ``__init__`` is implicitly
+    ``top`` (it is the public façade), and a package ``__init__`` may
+    always import modules of its own subtree (re-export façades).
+    """
+
+    root: str = "repro"
+    order: tuple[tuple[str, ...], ...] = ()
+    anywhere: tuple[str, ...] = ()
+    top: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        seen: set[str] = set()
+        for tier in self.order:
+            for name in tier:
+                if name in seen:
+                    raise ValueError(
+                        f"[tool.lintkit.layers] module {name!r} assigned to more than one tier"
+                    )
+                seen.add(name)
+        for bucket, names in (("anywhere", self.anywhere), ("top", self.top)):
+            for name in names:
+                if name in seen:
+                    raise ValueError(
+                        f"[tool.lintkit.layers] module {name!r} appears in both a tier "
+                        f"and {bucket!r}"
+                    )
+                seen.add(name)
+
+    def tier_of(self, module: str) -> tuple[str, int | str] | None:
+        """``(matched prefix, tier)`` for a module path relative to the
+        root package — tier is an ``order`` index, ``"anywhere"`` or
+        ``"top"``; ``None`` when no declared prefix matches.  The most
+        specific (longest) prefix wins."""
+        best: tuple[str, int | str] | None = None
+
+        def consider(prefix: str, tier: int | str) -> None:
+            nonlocal best
+            if module == prefix or module.startswith(prefix + "."):
+                if best is None or len(prefix) > len(best[0]):
+                    best = (prefix, tier)
+
+        for index, tier_names in enumerate(self.order):
+            for prefix in tier_names:
+                consider(prefix, index)
+        for prefix in self.anywhere:
+            consider(prefix, "anywhere")
+        for prefix in self.top:
+            consider(prefix, "top")
+        return best
+
+    @classmethod
+    def from_mapping(cls, table: dict[str, object]) -> "LayersConfig":
+        unknown = set(table) - _LAYERS_KEYS
+        if unknown:
+            raise ValueError(
+                f"[tool.lintkit.layers] unknown key(s): {', '.join(sorted(unknown))} "
+                f"(expected {', '.join(sorted(_LAYERS_KEYS))})"
+            )
+        root = table.get("root", "repro")
+        if not isinstance(root, str) or not root:
+            raise ValueError("[tool.lintkit.layers] root must be a non-empty string")
+
+        def names(key: str) -> tuple[str, ...]:
+            value = table.get(key)
+            if value is None:
+                return ()
+            if not isinstance(value, list) or not all(
+                isinstance(v, str) and v for v in value
+            ):
+                raise ValueError(
+                    f"[tool.lintkit.layers] {key} must be a list of non-empty strings"
+                )
+            return tuple(value)
+
+        raw_order = table.get("order")
+        order: list[tuple[str, ...]] = []
+        if raw_order is not None:
+            if not isinstance(raw_order, list) or not raw_order:
+                raise ValueError(
+                    "[tool.lintkit.layers] order must be a non-empty list of tiers"
+                )
+            for i, tier in enumerate(raw_order):
+                if isinstance(tier, str) and tier:
+                    order.append((tier,))
+                elif (
+                    isinstance(tier, list)
+                    and tier
+                    and all(isinstance(name, str) and name for name in tier)
+                ):
+                    order.append(tuple(tier))
+                else:
+                    raise ValueError(
+                        f"[tool.lintkit.layers] order[{i}] must be a module name or a "
+                        f"non-empty list of module names, got {tier!r}"
+                    )
+        return cls(
+            root=root,
+            order=tuple(order),
+            anywhere=names("anywhere"),
+            top=names("top"),
+        )
+
 
 @dataclass(frozen=True)
 class LintConfig:
@@ -64,6 +195,9 @@ class LintConfig:
     #: serving layer) rather than single lines.  Declared in pyproject
     #: as the ``[tool.lintkit.exempt]`` table.
     exempt: tuple[tuple[str, tuple[str, ...]], ...] = ()
+    #: declared import layering, or ``None`` to disable the
+    #: layer-conformance checkers.
+    layers: LayersConfig | None = None
 
     @classmethod
     def from_pyproject(cls, pyproject: Path) -> "LintConfig":
@@ -98,8 +232,33 @@ class LintConfig:
                     raise ValueError(
                         f"[tool.lintkit.exempt] {checker} must be a list of path strings"
                     )
+                duplicates = {f for f in fragments if fragments.count(f) > 1}
+                if duplicates:
+                    raise ValueError(
+                        f"[tool.lintkit.exempt] {checker} lists duplicate path "
+                        f"fragment(s): {', '.join(sorted(duplicates))}"
+                    )
+                overlaps = [
+                    (a, b)
+                    for a in fragments
+                    for b in fragments
+                    if a != b and a in b
+                ]
+                if overlaps:
+                    a, b = overlaps[0]
+                    raise ValueError(
+                        f"[tool.lintkit.exempt] {checker} has overlapping path "
+                        f"fragments: {a!r} already covers {b!r}"
+                    )
                 pairs.append((checker, tuple(fragments)))
             exempt = tuple(sorted(pairs))
+
+        layers_raw = table.get("layers")
+        layers: LayersConfig | None = None
+        if layers_raw is not None:
+            if not isinstance(layers_raw, dict):
+                raise ValueError("[tool.lintkit] layers must be a table")
+            layers = LayersConfig.from_mapping(layers_raw)
 
         return cls(
             scoring_paths=strings("scoring-paths", DEFAULT_SCORING_PATHS),
@@ -109,6 +268,7 @@ class LintConfig:
             select=strings("select", ()),
             ignore=strings("ignore", ()),
             exempt=exempt,
+            layers=layers,
         )
 
     def active_checkers(self, registry: dict[str, type]) -> dict[str, type]:

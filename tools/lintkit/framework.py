@@ -1,16 +1,26 @@
-"""Checker registry, per-file context, and suppression parsing.
+"""Checker registry, per-file and project contexts, suppression parsing.
 
-A checker is a class with a ``name``, a ``description`` and a
-``check(ctx)`` generator yielding :class:`Violation`.  Registration is
-by decorator::
+A checker is a class with a ``name``, a stable ``rule_id``, a
+``description`` and a ``check(ctx)`` generator yielding
+:class:`Violation`.  Registration is by decorator::
 
     @register
     class MyChecker(Checker):
         name = "my-checker"
+        rule_id = "LK999"
         description = "what it catches"
 
         def check(self, ctx: FileContext) -> Iterator[Violation]:
             ...
+
+Two analysis scopes exist:
+
+* **Per-file** checkers (:class:`Checker`) see one :class:`FileContext`
+  at a time — a path, its source and AST.
+* **Project** checkers (:class:`ProjectChecker`) see a
+  :class:`ProjectContext` holding *every* file of the run at once, so
+  they can build module graphs (import layering, cross-file cycles).
+  They implement ``check_project(project)`` instead of ``check(ctx)``.
 
 Suppression comments:
 
@@ -19,6 +29,9 @@ Suppression comments:
   ``# lintkit: ignore`` silences every checker on the line.
 * ``# lintkit: skip-file`` anywhere in a file silences the whole file;
   ``# lintkit: skip-file[a, b]`` silences only the named checkers.
+* ``# lintkit: guarded-by(self._lock)`` on an attribute assignment
+  declares the attribute lock-guarded (consumed by the lock-discipline
+  analyzer, not a suppression).
 """
 
 from __future__ import annotations
@@ -37,16 +50,29 @@ _SUPPRESS_RE = re.compile(
 
 @dataclass(frozen=True, order=True)
 class Violation:
-    """One finding: where it is, which checker produced it, and why."""
+    """One finding: where it is, which checker produced it, and why.
+
+    ``rule`` is the checker's stable rule ID (``LK###``) — suppressions
+    and the exempt table key on the checker *name*, while external
+    tooling (CI annotations, dashboards) should key on the rule ID,
+    which never changes even if a checker is renamed.  ``fix`` is an
+    optional one-line fix-it hint.
+    """
 
     path: str
     line: int
     col: int
     checker: str
     message: str
+    rule: str = ""
+    fix: str = ""
 
     def render(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: [{self.checker}] {self.message}"
+        tag = f"{self.rule} {self.checker}" if self.rule else self.checker
+        text = f"{self.path}:{self.line}:{self.col}: [{tag}] {self.message}"
+        if self.fix:
+            text += f" (fix: {self.fix})"
+        return text
 
     def to_dict(self) -> dict[str, object]:
         return {
@@ -54,7 +80,9 @@ class Violation:
             "line": self.line,
             "col": self.col,
             "checker": self.checker,
+            "rule": self.rule,
             "message": self.message,
+            "fix": self.fix,
         }
 
 
@@ -93,6 +121,15 @@ class Suppressions:
                 existing.update(names)
         return supp
 
+    def named_checkers(self) -> set[str]:
+        """Every checker name spent in a suppression comment (used to
+        fail loudly on names that match no registered checker)."""
+        names = set(self.file_names)
+        for entry in self.lines.values():
+            if entry is not None:
+                names.update(entry)
+        return names
+
     def is_suppressed(self, checker: str, line: int) -> bool:
         if self.skip_all or checker in self.file_names:
             return True
@@ -102,7 +139,10 @@ class Suppressions:
 
 class FileContext:
     """Everything a checker needs about one file: path, source, AST,
-    and the active configuration."""
+    and the active configuration.  ``cache`` is a scratch dict shared
+    by all checkers of one run — analyzers that derive the same
+    intermediate structure (e.g. the per-class lock analysis) memoize
+    it there instead of re-walking the AST per checker."""
 
     def __init__(self, path: str, source: str, config: LintConfig | None = None) -> None:
         self.path = path.replace("\\", "/")
@@ -110,8 +150,16 @@ class FileContext:
         self.config = config if config is not None else LintConfig()
         self.tree = ast.parse(source, filename=path)
         self.suppressions = Suppressions.parse(source)
+        self.cache: dict[str, object] = {}
 
-    def violation(self, node: ast.AST, checker: str, message: str) -> Violation:
+    def violation(
+        self,
+        node: ast.AST,
+        checker: str,
+        message: str,
+        rule: str = "",
+        fix: str = "",
+    ) -> Violation:
         """Build a violation anchored at ``node``."""
         return Violation(
             path=self.path,
@@ -119,6 +167,8 @@ class FileContext:
             col=getattr(node, "col_offset", 0) + 1,
             checker=checker,
             message=message,
+            rule=rule,
+            fix=fix,
         )
 
     def in_paths(self, fragments: tuple[str, ...]) -> bool:
@@ -129,13 +179,51 @@ class FileContext:
         return any(fragment in self.path for fragment in fragments)
 
 
+class ProjectContext:
+    """The whole-run view: every parsed file plus the configuration.
+
+    Project checkers receive this instead of one :class:`FileContext`,
+    so graph-scope analyses (import layering, cross-file cycles) see
+    all modules of the run at once.  ``cache`` memoizes shared derived
+    structure (e.g. the module import graph) across project checkers.
+    """
+
+    def __init__(self, files: list[FileContext], config: LintConfig | None = None) -> None:
+        self.files = list(files)
+        self.config = config if config is not None else LintConfig()
+        self.cache: dict[str, object] = {}
+
+    def by_path(self, path: str) -> FileContext | None:
+        for ctx in self.files:
+            if ctx.path == path:
+                return ctx
+        return None
+
+
 class Checker:
-    """Base class for all checkers."""
+    """Base class for all per-file checkers."""
 
     name: str = ""
+    #: Stable machine identifier (``LK###``); survives checker renames.
+    rule_id: str = ""
     description: str = ""
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:  # pragma: no cover
+        raise NotImplementedError
+
+
+class ProjectChecker(Checker):
+    """Base class for module-graph-scope checkers.
+
+    Subclasses implement :meth:`check_project`; the per-file ``check``
+    hook is a no-op so a project checker can sit in the same registry
+    and be selected/ignored/exempted exactly like a per-file one.
+    """
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        return iter(())
+
+    def check_project(self, project: ProjectContext) -> Iterator[Violation]:  # pragma: no cover
         raise NotImplementedError
 
 
@@ -148,6 +236,9 @@ def register(cls: type[Checker]) -> type[Checker]:
         raise ValueError(f"checker {cls.__name__} has no name")
     if cls.name in _REGISTRY and _REGISTRY[cls.name] is not cls:
         raise ValueError(f"duplicate checker name: {cls.name}")
+    for other in _REGISTRY.values():
+        if cls.rule_id and other is not cls and other.rule_id == cls.rule_id:
+            raise ValueError(f"duplicate rule id {cls.rule_id}: {other.name} / {cls.name}")
     _REGISTRY[cls.name] = cls
     return cls
 

@@ -22,11 +22,14 @@ def render_text(violations: Sequence[Violation]) -> str:
 
 
 def render_json(violations: Sequence[Violation]) -> str:
-    """Stable JSON document: violation list plus summary counts."""
+    """Stable JSON document: violation list plus summary counts, by
+    checker name and by stable rule ID (the CI-artifact format)."""
     counts = Counter(v.checker for v in violations)
+    rule_counts = Counter(v.rule for v in violations if v.rule)
     payload = {
         "violations": [v.to_dict() for v in violations],
         "counts": dict(sorted(counts.items())),
+        "rule_counts": dict(sorted(rule_counts.items())),
         "total": len(violations),
     }
     return json.dumps(payload, indent=2, sort_keys=True)

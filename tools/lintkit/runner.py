@@ -1,11 +1,27 @@
-"""File discovery and checker execution."""
+"""File discovery and checker execution.
+
+A run has two passes over one set of parsed files: per-file checkers
+see each :class:`FileContext` independently; project checkers then see
+the whole :class:`ProjectContext` at once (module graphs).  Both passes
+share the same suppression/exempt filtering, and every violation is
+stamped with its checker's stable rule ID.
+"""
 
 from __future__ import annotations
 
+import dataclasses
+import subprocess
 from pathlib import Path
 
 from tools.lintkit.config import LintConfig
-from tools.lintkit.framework import Checker, FileContext, Violation, all_checkers
+from tools.lintkit.framework import (
+    Checker,
+    FileContext,
+    ProjectChecker,
+    ProjectContext,
+    Violation,
+    all_checkers,
+)
 
 
 class LintError(Exception):
@@ -32,6 +48,41 @@ def discover_files(paths: list[str], config: LintConfig) -> list[Path]:
     return kept
 
 
+def changed_files(paths: list[str], config: LintConfig, repo_root: Path | None = None) -> list[Path]:
+    """The subset of :func:`discover_files` that git reports as
+    modified (staged, unstaged or untracked) — the fast pre-commit
+    scope.  Raises :class:`LintError` outside a git work tree."""
+    root = Path(repo_root) if repo_root is not None else Path.cwd()
+    try:
+        proc = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        toplevel = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError) as exc:
+        raise LintError(f"--changed requires a git work tree: {exc}") from exc
+    modified: set[Path] = set()
+    for line in proc.stdout.splitlines():
+        if len(line) < 4 or line[:2] == "!!":
+            continue
+        name = line[3:]
+        # Renames are reported as "old -> new"; lint the new path.
+        if " -> " in name:
+            name = name.split(" -> ", 1)[1]
+        if name.endswith(".py"):
+            modified.add((Path(toplevel) / name).resolve())
+    return [f for f in discover_files(paths, config) if f.resolve() in modified]
+
+
 def _checkers_for(config: LintConfig) -> list[Checker]:
     registry = all_checkers()
     try:
@@ -41,36 +92,118 @@ def _checkers_for(config: LintConfig) -> list[Checker]:
     return [cls() for cls in active.values()]
 
 
+def _parse(path: str, source: str, config: LintConfig) -> FileContext | Violation:
+    try:
+        return FileContext(path, source, config)
+    except SyntaxError as exc:
+        return Violation(
+            path=path,
+            line=exc.lineno or 1,
+            col=(exc.offset or 0) + 1,
+            checker="parse-error",
+            message=f"file does not parse: {exc.msg}",
+        )
+
+
+def _stamp(violation: Violation, checker: Checker) -> Violation:
+    if violation.rule or not checker.rule_id:
+        return violation
+    return dataclasses.replace(violation, rule=checker.rule_id)
+
+
+def _unknown_suppression_violations(ctx: FileContext, known: set[str]) -> list[Violation]:
+    """A suppression comment naming an unregistered checker is a typo
+    that would otherwise silently suppress nothing — fail loudly."""
+    found = []
+    for name in sorted(ctx.suppressions.named_checkers() - known):
+        found.append(
+            Violation(
+                path=ctx.path,
+                line=1,
+                col=1,
+                checker="unknown-suppression",
+                rule="LK000",
+                message=f"suppression names unknown checker {name!r}",
+                fix="spell a registered checker name (repro-lint --list-checkers)",
+            )
+        )
+    return found
+
+
+def _run_checkers(
+    contexts: list[FileContext],
+    config: LintConfig,
+    checkers: list[Checker],
+) -> list[Violation]:
+    by_path = {ctx.path: ctx for ctx in contexts}
+    known = set(all_checkers())
+    found: list[Violation] = []
+
+    def keep(violation: Violation) -> bool:
+        ctx = by_path.get(violation.path)
+        if config.is_exempt(violation.checker, violation.path):
+            return False
+        if ctx is not None and ctx.suppressions.is_suppressed(
+            violation.checker, violation.line
+        ):
+            return False
+        return True
+
+    for ctx in contexts:
+        for violation in _unknown_suppression_violations(ctx, known):
+            if keep(violation):
+                found.append(violation)
+        for checker in checkers:
+            if isinstance(checker, ProjectChecker):
+                continue
+            if config.is_exempt(checker.name, ctx.path):
+                continue
+            for violation in checker.check(ctx):
+                violation = _stamp(violation, checker)
+                if keep(violation):
+                    found.append(violation)
+
+    project = ProjectContext(contexts, config)
+    for checker in checkers:
+        if not isinstance(checker, ProjectChecker):
+            continue
+        for violation in checker.check_project(project):
+            violation = _stamp(violation, checker)
+            if keep(violation):
+                found.append(violation)
+    return sorted(found)
+
+
+def lint_sources(
+    sources: dict[str, str],
+    config: LintConfig | None = None,
+    checkers: list[Checker] | None = None,
+) -> list[Violation]:
+    """Lint a mapping of ``path -> source`` as one project (the
+    multi-file unit-test entry point — project checkers see all of the
+    files together)."""
+    config = config if config is not None else LintConfig()
+    if checkers is None:
+        checkers = _checkers_for(config)
+    contexts: list[FileContext] = []
+    parse_failures: list[Violation] = []
+    for path, source in sources.items():
+        outcome = _parse(path.replace("\\", "/"), source, config)
+        if isinstance(outcome, Violation):
+            parse_failures.append(outcome)
+        else:
+            contexts.append(outcome)
+    return sorted(parse_failures + _run_checkers(contexts, config, checkers))
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
     config: LintConfig | None = None,
     checkers: list[Checker] | None = None,
 ) -> list[Violation]:
-    """Lint one source string (the unit-test entry point)."""
-    config = config if config is not None else LintConfig()
-    if checkers is None:
-        checkers = _checkers_for(config)
-    try:
-        ctx = FileContext(path, source, config)
-    except SyntaxError as exc:
-        return [
-            Violation(
-                path=path,
-                line=exc.lineno or 1,
-                col=(exc.offset or 0) + 1,
-                checker="parse-error",
-                message=f"file does not parse: {exc.msg}",
-            )
-        ]
-    found: list[Violation] = []
-    for checker in checkers:
-        if config.is_exempt(checker.name, ctx.path):
-            continue
-        for violation in checker.check(ctx):
-            if not ctx.suppressions.is_suppressed(violation.checker, violation.line):
-                found.append(violation)
-    return sorted(found)
+    """Lint one source string (the single-file unit-test entry point)."""
+    return lint_sources({path: source}, config, checkers)
 
 
 def lint_file(
@@ -79,19 +212,29 @@ def lint_file(
     checkers: list[Checker] | None = None,
 ) -> list[Violation]:
     """Lint one file on disk."""
+    return lint_paths([str(path)], config) if checkers is None else lint_sources(
+        {path.as_posix(): _read(path)}, config, checkers
+    )
+
+
+def _read(path: Path) -> str:
     try:
-        source = path.read_text(encoding="utf-8")
+        return path.read_text(encoding="utf-8")
     except OSError as exc:
         raise LintError(f"cannot read {path}: {exc}") from exc
-    return lint_source(source, path.as_posix(), config, checkers)
 
 
-def lint_paths(paths: list[str], config: LintConfig | None = None) -> list[Violation]:
-    """Lint every python file under ``paths``; violations sorted by
-    location."""
+def lint_paths(
+    paths: list[str],
+    config: LintConfig | None = None,
+    only_changed: bool = False,
+) -> list[Violation]:
+    """Lint every python file under ``paths`` (or only git-modified
+    ones with ``only_changed``); violations sorted by location."""
     config = config if config is not None else LintConfig()
     checkers = _checkers_for(config)
-    found: list[Violation] = []
-    for file in discover_files(paths, config):
-        found.extend(lint_file(file, config, checkers))
-    return sorted(found)
+    files = (
+        changed_files(paths, config) if only_changed else discover_files(paths, config)
+    )
+    sources = {f.as_posix(): _read(f) for f in files}
+    return lint_sources(sources, config, checkers)
