@@ -1,4 +1,4 @@
-"""Index build cost — the price of scoring postings at build time.
+"""Index build cost — and the price/payoff of the two index stores.
 
 The impact-ordering change moved every query-independent factor of
 Eq. 9 — CorS(c) and the two α-free components of P(n₁..n_k|Oᵢ) — into
@@ -10,10 +10,16 @@ escape hatches:
 * **shard-parallel build** (2 workers, smallest size) — asserted
   bit-identical to the serial build; wall-clock wins need real cores,
   so no speedup is asserted (CI boxes are often single-core);
-* **save / load of the scored artifact** — the serving cold-start
-  path: ``repro index`` persists once, every snapshot (re)load after
-  that parses JSON instead of re-scoring the corpus, which must be
-  several times faster than building.
+* **save / load of both artifact formats** — the serving cold-start
+  path.  The v2 JSONL artifact parses every posting on load; the v3
+  binary artifact mmaps and decodes lazily, and must load ≥20× faster
+  and occupy ≤50% of the JSONL bytes at the largest build size (the
+  binary-store acceptance gates);
+* **scale sweep** (``REPRO_BENCH_INDEX_SWEEP``, default
+  ``2500,10000,25000`` synthetic objects) — per size: load wall time
+  for both formats, resident-set delta of an mmap load vs a parsed
+  load (``/proc/self/status`` VmRSS), and on-disk posting bytes raw
+  (u64 per id) vs d-gap varint.
 
 Writes ``results/index_build.{txt,json}`` with p50/p95 per corpus size
 — the machine-readable BENCH_* artifact for the build trajectory.
@@ -21,13 +27,17 @@ Writes ``results/index_build.{txt,json}`` with p50/p95 per corpus size
 
 from __future__ import annotations
 
+import json
+import os
 import time
+from pathlib import Path
 
 import pytest
 
 import _harness as H
 from repro.core.retrieval import correlation_model_for_corpus
 from repro.eval import percentile
+from repro.index.binfmt import read_section_table
 from repro.index.inverted import CliqueInvertedIndex
 from repro.storage.store import load_index, save_index
 
@@ -39,6 +49,19 @@ REPEATS = 3
 #: The artifact pickup must beat re-scoring by at least this factor —
 #: the serving cold-start claim.
 MIN_LOAD_SPEEDUP = 3.0
+
+#: Binary-store acceptance gates, enforced at the largest build size:
+#: mmap load p50 at least this many times faster than the JSONL parse,
+#: on-disk at most this fraction of the JSONL artifact.
+MIN_BINARY_LOAD_SPEEDUP = 20.0
+MAX_BINARY_SIZE_FRACTION = 0.5
+
+#: Scale sweep sizes; override with REPRO_BENCH_INDEX_SWEEP=2500,5000.
+SWEEP_SIZES = tuple(
+    int(s)
+    for s in os.environ.get("REPRO_BENCH_INDEX_SWEEP", "2500,10000,25000").split(",")
+    if s.strip()
+)
 
 
 def _timed(fn, repeats=REPEATS):
@@ -56,7 +79,59 @@ def _timed(fn, repeats=REPEATS):
     }
 
 
+#: Child-process probe for the sweep: measures one load in a fresh
+#: interpreter so allocator arena reuse in the bench process cannot
+#: mask the parsed path's allocations.  RssAnon (heap) is the honest
+#: metric — an mmap's file-backed pages are evictable and shared, so
+#: they are exactly the cost the binary store avoids.
+_LOAD_PROBE = """
+import json, sys, time
+
+def anon_kib():
+    with open("/proc/self/status") as fh:
+        for line in fh:
+            if line.startswith("RssAnon:"):
+                return int(line.split()[1])
+    return 0
+
+path, kind = sys.argv[1], sys.argv[2]
+if kind == "binary":
+    from repro.index.binfmt import BinaryIndexReader
+    base = anon_kib()
+    start = time.perf_counter()
+    held = BinaryIndexReader(path)
+else:
+    from pathlib import Path
+    from repro.storage.store import _read_index_jsonl
+    base = anon_kib()
+    start = time.perf_counter()
+    held = _read_index_jsonl(Path(path))
+elapsed = time.perf_counter() - start
+print(json.dumps({"load_s": elapsed, "rss_anon_delta_kib": anon_kib() - base}))
+"""
+
+
+def _isolated_load(path, kind: str) -> dict:
+    """Run one artifact load in a fresh interpreter; returns the
+    probe's ``{"load_s", "rss_anon_delta_kib"}``."""
+    import subprocess
+    import sys
+
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    out = subprocess.run(
+        [sys.executable, "-c", _LOAD_PROBE, str(path), kind],
+        capture_output=True,
+        text=True,
+        check=True,
+        env=env,
+    )
+    return json.loads(out.stdout)
+
+
 def _postings_identical(a: CliqueInvertedIndex, b: CliqueInvertedIndex) -> bool:
+    """Exact match including entry order (the JSONL round trip)."""
     if len(a) != len(b) or a.n_objects != b.n_objects:
         return False
     for posting in a.iter_postings():
@@ -70,6 +145,48 @@ def _postings_identical(a: CliqueInvertedIndex, b: CliqueInvertedIndex) -> bool:
     return True
 
 
+def _postings_equivalent(a: CliqueInvertedIndex, b: CliqueInvertedIndex) -> bool:
+    """Order-insensitive within a posting: the binary store
+    canonicalizes entries to ascending object id, a pure permutation
+    that cannot affect rankings (every consumer sorts)."""
+    if len(a) != len(b) or a.n_objects != b.n_objects:
+        return False
+    for posting in a.iter_postings():
+        other = b.lookup(posting.key)
+        if other is None or other.cors != posting.cors:
+            return False
+        mine = {
+            oid: posting.components(i) for i, oid in enumerate(posting.object_ids)
+        }
+        theirs = {
+            oid: other.components(i) for i, oid in enumerate(other.object_ids)
+        }
+        if mine != theirs:
+            return False
+    return True
+
+
+def _format_comparison(index, correlations, tmp_dir, size):
+    """Save/load both formats; return the per-format detail row."""
+    jsonl_path = tmp_dir / f"index_{size}.jsonl"
+    bin_path = tmp_dir / f"index_{size}.bin"
+    _, jsonl_save = _timed(lambda: save_index(index, jsonl_path))
+    _, bin_save = _timed(lambda: save_index(index, bin_path))
+    jsonl_loaded, jsonl_load = _timed(lambda: load_index(jsonl_path, correlations))
+    bin_loaded, bin_load = _timed(lambda: load_index(bin_path, correlations))
+    assert _postings_identical(index, jsonl_loaded)
+    assert _postings_equivalent(index, bin_loaded)
+    bin_loaded.close()
+    jsonl_bytes = jsonl_path.stat().st_size
+    bin_bytes = bin_path.stat().st_size
+    return {
+        "jsonl": {"save": jsonl_save, "load": jsonl_load, "bytes": jsonl_bytes},
+        "binary": {"save": bin_save, "load": bin_load, "bytes": bin_bytes},
+        "binary_load_speedup_p50": jsonl_load["p50_s"] / bin_load["p50_s"],
+        "binary_size_fraction": bin_bytes / jsonl_bytes,
+    }
+
+
 def run_experiment(tmp_dir):
     rows, detail = [], {}
     for size in BUILD_SIZES:
@@ -80,25 +197,25 @@ def run_experiment(tmp_dir):
             return CliqueInvertedIndex(correlations, max_clique_size=3).build(corpus)
 
         index, build_stats = _timed(build)
-        artifact = tmp_dir / f"index_{size}.jsonl"
-        _, save_stats = _timed(lambda: save_index(index, artifact))
-        loaded, load_stats = _timed(lambda: load_index(artifact, correlations))
-        assert _postings_identical(index, loaded)
+        formats = _format_comparison(index, correlations, tmp_dir, size)
+        load_stats = formats["jsonl"]["load"]
 
         detail[size] = {
             "build": build_stats,
-            "save": save_stats,
+            "save": formats["jsonl"]["save"],
             "load": load_stats,
+            "formats": formats,
             "n_cliques": len(index),
             "total_postings": int(index.stats()["total_postings"]),
-            "artifact_bytes": artifact.stat().st_size,
+            "artifact_bytes": formats["jsonl"]["bytes"],
             "load_speedup_p50": build_stats["p50_s"] / load_stats["p50_s"],
         }
         rows.append(
             f"{size:>6}  build p50 {build_stats['p50_s'] * 1000:8.1f} ms   "
-            f"save p50 {save_stats['p50_s'] * 1000:7.1f} ms   "
-            f"load p50 {load_stats['p50_s'] * 1000:7.1f} ms   "
-            f"load speedup {detail[size]['load_speedup_p50']:5.1f}x   "
+            f"jsonl load p50 {load_stats['p50_s'] * 1000:7.1f} ms   "
+            f"bin load p50 {formats['binary']['load']['p50_s'] * 1000:7.1f} ms   "
+            f"bin speedup {formats['binary_load_speedup_p50']:6.1f}x   "
+            f"bin/jsonl bytes {formats['binary_size_fraction']:.2f}   "
             f"cliques {len(index)}"
         )
 
@@ -114,11 +231,65 @@ def run_experiment(tmp_dir):
     return rows, detail
 
 
+def run_scale_sweep(tmp_dir):
+    """Size sweep of the two stores: load time, resident-memory delta
+    (mmap open vs parsed postings, each in a fresh interpreter), and
+    raw-vs-varint posting bytes per size."""
+    rows, detail = [], {}
+    full = H.retrieval_corpus(max(SWEEP_SIZES))
+    for size in SWEEP_SIZES:
+        corpus = full if size == len(full) else full.subset(size)
+        correlations = correlation_model_for_corpus(corpus)
+        build_start = time.perf_counter()
+        index = CliqueInvertedIndex(correlations, max_clique_size=3).build(corpus)
+        build_s = time.perf_counter() - build_start
+
+        jsonl_path = tmp_dir / f"sweep_{size}.jsonl"
+        bin_path = tmp_dir / f"sweep_{size}.bin"
+        save_index(index, jsonl_path)
+        save_index(index, bin_path)
+        total_entries = int(index.stats()["total_postings"])
+        varint_bytes = read_section_table(bin_path)["postings"][1]
+        raw_bytes = total_entries * 8  # u64 per id, the uncompressed layout
+        del index
+
+        mapped = _isolated_load(bin_path, "binary")
+        parsed = _isolated_load(jsonl_path, "jsonl")
+
+        detail[size] = {
+            "build_s": build_s,
+            "load_s": {"binary": mapped["load_s"], "jsonl": parsed["load_s"]},
+            "rss_anon_delta_kib": {
+                "mmap": mapped["rss_anon_delta_kib"],
+                "parsed": parsed["rss_anon_delta_kib"],
+            },
+            "bytes": {
+                "binary": bin_path.stat().st_size,
+                "jsonl": jsonl_path.stat().st_size,
+                "postings_raw_u64": raw_bytes,
+                "postings_varint": varint_bytes,
+                "varint_fraction_of_raw": varint_bytes / raw_bytes if raw_bytes else 0.0,
+            },
+            "total_postings": total_entries,
+        }
+        rows.append(
+            f"{size:>6}  bin open {mapped['load_s'] * 1000:7.1f} ms "
+            f"(anon +{mapped['rss_anon_delta_kib'] / 1024:6.1f} MiB)   "
+            f"jsonl parse {parsed['load_s'] * 1000:8.1f} ms "
+            f"(anon +{parsed['rss_anon_delta_kib'] / 1024:6.1f} MiB)   "
+            f"postings raw {raw_bytes / 1e6:6.1f} MB -> varint "
+            f"{varint_bytes / 1e6:5.1f} MB"
+        )
+    return rows, detail
+
+
 @pytest.mark.benchmark(group="index_build")
 def test_index_build(benchmark, capsys, tmp_path):
     rows, detail = benchmark.pedantic(
         run_experiment, args=(tmp_path,), rounds=1, iterations=1
     )
+    sweep_rows, sweep_detail = run_scale_sweep(tmp_path)
+    rows = rows + ["-- scale sweep (binary mmap vs parsed JSONL) --"] + sweep_rows
     H.report("index_build", "Index build: score-at-build-time cost vs artifact pickup", rows, capsys)
     H.report_json(
         "index_build",
@@ -127,6 +298,7 @@ def test_index_build(benchmark, capsys, tmp_path):
             "sizes": list(BUILD_SIZES),
             "repeats": REPEATS,
             "detail": {str(s): detail[s] for s in BUILD_SIZES},
+            "scale_sweep": {str(s): sweep_detail[s] for s in SWEEP_SIZES},
         },
     )
     # Build cost grows with corpus size; the artifact load path beats
@@ -134,3 +306,7 @@ def test_index_build(benchmark, capsys, tmp_path):
     assert detail[BUILD_SIZES[-1]]["build"]["p50_s"] > detail[BUILD_SIZES[0]]["build"]["p50_s"]
     for size, d in detail.items():
         assert d["load_speedup_p50"] >= MIN_LOAD_SPEEDUP, size
+    # Binary-store acceptance gates at the largest build size.
+    top = detail[BUILD_SIZES[-1]]["formats"]
+    assert top["binary_load_speedup_p50"] >= MIN_BINARY_LOAD_SPEEDUP
+    assert top["binary_size_fraction"] <= MAX_BINARY_SIZE_FRACTION

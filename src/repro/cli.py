@@ -9,7 +9,9 @@ Examples::
 
     repro generate --objects 1000 --out ./corpus
     repro info ./corpus
-    repro index ./corpus --workers 4
+    repro index build ./corpus --workers 4           # v3 binary index.bin
+    repro index build ./corpus --format jsonl        # v2 text artifact
+    repro index convert ./corpus/index.jsonl         # migrate v2 -> v3
     repro search ./corpus --query obj000003 --k 10
     repro generate --objects 1500 --tracked-users 10 --recommendation --out ./rec
     repro recommend ./rec --user tracked000 --k 10 --delta 0.4
@@ -39,7 +41,14 @@ from repro.serving.service import QueryService
 from repro.serving.snapshot import SnapshotManager
 from repro.social.generator import GeneratorConfig, SyntheticFlickr
 from repro.index.inverted import CliqueInvertedIndex
-from repro.storage.store import StorageError, load_corpus, save_corpus, save_index
+from repro.storage.store import (
+    StorageError,
+    convert_index,
+    index_artifact_version,
+    load_corpus,
+    save_corpus,
+    save_index,
+)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -66,11 +75,37 @@ def _build_parser() -> argparse.ArgumentParser:
     info.add_argument("corpus", help="corpus directory")
 
     index = sub.add_parser(
-        "index", help="precompute the clique inverted index and save it with the corpus"
+        "index", help="build, inspect or migrate the clique inverted index"
     )
-    index.add_argument("corpus", help="corpus directory")
-    index.add_argument(
+    index_sub = index.add_subparsers(dest="index_command", required=True)
+    build = index_sub.add_parser(
+        "build", help="precompute the clique inverted index and save it with the corpus"
+    )
+    build.add_argument("corpus", help="corpus directory")
+    build.add_argument(
         "--workers", type=int, default=1, help="parallel build shards (1 = serial)"
+    )
+    build.add_argument(
+        "--format",
+        choices=("binary", "jsonl"),
+        default="binary",
+        help="artifact format: v3 binary mmap (default) or v2 JSONL",
+    )
+    convert = index_sub.add_parser(
+        "convert", help="migrate an index artifact between binary (v3) and JSONL (v2)"
+    )
+    convert.add_argument("artifact", help="index artifact path (index.bin or index.jsonl)")
+    convert.add_argument(
+        "--to",
+        choices=("binary", "jsonl"),
+        default=None,
+        help="target format (default: the other one)",
+    )
+    convert.add_argument("--out", default=None, help="output path (default: suffix swap)")
+    convert.add_argument(
+        "--verify",
+        action="store_true",
+        help="full payload CRC sweep of a binary source before converting",
     )
 
     search = sub.add_parser("search", help="retrieve objects similar to a query object")
@@ -146,6 +181,12 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 
 def _cmd_index(args: argparse.Namespace) -> int:
+    if args.index_command == "convert":
+        return _cmd_index_convert(args)
+    return _cmd_index_build(args)
+
+
+def _cmd_index_build(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print("error: --workers must be >= 1", file=sys.stderr)
         return 2
@@ -154,11 +195,29 @@ def _cmd_index(args: argparse.Namespace) -> int:
     index = CliqueInvertedIndex(
         engine.correlations, max_clique_size=engine.params.max_clique_size
     ).build(corpus, n_workers=args.workers)
-    path = save_index(index, Path(args.corpus) / "index.jsonl")
+    artifact = "index.bin" if args.format == "binary" else "index.jsonl"
+    path = save_index(index, Path(args.corpus) / artifact, format=args.format)
     stats = index.stats()
     print(
         f"wrote {int(stats['n_cliques'])} cliques / {int(stats['total_postings'])} "
-        f"postings to {path}"
+        f"postings to {path} ({args.format}, {path.stat().st_size} bytes)"
+    )
+    other = Path(args.corpus) / ("index.jsonl" if args.format == "binary" else "index.bin")
+    if other.exists():
+        print(
+            f"warning: stale {other.name} also present; serving prefers index.bin "
+            "— remove or reconvert the other artifact",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_index_convert(args: argparse.Namespace) -> int:
+    src = Path(args.artifact)
+    path = convert_index(src, dst_path=args.out, to=args.to, verify=args.verify)
+    print(
+        f"converted {src} (v{index_artifact_version(src)}, {src.stat().st_size} bytes) "
+        f"-> {path} (v{index_artifact_version(path)}, {path.stat().st_size} bytes)"
     )
     return 0
 
@@ -234,6 +293,19 @@ _COMMANDS = {
 }
 
 
+def _normalize_argv(argv: Sequence[str]) -> list[str]:
+    """Back-compat shim: ``repro index <corpus> ...`` (the pre-subcommand
+    spelling) is rewritten to ``repro index build <corpus> ...``."""
+    args = list(argv)
+    if (
+        len(args) >= 2
+        and args[0] == "index"
+        and args[1] not in ("build", "convert", "-h", "--help")
+    ):
+        args.insert(1, "build")
+    return args
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns the process exit code.
 
@@ -241,7 +313,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     or corrupt on disk — exit with code 2 and a one-line message rather
     than a traceback, for every subcommand.
     """
-    args = _build_parser().parse_args(argv)
+    if argv is None:
+        argv = sys.argv[1:]
+    args = _build_parser().parse_args(_normalize_argv(argv))
     try:
         return _COMMANDS[args.command](args)
     except (StorageError, FileNotFoundError) as exc:

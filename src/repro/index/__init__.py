@@ -3,6 +3,13 @@ Algorithm (Section 3.5 / Algorithm 1's acceleration structures)."""
 
 from __future__ import annotations
 
+from repro.index.binfmt import (
+    BINARY_FORMAT_VERSION,
+    BinaryFormatError,
+    BinaryIndexReader,
+    read_section_table,
+    write_index_file,
+)
 from repro.index.compression import (
     CompressedPosting,
     compression_ratio,
@@ -13,6 +20,7 @@ from repro.index.compression import (
 )
 from repro.index.inverted import CliqueInvertedIndex
 from repro.index.postings import ImpactView, Posting
+from repro.index.segment import MmapCliqueIndex
 from repro.index.threshold import (
     AccessStats,
     ImpactSortedSource,
@@ -23,17 +31,22 @@ from repro.index.threshold import (
 
 __all__ = [
     "AccessStats",
+    "BINARY_FORMAT_VERSION",
+    "BinaryFormatError",
+    "BinaryIndexReader",
     "CliqueInvertedIndex",
     "CompressedPosting",
     "ImpactSortedSource",
     "ImpactView",
+    "MmapCliqueIndex",
     "Posting",
     "compression_ratio",
     "decode_postings",
     "decode_varint",
     "encode_postings",
     "encode_varint",
-    "SortedListSource",
+    "read_section_table",
     "sorted_access_count",
     "threshold_algorithm",
+    "write_index_file",
 ]

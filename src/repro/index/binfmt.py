@@ -1,0 +1,660 @@
+"""Binary memory-mapped index format (v3) — the packed on-disk layout.
+
+``index.jsonl`` (format v2) parses every posting line on load: ~1 s at
+toy sizes and O(corpus) everywhere.  Format v3 is the classic IR
+answer: one file of packed contiguous sections that a reader ``mmap``s
+and decodes *per clique on demand*, so opening an index costs header
+parsing plus CRC sweeps — not a parse of every posting.
+
+Layout (all integers little-endian, sections 8-byte aligned)::
+
+    offset  size  field
+    0       8     magic  b"RPROIDX3"
+    8       4     u32 version (= 3)
+    12      4     u32 flags (must be 0)
+    16      4     u32 max_clique_size
+    20      4     u32 n_sections
+    24      8     u64 n_objects      (indexed-object count, may exceed
+                                      the ids actually present)
+    32      8     u64 n_cliques
+    40      8     u64 total_entries  (sum of posting lengths)
+    48      4     u32 header_crc    (crc32 of bytes [0, 48))
+    52      --    section table: n_sections records of
+                    8s name | u64 offset | u64 length | u32 crc | 4 pad
+    --      4     u32 table_crc     (crc32 of the section table bytes)
+    --      --    section payloads, each padded to 8-byte alignment
+
+Sections (fixed set, any order on disk):
+
+* ``objids`` — string table of every object id, **sorted**; the dense
+  integer id of an object is its rank here, so string ids round-trip.
+* ``keys`` — string table of every clique key, **sorted** (UTF-8 byte
+  order == code-point order), enabling binary-search lookup straight
+  off the mmap with no materialized dictionary.
+* ``postmeta`` — per key slot: posting byte offset/length, entry
+  count, entry offset into the float arrays, and CorS (NaN = unset).
+* ``order`` — u32 per clique: the slot of the i-th posting in the
+  original index iteration order, so a binary round trip preserves
+  iteration (and therefore re-serialization) order exactly.
+* ``postings`` — concatenated d-gap + varint streams of dense object
+  ids (:func:`repro.index.compression.encode_postings`).
+* ``freq`` / ``smooth`` — the two build-time Eq. 7 components as
+  contiguous f64 arrays, parallel to the decoded id streams.  f64 (not
+  f32) because loaded rankings must stay **bit-identical** to the
+  JSONL path and the in-memory build.
+
+String tables: ``u32 count | u32 offsets[count+1] | utf-8 blob``.
+
+Entry order inside a posting is canonicalized to ascending object id
+(string order == dense-int order), which is what d-gap encoding needs.
+That is a pure permutation of the JSONL entry order and cannot change
+any ranking: every consumer sorts by ``(-score, id)``
+(:meth:`Posting.impact_view`, ``SortedListSource``) before use.
+
+Corruption handling: every failure raises :class:`BinaryFormatError`
+carrying the section name and byte offset; the storage layer maps it
+to its ``StorageError`` taxonomy.  Metadata sections are CRC-checked
+at open; the payload sections (``postings``/``freq``/``smooth``) are
+checked too unless ``verify_payload=False`` (the escape hatch for
+paper-scale files where an O(file) CRC sweep is unwanted — structural
+bounds checks and per-posting varint validation still apply).
+"""
+
+from __future__ import annotations
+
+import math
+import mmap
+import os
+import struct
+import zlib
+from collections.abc import Sequence
+from pathlib import Path
+
+import numpy as np
+
+from repro.index.compression import decode_postings, encode_postings
+from repro.index.postings import Posting
+
+MAGIC = b"RPROIDX3"
+BINARY_FORMAT_VERSION = 3
+
+_HEADER = struct.Struct("<8sIIIIQQQ")
+_CRC = struct.Struct("<I")
+_SECTION_RECORD = struct.Struct("<8sQQI4x")
+_POSTMETA_RECORD = struct.Struct("<QIIQd")
+_POSTMETA_DTYPE = np.dtype(
+    [
+        ("post_off", "<u8"),
+        ("post_len", "<u4"),
+        ("count", "<u4"),
+        ("entry_off", "<u8"),
+        ("cors", "<f8"),
+    ]
+)
+
+#: The complete section set of a v3 file; readers require exactly these.
+SECTION_NAMES = ("objids", "keys", "postmeta", "order", "postings", "freq", "smooth")
+
+#: Sections whose CRC is always checked at open (cheap, metadata-sized).
+_EAGER_SECTIONS = frozenset({"objids", "keys", "postmeta", "order"})
+
+_ALIGN = 8
+
+
+class BinaryFormatError(ValueError):
+    """Malformed v3 binary index artifact.
+
+    ``section`` names the section the failure was detected in (or
+    ``"header"``/``"section-table"``); ``offset`` is the absolute byte
+    offset of the failing region when known.  Both are baked into the
+    message so the storage layer's ``StorageError`` wrapper reports
+    exactly which bytes went bad.
+    """
+
+    def __init__(
+        self, message: str, *, section: str | None = None, offset: int | None = None
+    ) -> None:
+        detail = []
+        if section is not None:
+            detail.append(f"section={section!r}")
+        if offset is not None:
+            detail.append(f"offset={offset}")
+        super().__init__(f"{message} ({', '.join(detail)})" if detail else message)
+        self.section = section
+        self.offset = offset
+
+
+def _string_table(strings: Sequence[str]) -> bytes:
+    """Pack ``strings`` as ``count | offsets[count+1] | utf-8 blob``."""
+    blob = bytearray()
+    offsets = [0]
+    for s in strings:
+        blob.extend(s.encode("utf-8"))
+        offsets.append(len(blob))
+    if len(blob) > 0xFFFFFFFF or len(strings) > 0xFFFFFFFF:
+        raise BinaryFormatError("string table exceeds u32 addressing")
+    return (
+        struct.pack("<I", len(strings))
+        + np.asarray(offsets, dtype="<u4").tobytes()
+        + bytes(blob)
+    )
+
+
+def _pad(buffer: bytearray) -> None:
+    remainder = len(buffer) % _ALIGN
+    if remainder:
+        buffer.extend(b"\x00" * (_ALIGN - remainder))
+
+
+def write_index_file(
+    file_path: str | Path,
+    postings: Sequence[Posting],
+    *,
+    n_objects: int,
+    max_clique_size: int,
+) -> Path:
+    """Serialize ``postings`` (in index iteration order) as a v3 file.
+
+    The write is atomic (temp file + ``os.replace``): a serving process
+    holding the previous artifact mmap'd keeps reading the old inode —
+    rewriting in place would hand it torn pages.
+    """
+    path = Path(file_path)
+    keys = [p.key for p in postings]
+    if len(set(keys)) != len(keys):
+        raise BinaryFormatError("duplicate posting keys in index")
+
+    all_ids: set[str] = set()
+    for posting in postings:
+        all_ids.update(posting.object_ids)
+    object_ids = sorted(all_ids)
+    rank = {oid: i for i, oid in enumerate(object_ids)}
+
+    slot_order = sorted(range(len(postings)), key=lambda i: keys[i])
+    slot_of = {posting_index: slot for slot, posting_index in enumerate(slot_order)}
+    order = np.asarray(
+        [slot_of[i] for i in range(len(postings))], dtype="<u4"
+    ).tobytes()
+
+    postmeta = bytearray()
+    streams = bytearray()
+    freq_parts = bytearray()
+    smooth_parts = bytearray()
+    total_entries = 0
+    for posting_index in slot_order:
+        posting = postings[posting_index]
+        entries = []
+        for i, oid in enumerate(posting.object_ids):
+            f, s = posting.components(i)
+            entries.append((rank[oid], f, s))
+        entries.sort(key=lambda e: e[0])
+        stream = encode_postings([e[0] for e in entries])
+        cors = posting.cors
+        postmeta.extend(
+            _POSTMETA_RECORD.pack(
+                len(streams),
+                len(stream),
+                len(entries),
+                total_entries,
+                math.nan if cors is None else float(cors),
+            )
+        )
+        streams.extend(stream)
+        freq_parts.extend(np.asarray([e[1] for e in entries], dtype="<f8").tobytes())
+        smooth_parts.extend(np.asarray([e[2] for e in entries], dtype="<f8").tobytes())
+        total_entries += len(entries)
+
+    sections: dict[str, bytes] = {
+        "objids": _string_table(object_ids),
+        "keys": _string_table([keys[i] for i in slot_order]),
+        "postmeta": bytes(postmeta),
+        "order": order,
+        "postings": bytes(streams),
+        "freq": bytes(freq_parts),
+        "smooth": bytes(smooth_parts),
+    }
+
+    table_start = _HEADER.size + _CRC.size
+    payload_start = table_start + len(SECTION_NAMES) * _SECTION_RECORD.size + _CRC.size
+    body = bytearray(b"\x00" * payload_start)
+    _pad(body)
+    records = []
+    for name in SECTION_NAMES:
+        payload = sections[name]
+        records.append((name, len(body), len(payload), zlib.crc32(payload)))
+        body.extend(payload)
+        _pad(body)
+
+    header = _HEADER.pack(
+        MAGIC,
+        BINARY_FORMAT_VERSION,
+        0,
+        max_clique_size,
+        len(SECTION_NAMES),
+        n_objects,
+        len(postings),
+        total_entries,
+    )
+    body[0:_HEADER.size] = header
+    body[_HEADER.size:table_start] = _CRC.pack(zlib.crc32(header))
+    table = bytearray()
+    for name, offset, length, crc in records:
+        table.extend(_SECTION_RECORD.pack(name.encode("ascii"), offset, length, crc))
+    body[table_start:table_start + len(table)] = table
+    table_end = table_start + len(table)
+    body[table_end:table_end + _CRC.size] = _CRC.pack(zlib.crc32(bytes(table)))
+
+    tmp_path = path.with_name(path.name + ".tmp")
+    tmp_path.write_bytes(bytes(body))
+    os.replace(tmp_path, path)
+    return path
+
+
+def read_section_table(file_path: str | Path) -> dict[str, tuple[int, int]]:
+    """``{section name: (absolute offset, length)}`` of a v3 file —
+    the corruption-test hook (flip a byte *inside* a named section)."""
+    with BinaryIndexReader(file_path, verify_payload=False) as reader:
+        return dict(reader.sections)
+
+
+class BinaryIndexReader:
+    """mmap-backed random access into one v3 index file.
+
+    Opening parses the header and section table, validates structure
+    (bounds, string-table monotonicity, postmeta consistency, the order
+    permutation) and CRC-checks the metadata sections — plus the
+    payload sections when ``verify_payload`` (the default).  Postings
+    decode lazily, one clique at a time; the float arrays are zero-copy
+    views into the mapping.
+
+    The mapping is read-only and shared: concurrent readers (threads or
+    forked worker processes) and successive serving generations over
+    the same artifact all hit the same page-cache pages.
+    """
+
+    def __init__(self, file_path: str | Path, *, verify_payload: bool = True) -> None:
+        self._path = Path(file_path)
+        try:
+            self._file = open(self._path, "rb")
+        except FileNotFoundError:
+            raise BinaryFormatError(f"missing binary index artifact: {self._path}") from None
+        except OSError as exc:
+            raise BinaryFormatError(f"unreadable binary index artifact: {exc}") from exc
+        try:
+            self._mm = mmap.mmap(self._file.fileno(), 0, access=mmap.ACCESS_READ)
+        except (OSError, ValueError) as exc:
+            self._file.close()
+            raise BinaryFormatError(
+                f"cannot mmap {self._path}: {exc}", section="header", offset=0
+            ) from exc
+        try:
+            self._parse(verify_payload)
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    # open-time validation
+    # ------------------------------------------------------------------
+    def _parse(self, verify_payload: bool) -> None:
+        mm = self._mm
+        size = len(mm)
+        if size < _HEADER.size + _CRC.size:
+            raise BinaryFormatError(
+                f"file too small for a v3 header ({size} bytes)",
+                section="header",
+                offset=0,
+            )
+        magic, version, flags, max_clique_size, n_sections, n_objects, n_cliques, total = (
+            _HEADER.unpack_from(mm, 0)
+        )
+        if magic != MAGIC:
+            raise BinaryFormatError(
+                f"bad magic {magic!r} (expected {MAGIC!r})", section="header", offset=0
+            )
+        if version != BINARY_FORMAT_VERSION:
+            raise BinaryFormatError(
+                f"unsupported binary index version {version}", section="header", offset=8
+            )
+        if flags != 0:
+            raise BinaryFormatError(
+                f"unknown header flags {flags:#x}", section="header", offset=12
+            )
+        (header_crc,) = _CRC.unpack_from(mm, _HEADER.size)
+        if zlib.crc32(mm[0:_HEADER.size]) != header_crc:
+            raise BinaryFormatError("header CRC mismatch", section="header", offset=0)
+        if n_sections != len(SECTION_NAMES):
+            raise BinaryFormatError(
+                f"expected {len(SECTION_NAMES)} sections, header says {n_sections}",
+                section="header",
+                offset=20,
+            )
+
+        table_start = _HEADER.size + _CRC.size
+        table_size = n_sections * _SECTION_RECORD.size
+        if size < table_start + table_size + _CRC.size:
+            raise BinaryFormatError(
+                "file truncated inside the section table",
+                section="section-table",
+                offset=table_start,
+            )
+        table_bytes = mm[table_start:table_start + table_size]
+        (table_crc,) = _CRC.unpack_from(mm, table_start + table_size)
+        if zlib.crc32(table_bytes) != table_crc:
+            raise BinaryFormatError(
+                "section table CRC mismatch", section="section-table", offset=table_start
+            )
+
+        sections: dict[str, tuple[int, int]] = {}
+        crcs: dict[str, int] = {}
+        for i in range(n_sections):
+            raw_name, offset, length, crc = _SECTION_RECORD.unpack_from(
+                table_bytes, i * _SECTION_RECORD.size
+            )
+            name = raw_name.rstrip(b"\x00").decode("ascii", errors="replace")
+            if name not in SECTION_NAMES or name in sections:
+                raise BinaryFormatError(
+                    f"unexpected section {name!r}",
+                    section="section-table",
+                    offset=table_start + i * _SECTION_RECORD.size,
+                )
+            if offset + length > size:
+                raise BinaryFormatError(
+                    f"section extends past end of file ({offset}+{length} > {size}); "
+                    "truncated artifact?",
+                    section=name,
+                    offset=offset,
+                )
+            sections[name] = (offset, length)
+            crcs[name] = crc
+        missing = set(SECTION_NAMES) - set(sections)
+        if missing:
+            raise BinaryFormatError(
+                f"missing sections: {sorted(missing)}",
+                section="section-table",
+                offset=table_start,
+            )
+
+        for name in SECTION_NAMES:
+            if name in _EAGER_SECTIONS or verify_payload:
+                offset, length = sections[name]
+                if zlib.crc32(mm[offset:offset + length]) != crcs[name]:
+                    raise BinaryFormatError(
+                        "section CRC mismatch (bit flip or truncation)",
+                        section=name,
+                        offset=offset,
+                    )
+
+        self.version = version
+        self.max_clique_size = int(max_clique_size)
+        self.n_objects = int(n_objects)
+        self.n_cliques = int(n_cliques)
+        self.total_entries = int(total)
+        self.sections = sections
+        self._section_crcs = crcs
+
+        self._objid_offsets, self._objid_blob_start, self._n_objid = self._open_strings(
+            "objids"
+        )
+        self._key_offsets, self._key_blob_start, n_keys = self._open_strings("keys")
+        if n_keys != self.n_cliques:
+            raise BinaryFormatError(
+                f"key table holds {n_keys} keys, header promises {self.n_cliques}",
+                section="keys",
+                offset=sections["keys"][0],
+            )
+        self._postmeta = self._open_postmeta()
+        self._order = self._open_order()
+        self._post_base = sections["postings"][0]
+        self._freq = self._open_floats("freq")
+        self._smooth = self._open_floats("smooth")
+
+    def _section(self, name: str) -> tuple[int, int]:
+        return self.sections[name]
+
+    def _open_strings(self, name: str) -> tuple[np.ndarray, int, int]:
+        offset, length = self._section(name)
+        if length < 8:
+            raise BinaryFormatError(
+                "string table shorter than its own header", section=name, offset=offset
+            )
+        (count,) = struct.unpack_from("<I", self._mm, offset)
+        offsets_start = offset + 4
+        blob_start = offsets_start + 4 * (count + 1)
+        if blob_start > offset + length:
+            raise BinaryFormatError(
+                f"string table offsets for {count} entries exceed the section",
+                section=name,
+                offset=offset,
+            )
+        offsets = np.frombuffer(self._mm, dtype="<u4", count=count + 1, offset=offsets_start)
+        blob_len = (offset + length) - blob_start
+        if int(offsets[0]) != 0 or int(offsets[-1]) != blob_len:
+            raise BinaryFormatError(
+                "string table blob does not match its offsets",
+                section=name,
+                offset=offsets_start,
+            )
+        if count and bool(np.any(np.diff(offsets.astype(np.int64)) < 0)):
+            raise BinaryFormatError(
+                "string table offsets are not monotone", section=name, offset=offsets_start
+            )
+        return offsets, blob_start, count
+
+    def _open_postmeta(self) -> np.ndarray:
+        offset, length = self._section("postmeta")
+        expected = self.n_cliques * _POSTMETA_RECORD.size
+        if length != expected:
+            raise BinaryFormatError(
+                f"postmeta is {length} bytes, expected {expected} for "
+                f"{self.n_cliques} cliques",
+                section="postmeta",
+                offset=offset,
+            )
+        meta = np.frombuffer(self._mm, dtype=_POSTMETA_DTYPE, count=self.n_cliques, offset=offset)
+        post_len = self._section("postings")[1]
+        if self.n_cliques:
+            counts = meta["count"].astype(np.int64)
+            if int(counts.sum()) != self.total_entries:
+                raise BinaryFormatError(
+                    "posting counts do not sum to the header's total_entries",
+                    section="postmeta",
+                    offset=offset,
+                )
+            ends = meta["post_off"].astype(np.int64) + meta["post_len"].astype(np.int64)
+            if bool(np.any(ends > post_len)):
+                raise BinaryFormatError(
+                    "a posting stream extends past the postings section",
+                    section="postmeta",
+                    offset=offset,
+                )
+            entry_ends = meta["entry_off"].astype(np.int64) + counts
+            if bool(np.any(entry_ends > self.total_entries)):
+                raise BinaryFormatError(
+                    "a posting's component range extends past the float arrays",
+                    section="postmeta",
+                    offset=offset,
+                )
+        elif self.total_entries:
+            raise BinaryFormatError(
+                "zero cliques but nonzero total_entries", section="postmeta", offset=offset
+            )
+        return meta
+
+    def _open_order(self) -> np.ndarray:
+        offset, length = self._section("order")
+        if length != self.n_cliques * 4:
+            raise BinaryFormatError(
+                f"order section is {length} bytes, expected {self.n_cliques * 4}",
+                section="order",
+                offset=offset,
+            )
+        order = np.frombuffer(self._mm, dtype="<u4", count=self.n_cliques, offset=offset)
+        if self.n_cliques:
+            seen = np.bincount(order.astype(np.int64), minlength=self.n_cliques)
+            if len(seen) != self.n_cliques or bool(np.any(seen != 1)):
+                raise BinaryFormatError(
+                    "order section is not a permutation of the slots",
+                    section="order",
+                    offset=offset,
+                )
+        return order
+
+    def _open_floats(self, name: str) -> np.ndarray:
+        offset, length = self._section(name)
+        if length != self.total_entries * 8:
+            raise BinaryFormatError(
+                f"{name} array is {length} bytes, expected {self.total_entries * 8}",
+                section=name,
+                offset=offset,
+            )
+        return np.frombuffer(self._mm, dtype="<f8", count=self.total_entries, offset=offset)
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def object_count(self) -> int:
+        """Number of distinct object ids present in postings (may be
+        below ``n_objects`` when some objects produced no cliques)."""
+        return self._n_objid
+
+    def object_id_at(self, dense: int) -> str:
+        """The string id of dense integer id ``dense``."""
+        if not 0 <= dense < self._n_objid:
+            raise BinaryFormatError(
+                f"dense object id {dense} out of range [0, {self._n_objid})",
+                section="objids",
+            )
+        start = self._objid_blob_start + int(self._objid_offsets[dense])
+        end = self._objid_blob_start + int(self._objid_offsets[dense + 1])
+        return self._mm[start:end].decode("utf-8")
+
+    def _key_bytes(self, slot: int) -> bytes:
+        start = self._key_blob_start + int(self._key_offsets[slot])
+        end = self._key_blob_start + int(self._key_offsets[slot + 1])
+        return self._mm[start:end]
+
+    def key_at(self, slot: int) -> str:
+        if not 0 <= slot < self.n_cliques:
+            raise BinaryFormatError(f"slot {slot} out of range [0, {self.n_cliques})")
+        return self._key_bytes(slot).decode("utf-8")
+
+    def find_slot(self, key: str) -> int | None:
+        """Binary search the sorted key table; ``None`` when absent.
+
+        UTF-8 byte order equals code-point order, so comparing raw key
+        bytes against the probe's encoding is exact.
+        """
+        target = key.encode("utf-8")
+        lo, hi = 0, self.n_cliques
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._key_bytes(mid) < target:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < self.n_cliques and self._key_bytes(lo) == target:
+            return lo
+        return None
+
+    def posting_length(self, slot: int) -> int:
+        return int(self._postmeta[slot]["count"])
+
+    def posting_lengths(self) -> np.ndarray:
+        """All posting lengths, slot-ordered (stats without decoding)."""
+        return self._postmeta["count"].astype(np.int64)
+
+    def posting_cors(self, slot: int) -> float | None:
+        cors = float(self._postmeta[slot]["cors"])
+        return None if math.isnan(cors) else cors
+
+    def read_posting(self, slot: int) -> tuple[list[str], list[float], list[float], float | None]:
+        """Decode slot ``slot``: ``(object_ids, freq, smooth, cors)``.
+
+        Ids come back in ascending (string == dense) order; the float
+        lists are parallel to them and bit-exact (f64 round trip).
+        """
+        # scalar extraction only — holding the structured row (a view
+        # into the mapping) in a local would pin the mmap open if this
+        # frame ends up captured by an exception traceback.
+        post_off = int(self._postmeta[slot]["post_off"])
+        post_len = int(self._postmeta[slot]["post_len"])
+        count = int(self._postmeta[slot]["count"])
+        start = self._post_base + post_off
+        data = self._mm[start:start + post_len]
+        try:
+            ranks = decode_postings(data)
+        except ValueError as exc:
+            raise BinaryFormatError(
+                f"undecodable posting stream for slot {slot}: {exc}",
+                section="postings",
+                offset=start,
+            ) from exc
+        if len(ranks) != count:
+            raise BinaryFormatError(
+                f"posting stream for slot {slot} decodes to {len(ranks)} ids, "
+                f"postmeta promises {count}",
+                section="postings",
+                offset=start,
+            )
+        if ranks and ranks[-1] >= self._n_objid:
+            raise BinaryFormatError(
+                f"posting stream for slot {slot} references dense id {ranks[-1]} "
+                f"outside the object table ({self._n_objid} ids)",
+                section="postings",
+                offset=start,
+            )
+        ids = [self.object_id_at(r) for r in ranks]
+        entry_off = int(self._postmeta[slot]["entry_off"])
+        freq = self._freq[entry_off:entry_off + count].tolist()
+        smooth = self._smooth[entry_off:entry_off + count].tolist()
+        return ids, freq, smooth, self.posting_cors(slot)
+
+    def iteration_order(self) -> list[int]:
+        """Slots in original index iteration order."""
+        return [int(s) for s in self._order]
+
+    def verify(self) -> None:
+        """CRC-check every section (including payloads) — the full
+        integrity sweep behind ``repro index convert --verify``."""
+        for name in SECTION_NAMES:
+            offset, length = self.sections[name]
+            if zlib.crc32(self._mm[offset:offset + length]) != self._section_crcs[name]:
+                raise BinaryFormatError(
+                    "section CRC mismatch (bit flip or truncation)",
+                    section=name,
+                    offset=offset,
+                )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the mapping.  Views handed out by ``read_posting``
+        are copies, so closing is always safe after use."""
+        for attr in ("_objid_offsets", "_key_offsets", "_postmeta", "_order", "_freq", "_smooth"):
+            if hasattr(self, attr):
+                delattr(self, attr)
+        if hasattr(self, "_mm"):
+            self._mm.close()
+            del self._mm
+        if hasattr(self, "_file"):
+            self._file.close()
+            del self._file
+
+    def __enter__(self) -> "BinaryIndexReader":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BinaryIndexReader({str(self._path)!r}, n_cliques={self.n_cliques}, "
+            f"n_objects={self.n_objects})"
+        )

@@ -70,6 +70,31 @@ class Posting:
         self._smooth: list[float] = []
         self._views: dict[float, ImpactView] = {}
 
+    @classmethod
+    def from_arrays(
+        cls,
+        key: str,
+        cors: float | None,
+        object_ids: list[str],
+        freq: list[float],
+        smooth: list[float],
+    ) -> "Posting":
+        """Construct directly from parallel arrays — the deserialization
+        fast path (binary segment decode), which bypasses the per-entry
+        tail checks of :meth:`add` because the reader already validated
+        structure.  The arrays are adopted, not copied."""
+        if len(freq) != len(object_ids) or len(smooth) != len(object_ids):
+            raise ValueError(
+                f"posting {key!r}: component arrays do not match the id list"
+            )
+        posting = cls(key, cors=cors)
+        posting._object_ids = object_ids
+        posting._freq = freq
+        posting._smooth = smooth
+        if contracts_enabled():
+            check_no_duplicates(object_ids, what=f"posting {key!r}")
+        return posting
+
     @property
     def key(self) -> str:
         """Canonical clique key (see :attr:`repro.core.cliques.Clique.key`)."""

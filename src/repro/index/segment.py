@@ -1,0 +1,173 @@
+"""Memory-mapped index segment: the query-side view of a v3 artifact.
+
+:class:`MmapCliqueIndex` is a read-only :class:`CliqueInvertedIndex`
+whose postings live in a :class:`~repro.index.binfmt.BinaryIndexReader`
+mapping and decode **lazily, one clique per first touch**.  A decoded
+posting is a plain :class:`~repro.index.postings.Posting`, so every
+downstream consumer — ``impact_view`` caching, ``ImpactSortedSource``,
+the Threshold Algorithm, the rescore parity path — works unchanged and
+produces bit-identical rankings; queries only ever pay for the cliques
+they actually touch.
+
+Concurrency: serving threads may race to materialize the same posting;
+both build equal objects from the same bytes and the last dict write
+wins — harmless, the same discipline as the posting impact-view cache.
+Forked worker processes share the underlying read-only mapping through
+the page cache, which is the multi-process-serving story the ROADMAP
+asks for.
+
+Mutation (``add_object`` / ``build`` / ``adopt_posting`` / ``rescore``)
+raises ``TypeError``: a mapped segment is immutable by construction.
+Streaming ingest composes *around* segments (delta segment + merge),
+not by writing into one.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from typing import NoReturn
+
+from repro.core.cliques import Clique
+from repro.core.correlation import CorrelationModel
+from repro.core.objects import MediaObject
+from repro.index.binfmt import BinaryIndexReader
+from repro.index.inverted import CliqueInvertedIndex
+from repro.index.postings import Posting
+
+
+class MmapCliqueIndex(CliqueInvertedIndex):
+    """Read-only inverted index over an mmap'd v3 segment.
+
+    Parameters
+    ----------
+    reader:
+        Open :class:`BinaryIndexReader`; the index takes ownership and
+        closes it via :meth:`close`.
+    correlations:
+        Correlation model, used only to fill a missing CorS on lookup
+        (v3 artifacts normally store every CorS).
+    max_clique_size:
+        Optional override of the stored clique-size bound.
+    """
+
+    def __init__(
+        self,
+        reader: BinaryIndexReader,
+        correlations: CorrelationModel,
+        max_clique_size: int | None = None,
+    ) -> None:
+        bound = max_clique_size if max_clique_size is not None else reader.max_clique_size
+        super().__init__(correlations, max_clique_size=bound)
+        self._reader = reader
+        self.set_n_objects(reader.n_objects)
+
+    # ------------------------------------------------------------------
+    # lazy materialization
+    # ------------------------------------------------------------------
+    @property
+    def reader(self) -> BinaryIndexReader:
+        return self._reader
+
+    def _materialize(self, key: str, slot: int) -> Posting:
+        posting = self._postings.get(key)
+        if posting is None:
+            ids, freq, smooth, cors = self._reader.read_posting(slot)
+            posting = Posting.from_arrays(key, cors, ids, freq, smooth)
+            self._postings[key] = posting
+        return posting
+
+    # ------------------------------------------------------------------
+    # read API (overrides resolving against the segment)
+    # ------------------------------------------------------------------
+    def lookup(self, clique: Clique | str) -> Posting | None:
+        key = clique.key if isinstance(clique, Clique) else clique
+        posting = self._postings.get(key)
+        if posting is None:
+            slot = self._reader.find_slot(key)
+            if slot is None:
+                return None
+            posting = self._materialize(key, slot)
+        if posting.cors is None:
+            posting.set_cors(self._cor.cors(Clique.from_key(key).features))
+        return posting
+
+    def __len__(self) -> int:
+        return self._reader.n_cliques
+
+    def __contains__(self, clique: Clique | str) -> bool:
+        key = clique.key if isinstance(clique, Clique) else clique
+        return key in self._postings or self._reader.find_slot(key) is not None
+
+    def iter_postings(self) -> Iterator[Posting]:
+        """Materialize and yield every posting in the artifact's stored
+        iteration order (the order the source index serialized in) —
+        the full-scan path behind re-serialization and conversion."""
+        for slot in self._reader.iteration_order():
+            yield self._materialize(self._reader.key_at(slot), slot)
+
+    def candidates(self, cliques: Iterable[Clique]) -> set[str]:
+        result: set[str] = set()
+        for clique in cliques:
+            posting = self.lookup(clique)
+            if posting is not None:
+                result.update(posting.object_ids)
+        return result
+
+    def precompute_impact(self, alpha: float) -> None:
+        for posting in self.iter_postings():
+            posting.impact_view(alpha)
+
+    def stats(self) -> dict[str, float]:
+        """Size/selectivity summary straight off the postmeta section —
+        no posting is decoded."""
+        lengths = self._reader.posting_lengths()
+        n_cliques = self._reader.n_cliques
+        total = int(lengths.sum()) if n_cliques else 0
+        return {
+            "n_objects": float(self.n_objects),
+            "n_cliques": float(n_cliques),
+            "total_postings": float(total),
+            "avg_posting_length": total / n_cliques if n_cliques else 0.0,
+            "max_posting_length": float(lengths.max()) if n_cliques else 0.0,
+        }
+
+    # ------------------------------------------------------------------
+    # immutability
+    # ------------------------------------------------------------------
+    def _read_only(self) -> NoReturn:
+        raise TypeError(
+            "MmapCliqueIndex is read-only: it serves a mapped on-disk segment; "
+            "build a CliqueInvertedIndex (or a new artifact) to change contents"
+        )
+
+    def add_object(self, obj: MediaObject) -> int:
+        self._read_only()
+
+    def build(
+        self, objects: Iterable[MediaObject], n_workers: int = 1
+    ) -> "CliqueInvertedIndex":
+        self._read_only()
+
+    def adopt_posting(self, posting: Posting) -> None:
+        self._read_only()
+
+    def rescore(self, corpus: Iterable[MediaObject]) -> None:
+        self._read_only()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the underlying mapping.  Materialized postings keep
+        working (they own their decoded arrays); further lookups of
+        not-yet-touched cliques will fail."""
+        self._reader.close()
+
+    def __enter__(self) -> "MmapCliqueIndex":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MmapCliqueIndex({str(self._reader.path)!r}, n_cliques={len(self)})"

@@ -256,14 +256,18 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
         for name, value in (headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
+        # Account for the request before flushing the body: a client that
+        # pipelines a /metrics probe right behind its response must see
+        # this request already counted (and a hung-up client still
+        # consumed server work, so it counts too).
+        latency = time.perf_counter() - started
+        self.server.request_counter.inc(endpoint=endpoint, status=str(status))
+        self.server.latency_histogram.observe(latency, endpoint=endpoint)
         try:
             self.wfile.write(body)
         except (BrokenPipeError, ConnectionResetError):
             # The client hung up; the response is already accounted for.
             pass
-        latency = time.perf_counter() - started
-        self.server.request_counter.inc(endpoint=endpoint, status=str(status))
-        self.server.latency_histogram.observe(latency, endpoint=endpoint)
         cache_hit = payload.get("cached") if isinstance(payload, dict) else None
         generation = payload.get("generation") if isinstance(payload, dict) else None
         ACCESS_LOGGER.info(

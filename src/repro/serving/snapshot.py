@@ -32,15 +32,22 @@ from repro.core.retrieval import RetrievalEngine
 from repro.index.inverted import CliqueInvertedIndex
 from repro.social.corpus import Corpus
 from repro.storage.store import (
-    INDEX_FORMAT_VERSION,
+    BINARY_INDEX_FORMAT_VERSION,
     StorageError,
+    index_artifact_version,
     load_corpus,
     load_index,
     load_params,
 )
 
-#: Artifact the snapshot loader probes for a persisted retrieval index
-#: (written by ``repro index`` / :func:`repro.storage.store.save_index`).
+#: Artifacts the snapshot loader probes for a persisted retrieval index
+#: (written by ``repro index`` / :func:`repro.storage.store.save_index`),
+#: in preference order: the v3 binary artifact loads O(metadata) via
+#: mmap (read-only pages shared across reloads and worker processes),
+#: the v2 JSONL artifact is the parse-on-load fallback.
+INDEX_ARTIFACTS = ("index.bin", "index.jsonl")
+
+#: Back-compat alias (pre-binary name of the single probed artifact).
 INDEX_ARTIFACT = "index.jsonl"
 
 
@@ -49,10 +56,12 @@ class IndexProvenance:
     """Where the serving retrieval index came from, and what it holds.
 
     ``origin`` is ``"built"`` (preprocessed from the corpus at load
-    time) or ``"loaded"`` (deserialized from ``index.jsonl``);
+    time) or ``"loaded"`` (picked up from ``index.bin``/``index.jsonl``);
     ``build_seconds`` is the wall time of whichever of those happened.
-    Surfaced verbatim by the service's ``/stats`` endpoint so operators
-    can tell a cold preprocessing run from an artifact pickup.
+    ``format_version`` is the artifact's on-disk version (3 = binary
+    mmap, 2 = JSONL; a built snapshot reports the current default save
+    format).  Surfaced verbatim by the service's ``/stats`` endpoint so
+    operators can tell a cold preprocessing run from an artifact pickup.
     """
 
     origin: str
@@ -149,30 +158,38 @@ def build_snapshot(
 def _attach_index(
     engine: RetrievalEngine, corpus: Corpus, directory: Path
 ) -> tuple[RetrievalEngine, IndexProvenance]:
-    """Give the engine its retrieval index: pick up ``index.jsonl`` when
-    a valid one sits next to the corpus, otherwise preprocess.
+    """Give the engine its retrieval index: pick up ``index.bin`` (v3
+    mmap) or ``index.jsonl`` when a valid one sits next to the corpus,
+    otherwise preprocess.
 
     A stale artifact (object count differing from the corpus) or a
-    corrupt one falls back to building — serving correctness never
-    depends on the artifact being right, only cold-start time does.
+    corrupt one falls through — first to the next artifact format, then
+    to building — serving correctness never depends on an artifact
+    being right, only cold-start time does.  The binary artifact's
+    mapping is read-only, so successive generations reloading the same
+    file share page-cache pages instead of re-parsing.
     """
-    artifact = directory.joinpath(INDEX_ARTIFACT)
-    if artifact.is_file():
+    for name in INDEX_ARTIFACTS:
+        artifact = directory.joinpath(name)
+        if not artifact.is_file():
+            continue
         started = time.perf_counter()
         try:
             index = load_index(artifact, engine.correlations, corpus=corpus)
+            version = index_artifact_version(artifact)
         except StorageError:
-            index = None
-        if index is not None and index.n_objects == len(corpus):
-            engine.adopt_index(index)
-            stats = index.stats()
-            return engine, IndexProvenance(
-                origin="loaded",
-                build_seconds=time.perf_counter() - started,
-                n_cliques=int(stats["n_cliques"]),
-                total_postings=int(stats["total_postings"]),
-                format_version=INDEX_FORMAT_VERSION,
-            )
+            continue
+        if index.n_objects != len(corpus):
+            continue
+        engine.adopt_index(index)
+        stats = index.stats()
+        return engine, IndexProvenance(
+            origin="loaded",
+            build_seconds=time.perf_counter() - started,
+            n_cliques=int(stats["n_cliques"]),
+            total_postings=int(stats["total_postings"]),
+            format_version=version,
+        )
 
     started = time.perf_counter()
     index = CliqueInvertedIndex(
@@ -185,7 +202,7 @@ def _attach_index(
         build_seconds=time.perf_counter() - started,
         n_cliques=int(stats["n_cliques"]),
         total_postings=int(stats["total_postings"]),
-        format_version=INDEX_FORMAT_VERSION,
+        format_version=BINARY_INDEX_FORMAT_VERSION,
     )
 
 

@@ -113,9 +113,10 @@ def test_twin_tie_broken_by_ascending_id(engines, tie_corpus):
     assert scan_top[0].score == scan_top[1].score
 
 
-def test_parity_survives_persistence_round_trip(base_engine, tie_corpus, tmp_path):
-    path = tmp_path / "index.jsonl"
-    save_index(base_engine.index, path)
+@pytest.mark.parametrize("format", ["jsonl", "binary"])
+def test_parity_survives_persistence_round_trip(base_engine, tie_corpus, tmp_path, format):
+    path = tmp_path / ("index.jsonl" if format == "jsonl" else "index.bin")
+    save_index(base_engine.index, path, format=format)
     reloaded = RetrievalEngine(tie_corpus, params=MRFParameters(), build_index=False)
     reloaded.adopt_index(load_index(path, reloaded.correlations))
     for q in range(N_QUERIES):

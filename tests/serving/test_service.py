@@ -206,7 +206,7 @@ def test_healthz_and_stats(service, loaded_manager):
 
 
 def test_stats_reports_index_provenance(service, loaded_manager):
-    from repro.storage.store import INDEX_FORMAT_VERSION
+    from repro.storage.store import BINARY_INDEX_FORMAT_VERSION
 
     index_stats = service.stats()["index"]
     prov = loaded_manager.current.index_provenance
@@ -214,7 +214,8 @@ def test_stats_reports_index_provenance(service, loaded_manager):
     assert index_stats["build_seconds"] == prov.build_seconds
     assert index_stats["cliques"] == prov.n_cliques
     assert index_stats["postings"] == prov.total_postings
-    assert index_stats["format_version"] == INDEX_FORMAT_VERSION
+    # a built snapshot reports the current default save format (v3 binary)
+    assert index_stats["format_version"] == BINARY_INDEX_FORMAT_VERSION
 
 
 def test_stats_index_provenance_loaded_artifact(tmp_path, tiny_corpus):

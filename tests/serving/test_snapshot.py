@@ -148,6 +148,66 @@ def test_corrupt_index_artifact_falls_back_to_build(tmp_path, tiny_corpus):
     assert snapshot.index_provenance.origin == "built"
 
 
+def test_binary_artifact_next_to_corpus_is_picked_up(tmp_path, tiny_corpus):
+    from repro.storage.store import BINARY_INDEX_FORMAT_VERSION, save_index
+
+    path = _corpus_on_disk(tmp_path, tiny_corpus)
+    built = build_snapshot(path, generation=1)
+    save_index(built.engine.index, path / "index.bin")
+
+    loaded = build_snapshot(path, generation=2)
+    prov = loaded.index_provenance
+    assert prov.origin == "loaded"
+    assert prov.format_version == BINARY_INDEX_FORMAT_VERSION
+    assert prov.n_cliques == len(built.engine.index)
+    query = loaded.corpus[0]
+    assert loaded.engine.search(query, k=5) == built.engine.search(query, k=5)
+
+
+def test_binary_artifact_preferred_over_jsonl(tmp_path, tiny_corpus):
+    from repro.storage.store import BINARY_INDEX_FORMAT_VERSION, save_index
+
+    path = _corpus_on_disk(tmp_path, tiny_corpus)
+    built = build_snapshot(path, generation=1)
+    save_index(built.engine.index, path / "index.bin")
+    save_index(built.engine.index, path / "index.jsonl")
+
+    loaded = build_snapshot(path, generation=2)
+    assert loaded.index_provenance.origin == "loaded"
+    assert loaded.index_provenance.format_version == BINARY_INDEX_FORMAT_VERSION
+
+
+def test_corrupt_binary_falls_back_to_jsonl(tmp_path, tiny_corpus):
+    from repro.storage.store import INDEX_FORMAT_VERSION, save_index
+
+    path = _corpus_on_disk(tmp_path, tiny_corpus)
+    built = build_snapshot(path, generation=1)
+    save_index(built.engine.index, path / "index.jsonl")
+    (path / "index.bin").write_bytes(b"RPROIDX3 but then garbage")
+
+    loaded = build_snapshot(path, generation=2)
+    assert loaded.index_provenance.origin == "loaded"
+    assert loaded.index_provenance.format_version == INDEX_FORMAT_VERSION
+
+
+def test_stale_binary_falls_back_to_build(tmp_path, tiny_corpus):
+    """A binary artifact for a different corpus size is stale: the
+    loader probes the next artifact, and failing that, builds."""
+    from repro.index.inverted import CliqueInvertedIndex
+    from repro.storage.store import save_index
+
+    path = _corpus_on_disk(tmp_path, tiny_corpus)
+    built = build_snapshot(path, generation=1)
+    stale = CliqueInvertedIndex(
+        built.engine.correlations, max_clique_size=built.engine.params.max_clique_size
+    ).build(list(tiny_corpus)[: len(tiny_corpus) // 2])
+    save_index(stale, path / "index.bin")
+
+    snapshot = build_snapshot(path, generation=2)
+    assert snapshot.index_provenance.origin == "built"
+    assert snapshot.engine.index.n_objects == len(tiny_corpus)
+
+
 def test_no_index_no_provenance(tmp_path, tiny_corpus):
     snapshot = build_snapshot(
         _corpus_on_disk(tmp_path, tiny_corpus), generation=1, build_index=False

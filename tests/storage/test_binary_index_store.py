@@ -1,0 +1,268 @@
+"""Binary (v3) index persistence through the storage layer.
+
+Covers the store-level contract on top of ``repro.index.binfmt``:
+format autodetection by content (magic sniff, never file name), the
+lazily-decoding :class:`MmapCliqueIndex` load path, cross-format
+conversion in both directions, and corruption surfacing through the
+``StorageError`` taxonomy with the failing section named.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.index.binfmt import read_section_table
+from repro.index.inverted import CliqueInvertedIndex
+from repro.index.segment import MmapCliqueIndex
+from repro.storage.store import (
+    BINARY_INDEX_FORMAT_VERSION,
+    INDEX_FORMAT_VERSION,
+    StorageError,
+    convert_index,
+    index_artifact_version,
+    load_index,
+    save_index,
+)
+
+
+@pytest.fixture(scope="module")
+def built(tiny_corpus, correlations):
+    return CliqueInvertedIndex(correlations, max_clique_size=2).build(tiny_corpus)
+
+
+@pytest.fixture()
+def binary_artifact(built, tmp_path):
+    return save_index(built, tmp_path / "index.bin")
+
+
+@pytest.fixture()
+def jsonl_artifact(built, tmp_path):
+    return save_index(built, tmp_path / "index.jsonl")
+
+
+def _assert_equivalent(a: CliqueInvertedIndex, b: CliqueInvertedIndex) -> None:
+    """Same postings with bit-identical per-object components.
+
+    Entry *order* within a posting may differ (the binary format
+    canonicalizes to ascending id), so compare per-id — order
+    differences cannot affect rankings (every consumer sorts).
+    """
+    assert len(a) == len(b)
+    assert a.n_objects == b.n_objects
+    for posting in a.iter_postings():
+        other = b.lookup(posting.key)
+        assert other is not None
+        assert sorted(other.object_ids) == sorted(posting.object_ids)
+        assert other.cors == posting.cors
+        mine = {
+            oid: posting.components(i) for i, oid in enumerate(posting.object_ids)
+        }
+        theirs = {
+            oid: other.components(i) for i, oid in enumerate(other.object_ids)
+        }
+        assert mine == theirs
+
+
+# ----------------------------------------------------------------------
+# save / load
+# ----------------------------------------------------------------------
+def test_binary_round_trip_bit_identical(built, binary_artifact, correlations):
+    loaded = load_index(binary_artifact, correlations)
+    assert isinstance(loaded, MmapCliqueIndex)
+    _assert_equivalent(built, loaded)
+    loaded.close()
+
+
+def test_auto_format_by_suffix(built, tmp_path):
+    bin_path = save_index(built, tmp_path / "index.bin")
+    jsonl_path = save_index(built, tmp_path / "index.jsonl")
+    assert index_artifact_version(bin_path) == BINARY_INDEX_FORMAT_VERSION == 3
+    assert index_artifact_version(jsonl_path) == INDEX_FORMAT_VERSION == 2
+
+
+def test_explicit_format_beats_suffix(built, tmp_path, correlations):
+    """Detection on load is by content, so a binary index under a
+    ``.jsonl`` name still loads as the mmap segment."""
+    odd = save_index(built, tmp_path / "index.jsonl", format="binary")
+    assert index_artifact_version(odd) == 3
+    loaded = load_index(odd, correlations)
+    assert isinstance(loaded, MmapCliqueIndex)
+    loaded.close()
+
+
+def test_unknown_format_rejected(built, tmp_path):
+    with pytest.raises(ValueError, match="unknown index format"):
+        save_index(built, tmp_path / "index.bin", format="parquet")
+
+
+def test_binary_smaller_than_half_of_jsonl(binary_artifact, jsonl_artifact):
+    """The headline acceptance criterion at test scale: packed varint
+    postings + f64 components undercut half the JSONL footprint."""
+    assert binary_artifact.stat().st_size <= jsonl_artifact.stat().st_size * 0.5
+
+
+def test_loaded_segment_is_lazy(binary_artifact, correlations):
+    loaded = load_index(binary_artifact, correlations)
+    assert not loaded._postings  # nothing materialized at load time
+    some_key = loaded.reader.key_at(0)
+    posting = loaded.lookup(some_key)
+    assert posting is not None
+    assert list(loaded._postings) == [some_key]  # exactly one decoded
+    loaded.close()
+
+
+def test_segment_stats_match_built(built, binary_artifact, correlations):
+    loaded = load_index(binary_artifact, correlations)
+    assert loaded.stats() == built.stats()
+    loaded.close()
+
+
+def test_segment_is_read_only(binary_artifact, correlations, tiny_corpus):
+    loaded = load_index(binary_artifact, correlations)
+    with pytest.raises(TypeError, match="read-only"):
+        loaded.add_object(tiny_corpus[0])
+    with pytest.raises(TypeError, match="read-only"):
+        loaded.build(tiny_corpus)
+    with pytest.raises(TypeError, match="read-only"):
+        loaded.rescore(tiny_corpus)
+    loaded.close()
+
+
+def test_max_clique_size_override(binary_artifact, correlations):
+    loaded = load_index(binary_artifact, correlations, max_clique_size=1)
+    assert loaded.max_clique_size == 1
+    loaded.close()
+
+
+def test_verify_payload_flag(binary_artifact, correlations):
+    loaded = load_index(binary_artifact, correlations, verify_payload=False)
+    _ = loaded.lookup(loaded.reader.key_at(0))
+    loaded.close()
+
+
+# ----------------------------------------------------------------------
+# corruption -> StorageError naming the section
+# ----------------------------------------------------------------------
+def test_corrupt_binary_is_storage_error_naming_section(binary_artifact, correlations):
+    offset, length = read_section_table(binary_artifact)["postmeta"]
+    data = bytearray(binary_artifact.read_bytes())
+    data[offset + length // 2] ^= 0xFF
+    binary_artifact.write_bytes(bytes(data))
+    with pytest.raises(StorageError, match="section='postmeta'"):
+        load_index(binary_artifact, correlations)
+
+
+def test_truncated_binary_is_storage_error(binary_artifact, correlations):
+    data = binary_artifact.read_bytes()
+    binary_artifact.write_bytes(data[: len(data) // 2])
+    with pytest.raises(StorageError, match="corrupt binary index"):
+        load_index(binary_artifact, correlations)
+
+
+def test_binary_garbage_under_jsonl_name_is_storage_error(tmp_path, correlations):
+    """Random binary bytes (wrong magic) must fail as a storage error,
+    not a UnicodeDecodeError from the JSONL fallback."""
+    path = tmp_path / "index.jsonl"
+    path.write_bytes(b"\x00\xff\xfe garbage \x80" * 10)
+    with pytest.raises(StorageError):
+        load_index(path, correlations)
+    with pytest.raises(StorageError):
+        index_artifact_version(path)
+
+
+def test_missing_artifact_is_storage_error(tmp_path, correlations):
+    with pytest.raises(StorageError, match="missing"):
+        load_index(tmp_path / "absent.bin", correlations)
+    with pytest.raises(StorageError, match="missing"):
+        index_artifact_version(tmp_path / "absent.bin")
+
+
+# ----------------------------------------------------------------------
+# conversion
+# ----------------------------------------------------------------------
+def test_convert_jsonl_to_binary(jsonl_artifact, built, correlations):
+    dst = convert_index(jsonl_artifact)
+    assert dst.name == "index.bin"
+    assert index_artifact_version(dst) == 3
+    loaded = load_index(dst, correlations)
+    _assert_equivalent(built, loaded)
+    loaded.close()
+
+
+def test_convert_binary_to_jsonl(binary_artifact, built, correlations):
+    dst = convert_index(binary_artifact)
+    assert dst.name == "index.jsonl"
+    assert index_artifact_version(dst) == 2
+    _assert_equivalent(built, load_index(dst, correlations))
+
+
+def test_convert_round_trip_is_byte_identical(binary_artifact, tmp_path):
+    """binary -> jsonl -> binary reproduces the original file exactly:
+    iteration order (the ``order`` section) and canonical entry order
+    both survive the text round trip."""
+    jsonl = convert_index(binary_artifact, dst_path=tmp_path / "via.jsonl")
+    back = convert_index(jsonl, dst_path=tmp_path / "back.bin")
+    assert back.read_bytes() == binary_artifact.read_bytes()
+
+
+def test_convert_preserves_iteration_order(jsonl_artifact, tmp_path, correlations):
+    dst = convert_index(jsonl_artifact, dst_path=tmp_path / "conv.bin")
+    src_keys = [
+        json.loads(line)["key"]
+        for line in jsonl_artifact.read_text().splitlines()[1:]
+    ]
+    loaded = load_index(dst, correlations)
+    assert [p.key for p in loaded.iter_postings()] == src_keys
+    loaded.close()
+
+
+def test_convert_v1_refuses(jsonl_artifact, tmp_path):
+    lines = jsonl_artifact.read_text().splitlines()
+    meta = json.loads(lines[0])
+    meta["format_version"] = 1
+    records = [json.loads(line) for line in lines[1:]]
+    v1 = tmp_path / "v1.jsonl"
+    v1.write_text(
+        "\n".join(
+            [json.dumps(meta)]
+            + [json.dumps({"key": r["key"], "ids": r["ids"]}) for r in records]
+        )
+        + "\n"
+    )
+    with pytest.raises(StorageError, match="rebuild with"):
+        convert_index(v1)
+
+
+def test_convert_refuses_in_place(binary_artifact):
+    with pytest.raises(StorageError, match="equals the source"):
+        convert_index(binary_artifact, dst_path=binary_artifact, to="binary")
+
+
+def test_convert_verify_sweeps_payloads(binary_artifact, tmp_path):
+    offset, _length = read_section_table(binary_artifact)["smooth"]
+    data = bytearray(binary_artifact.read_bytes())
+    data[offset] ^= 0xFF
+    binary_artifact.write_bytes(bytes(data))
+    with pytest.raises(StorageError, match="section='smooth'"):
+        convert_index(binary_artifact, dst_path=tmp_path / "out.jsonl", verify=True)
+
+
+# ----------------------------------------------------------------------
+# ranking equivalence through the serving-facing engine API
+# ----------------------------------------------------------------------
+def test_search_identical_binary_vs_jsonl_vs_built(tiny_corpus, tmp_path):
+    from repro.core.retrieval import RetrievalEngine
+
+    fresh = RetrievalEngine(tiny_corpus)  # builds at the default clique bound
+    bin_path = save_index(fresh.index, tmp_path / "index.bin")
+    jsonl_path = save_index(fresh.index, tmp_path / "index.jsonl")
+    from_bin = RetrievalEngine(tiny_corpus, build_index=False)
+    from_bin.adopt_index(load_index(bin_path, from_bin.correlations))
+    from_jsonl = RetrievalEngine(tiny_corpus, build_index=False)
+    from_jsonl.adopt_index(load_index(jsonl_path, from_jsonl.correlations))
+    for query in list(tiny_corpus)[:8]:
+        expected = fresh.search(query, k=10)
+        assert from_bin.search(query, k=10) == expected
+        assert from_jsonl.search(query, k=10) == expected

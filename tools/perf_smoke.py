@@ -9,10 +9,15 @@ properties the impact-ordering change bought:
   length of each query's lists (a full walk is ratio 1.0; regressing to
   one means TA's early exit stopped firing);
 * **parity** — index-mode rankings stay bit-identical to the pre-change
-  per-query rescoring path on every smoke query.
+  per-query rescoring path on every smoke query;
+* **binary store** — the v3 mmap artifact must open fast (load p50
+  under ``--max-binary-load-ms``, default 50 ms), undercut the JSONL
+  artifact on disk, and serve rankings bit-identical to the engine it
+  was saved from on every smoke query.
 
 Writes a machine-readable JSON artifact (latency p50/p95, access
-counts) for the CI run to upload, and exits non-zero on any violation.
+counts, the jsonl-vs-binary load/size comparison) for the CI run to
+upload, and exits non-zero on any violation.
 
 Usage::
 
@@ -25,12 +30,69 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import tempfile
 import time
 from pathlib import Path
 
 from repro.core.retrieval import RetrievalEngine
 from repro.eval import percentile, sample_queries
 from repro.social.generator import GeneratorConfig, SyntheticFlickr
+from repro.storage.store import load_index, save_index
+
+#: Load-time repeats for stable p50/p95 on a 1-core CI runner.
+LOAD_REPEATS = 5
+
+
+def _binary_store_report(
+    engine: RetrievalEngine, queries: list, k: int, max_load_ms: float
+) -> dict:
+    """Save the smoke engine's index in both formats, compare load
+    times and sizes, and check binary-loaded ranking parity."""
+    with tempfile.TemporaryDirectory(prefix="perf_smoke_index_") as tmp:
+        bin_path = save_index(engine.index, Path(tmp) / "index.bin")
+        jsonl_path = save_index(engine.index, Path(tmp) / "index.jsonl")
+        bin_bytes = bin_path.stat().st_size
+        jsonl_bytes = jsonl_path.stat().st_size
+
+        bin_loads: list[float] = []
+        for _ in range(LOAD_REPEATS):
+            start = time.perf_counter()
+            load_index(bin_path, engine.correlations).close()
+            bin_loads.append(time.perf_counter() - start)
+        jsonl_loads: list[float] = []
+        for _ in range(LOAD_REPEATS):
+            start = time.perf_counter()
+            load_index(jsonl_path, engine.correlations)
+            jsonl_loads.append(time.perf_counter() - start)
+
+        loaded = RetrievalEngine(engine.corpus, build_index=False)
+        loaded.adopt_index(load_index(bin_path, loaded.correlations))
+        parity_failures = [
+            q.object_id
+            for q in queries
+            if loaded.search(q, k=k) != engine.search(q, k=k, mode="index")
+        ]
+
+    load_p50_ms = percentile(bin_loads, 50.0) * 1000
+    jsonl_p50_ms = percentile(jsonl_loads, 50.0) * 1000
+    return {
+        "bytes": {
+            "binary": bin_bytes,
+            "jsonl": jsonl_bytes,
+            "binary_fraction_of_jsonl": bin_bytes / jsonl_bytes if jsonl_bytes else 0.0,
+        },
+        "load_ms": {
+            "binary_p50": load_p50_ms,
+            "binary_p95": percentile(bin_loads, 95.0) * 1000,
+            "jsonl_p50": jsonl_p50_ms,
+            "jsonl_p95": percentile(jsonl_loads, 95.0) * 1000,
+            "speedup_p50": jsonl_p50_ms / load_p50_ms if load_p50_ms else 0.0,
+        },
+        "max_binary_load_ms": max_load_ms,
+        "within_load_budget": load_p50_ms < max_load_ms,
+        "smaller_than_jsonl": bin_bytes < jsonl_bytes,
+        "parity_failures": parity_failures,
+    }
 
 
 def run_smoke(
@@ -39,6 +101,7 @@ def run_smoke(
     k: int = 10,
     budget_ratio: float = 0.9,
     seed: int = 7,
+    max_binary_load_ms: float = 50.0,
 ) -> dict:
     """Run the smoke workload; the returned report carries ``ok``."""
     corpus = SyntheticFlickr(
@@ -63,11 +126,18 @@ def run_smoke(
         if results != engine.search(query, k=k, mode="index-rescore"):
             parity_failures.append(query.object_id)
 
+    binary_index = _binary_store_report(engine, queries, k, max_binary_load_ms)
+
     ratio = sorted_accesses / total_entries if total_entries else 0.0
     within_budget = ratio < budget_ratio
+    binary_ok = (
+        binary_index["within_load_budget"]
+        and binary_index["smaller_than_jsonl"]
+        and not binary_index["parity_failures"]
+    )
     return {
         "gate": "perf_smoke",
-        "ok": within_budget and not parity_failures,
+        "ok": within_budget and not parity_failures and binary_ok,
         "n_objects": n_objects,
         "n_queries": len(queries),
         "k": k,
@@ -85,6 +155,7 @@ def run_smoke(
             "within_budget": within_budget,
         },
         "parity_failures": parity_failures,
+        "binary_index": binary_index,
     }
 
 
@@ -100,6 +171,12 @@ def main(argv: list[str] | None = None) -> int:
         help="sorted accesses must stay under this fraction of total posting length",
     )
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--max-binary-load-ms",
+        type=float,
+        default=50.0,
+        help="binary index mmap-load p50 must stay under this many milliseconds",
+    )
     parser.add_argument("--out", type=Path, default=None, help="JSON artifact path")
     args = parser.parse_args(argv)
 
@@ -109,6 +186,7 @@ def main(argv: list[str] | None = None) -> int:
         k=args.k,
         budget_ratio=args.budget_ratio,
         seed=args.seed,
+        max_binary_load_ms=args.max_binary_load_ms,
     )
     text = json.dumps(report, indent=2, sort_keys=True)
     if args.out is not None:
@@ -129,6 +207,30 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"perf-smoke FAIL: {len(report['parity_failures'])} queries diverged "
             f"from the rescoring reference: {report['parity_failures'][:5]}",
+            file=sys.stderr,
+        )
+        return 1
+    binary = report["binary_index"]
+    if not binary["within_load_budget"]:
+        print(
+            f"perf-smoke FAIL: binary index load p50 "
+            f"{binary['load_ms']['binary_p50']:.1f} ms >= budget "
+            f"{binary['max_binary_load_ms']:.1f} ms",
+            file=sys.stderr,
+        )
+        return 1
+    if not binary["smaller_than_jsonl"]:
+        print(
+            f"perf-smoke FAIL: binary artifact ({binary['bytes']['binary']} bytes) "
+            f"not smaller than JSONL ({binary['bytes']['jsonl']} bytes)",
+            file=sys.stderr,
+        )
+        return 1
+    if binary["parity_failures"]:
+        print(
+            f"perf-smoke FAIL: {len(binary['parity_failures'])} queries from the "
+            f"binary-loaded index diverged from the built engine: "
+            f"{binary['parity_failures'][:5]}",
             file=sys.stderr,
         )
         return 1
