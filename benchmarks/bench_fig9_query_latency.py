@@ -10,22 +10,32 @@ slowest — the paper's trade-off of effectiveness against query cost.
 
 Since the impact-ordering change, "FIG" is Algorithm 1 over postings
 scored at build time: lookup + multiply-by-λ·CorS + genuine Threshold
-Algorithm early termination.  This bench doubles as the perf gate for
-that change:
+Algorithm early termination; "FIG-vec" is the block-max vectorized
+engine (batch numpy scoring + WAND-style block skipping) that serving
+now defaults to.  This bench doubles as the perf gate for both:
 
 * index-mode p50 must be ≥ 3× better than FIG-pre on the largest
   corpus;
 * TA sorted-access reads must be strictly below the total posting
   length of the query's lists (early termination actually fires);
 * rankings must be bit-identical to the pre-change path on every
-  benchmarked query, and — at α=1, where the scan's smoothing-only
-  contributions vanish exactly — bit-identical to ``mode="scan"``.
+  benchmarked query — FIG-vec included — and, at α=1, where the scan's
+  smoothing-only contributions vanish exactly, bit-identical to
+  ``mode="scan"``;
+* the block-max walk must actually skip blocks at the largest size.
+
+An FIG-family-only *extended sweep* (``REPRO_BENCH_FIG9_SWEEP``,
+default ``25000``; set empty to disable) times the scalar and
+vectorized index modes at paper scale — the sizes the dense baselines
+cannot reach — with parity and block-skip accounting per size.
 
 Alongside the ``.txt`` table it writes ``results/fig9_query_latency.json``
 with p50/p95 per corpus size — the machine-readable BENCH_* artifact.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -34,33 +44,46 @@ from repro.core.mrf import MRFParameters
 from repro.core.retrieval import RetrievalEngine
 from repro.eval import sample_queries, time_per_query
 from repro.index.threshold import AccessStats
+from repro.social.generator import GeneratorConfig, SyntheticFlickr
 
 #: p50 improvement the impact-ordered index must deliver over the
 #: pre-change (rescore-per-query) engine on the largest corpus.
 MIN_SPEEDUP_P50 = 3.0
 
+#: FIG-family-only extended sweep sizes (paper scale); override with
+#: REPRO_BENCH_FIG9_SWEEP=10000,25000 or set empty to skip the sweep.
+EXTENDED_SIZES = tuple(
+    int(s)
+    for s in os.environ.get("REPRO_BENCH_FIG9_SWEEP", "25000").split(",")
+    if s.strip()
+)
 
-class _RescoreView:
-    """The pre-change engine: same index, per-query rescoring."""
 
-    def __init__(self, engine: RetrievalEngine) -> None:
+class _ModeView:
+    """Pin an engine to one query mode — ``engine.search`` defaults to
+    the vectorized path now, so every benched series names its mode."""
+
+    def __init__(self, engine: RetrievalEngine, mode: str) -> None:
         self._engine = engine
+        self._mode = mode
 
     def search(self, query, k=10):
-        return self._engine.search(query, k=k, mode="index-rescore")
+        return self._engine.search(query, k=k, mode=self._mode)
 
 
-def _access_accounting(engine: RetrievalEngine, queries, k=10):
-    """Aggregate TA access counts over ``queries`` (index mode)."""
+def _access_accounting(engine: RetrievalEngine, queries, k=10, mode="index"):
+    """Aggregate TA access counts over ``queries`` in ``mode``."""
     totals = AccessStats()
     posting_entries = 0
     for query in queries:
-        _, stats = engine.search_with_stats(query, k=k)
+        _, stats = engine.search_with_stats(query, k=k, mode=mode)
         totals.merge(
             AccessStats(
                 sorted_accesses=stats.sorted_accesses,
                 random_accesses=stats.random_accesses,
                 rounds=stats.rounds,
+                blocks_skipped=stats.blocks_skipped,
+                blocks_total=stats.blocks_total,
             )
         )
         posting_entries += stats.total_posting_entries
@@ -68,20 +91,23 @@ def _access_accounting(engine: RetrievalEngine, queries, k=10):
         "sorted_accesses": totals.sorted_accesses,
         "random_accesses": totals.random_accesses,
         "total_posting_entries": posting_entries,
+        "blocks_skipped": totals.blocks_skipped,
+        "blocks_total": totals.blocks_total,
         "n_queries": len(queries),
     }
 
 
 def run_experiment():
-    rows, series, detail, access = [], {}, {}, {}
+    rows, series, detail, access, vec_access = [], {}, {}, {}, {}
     base_queries = sample_queries(
         H.retrieval_corpus(min(H.SWEEP_SIZES)), n_queries=10, seed=H.QUERY_SEED
     )
     for size in H.SWEEP_SIZES:
         engine = H.fig_engine(size)
         systems = {
-            "FIG": engine,
-            "FIG-pre": _RescoreView(engine),
+            "FIG": _ModeView(engine, "index"),
+            "FIG-vec": _ModeView(engine, "index-vectorized"),
+            "FIG-pre": _ModeView(engine, "index-rescore"),
             **H.baseline_systems(size),
         }
         detail[size] = {}
@@ -90,6 +116,9 @@ def run_experiment():
             series.setdefault(name, []).append(timing.mean)
             detail[size][name] = timing.as_dict()
         access[size] = _access_accounting(engine, base_queries, k=10)
+        vec_access[size] = _access_accounting(
+            engine, base_queries, k=10, mode="index-vectorized"
+        )
 
     rows.append("system (ms)    " + "  ".join(f"{s:>7}" for s in H.SWEEP_SIZES))
     for name, values in series.items():
@@ -98,11 +127,50 @@ def run_experiment():
     largest = max(H.SWEEP_SIZES)
     speedup = detail[largest]["FIG-pre"]["p50_ms"] / detail[largest]["FIG"]["p50_ms"]
     acc = access[largest]
+    vec = vec_access[largest]
     rows.append(
         f"impact-order speedup at {largest}: p50 {speedup:.1f}x; TA read "
         f"{acc['sorted_accesses']}/{acc['total_posting_entries']} posting entries"
     )
-    return rows, series, detail, access, speedup
+    rows.append(
+        f"block-max pruning at {largest}: skipped "
+        f"{vec['blocks_skipped']}/{vec['blocks_total']} blocks"
+    )
+    return rows, series, detail, access, vec_access, speedup
+
+
+def run_extended_sweep():
+    """FIG-family-only sweep at paper scale.
+
+    The dense baselines are omitted: their vector spaces don't fit the
+    extended sizes, which is exactly why the block-max vectorized path
+    exists.  Corpora are generated locally (not via the harness cache)
+    so the shared sweep corpus isn't evicted for the other benches.
+    """
+    out = {}
+    for size in EXTENDED_SIZES:
+        corpus = SyntheticFlickr(
+            GeneratorConfig(n_objects=size), seed=H.RET_SEED
+        ).generate_retrieval_corpus()
+        engine = RetrievalEngine(
+            corpus, params=H.trained_fig_params(), index_workers=4
+        )
+        queries = sample_queries(corpus, n_queries=10, seed=H.QUERY_SEED)
+        entry = {
+            name: time_per_query(_ModeView(engine, mode), queries, k=10).as_dict()
+            for name, mode in (("FIG", "index"), ("FIG-vec", "index-vectorized"))
+        }
+        entry["ta_access"] = _access_accounting(
+            engine, queries, k=10, mode="index-vectorized"
+        )
+        entry["parity_failures"] = [
+            q.object_id
+            for q in queries
+            if engine.search(q, k=10, mode="index-vectorized")
+            != engine.search(q, k=10, mode="index")
+        ]
+        out[size] = entry
+    return out
 
 
 def _parity_counts(largest_size):
@@ -122,6 +190,7 @@ def _parity_counts(largest_size):
     for query in queries:
         fast = engine.search(query, k=10, mode="index")
         assert fast == engine.search(query, k=10, mode="index-rescore")
+        assert fast == engine.search(query, k=10, mode="index-vectorized")
 
     alpha1 = RetrievalEngine(
         H.retrieval_corpus(largest_size), params=MRFParameters(alpha=1.0)
@@ -129,15 +198,28 @@ def _parity_counts(largest_size):
     for query in queries:
         fast = alpha1.search(query, k=10, mode="index")
         assert fast == alpha1.search(query, k=10, mode="scan")
-    return {"index_vs_rescore": len(queries), "index_vs_scan_alpha1": len(queries)}
+        assert fast == alpha1.search(query, k=10, mode="index-vectorized")
+    return {
+        "index_vs_rescore": len(queries),
+        "index_vs_vectorized": len(queries),
+        "index_vs_scan_alpha1": len(queries),
+    }
 
 
 @pytest.mark.benchmark(group="fig9")
 def test_fig9_query_latency(benchmark, capsys):
-    rows, series, detail, access, speedup = benchmark.pedantic(
+    rows, series, detail, access, vec_access, speedup = benchmark.pedantic(
         run_experiment, rounds=1, iterations=1
     )
     parity = _parity_counts(max(H.SWEEP_SIZES))
+    extended = run_extended_sweep()
+    for size, entry in sorted(extended.items()):
+        rows.append(
+            f"extended {size}: FIG p50 {entry['FIG']['p50_ms']:.2f} ms, "
+            f"FIG-vec p50 {entry['FIG-vec']['p50_ms']:.2f} ms, skipped "
+            f"{entry['ta_access']['blocks_skipped']}"
+            f"/{entry['ta_access']['blocks_total']} blocks"
+        )
     H.report("fig9_query_latency", "Figure 9: mean query latency vs size", rows, capsys)
     H.report_json(
         "fig9_query_latency",
@@ -147,6 +229,8 @@ def test_fig9_query_latency(benchmark, capsys):
             "sizes": list(H.SWEEP_SIZES),
             "latency": {str(s): detail[s] for s in H.SWEEP_SIZES},
             "ta_access": {str(s): access[s] for s in H.SWEEP_SIZES},
+            "vectorized_access": {str(s): vec_access[s] for s in H.SWEEP_SIZES},
+            "extended_sweep": {str(s): extended[s] for s in sorted(extended)},
             "speedup_p50_largest": speedup,
             "parity_queries": parity,
         },
@@ -165,3 +249,9 @@ def test_fig9_query_latency(benchmark, capsys):
     assert speedup >= MIN_SPEEDUP_P50
     for size, acc in access.items():
         assert acc["sorted_accesses"] < acc["total_posting_entries"], size
+    # Block-max pruning fires at the largest base size, and the
+    # extended paper-scale sweep stays rank-exact while skipping blocks.
+    assert vec_access[max(H.SWEEP_SIZES)]["blocks_skipped"] > 0
+    for size, entry in extended.items():
+        assert not entry["parity_failures"], size
+        assert entry["ta_access"]["blocks_skipped"] > 0, size

@@ -40,6 +40,7 @@ from repro.serving.http import create_server, install_signal_handlers
 from repro.serving.service import QueryService
 from repro.serving.snapshot import SnapshotManager
 from repro.social.generator import GeneratorConfig, SyntheticFlickr
+from repro.index.binfmt import BinaryIndexReader
 from repro.index.inverted import CliqueInvertedIndex
 from repro.storage.store import (
     StorageError,
@@ -91,6 +92,11 @@ def _build_parser() -> argparse.ArgumentParser:
         default="binary",
         help="artifact format: v3 binary mmap (default) or v2 JSONL",
     )
+    build.add_argument(
+        "--no-verify-payload",
+        action="store_true",
+        help="skip the post-write payload checksum sweep of a binary artifact",
+    )
     convert = index_sub.add_parser(
         "convert", help="migrate an index artifact between binary (v3) and JSONL (v2)"
     )
@@ -112,7 +118,13 @@ def _build_parser() -> argparse.ArgumentParser:
     search.add_argument("corpus", help="corpus directory")
     search.add_argument("--query", required=True, help="query object id")
     search.add_argument("--k", type=int, default=10)
-    search.add_argument("--mode", choices=("index", "scan"), default="index")
+    search.add_argument(
+        "--mode",
+        choices=("auto", "index-vectorized", "index", "scan"),
+        default="auto",
+        help="auto (vectorized block-max), scalar index, or exhaustive scan "
+        "— all rank bit-identically",
+    )
 
     rec = sub.add_parser("recommend", help="recommend new objects to a user")
     rec.add_argument("corpus", help="corpus directory")
@@ -136,6 +148,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="MRF parameter JSON (defaults to <corpus>/params.json when present)",
     )
     serve.add_argument("--cache-size", type=int, default=1024, help="0 disables the cache")
+    serve.add_argument(
+        "--no-verify-payload",
+        action="store_true",
+        help="skip payload checksums when picking up an index artifact "
+        "(faster cold start; recorded in /stats provenance)",
+    )
     serve.add_argument(
         "--max-in-flight",
         type=int,
@@ -197,10 +215,17 @@ def _cmd_index_build(args: argparse.Namespace) -> int:
     ).build(corpus, n_workers=args.workers)
     artifact = "index.bin" if args.format == "binary" else "index.jsonl"
     path = save_index(index, Path(args.corpus) / artifact, format=args.format)
+    verified = False
+    if args.format == "binary" and not args.no_verify_payload:
+        # Re-open with the eager payload checksum sweep: a torn or
+        # bit-flipped write fails here, at build time, not at serve time.
+        BinaryIndexReader(path, verify_payload=True).close()
+        verified = True
     stats = index.stats()
+    note = ", payload verified" if verified else ""
     print(
         f"wrote {int(stats['n_cliques'])} cliques / {int(stats['total_postings'])} "
-        f"postings to {path} ({args.format}, {path.stat().st_size} bytes)"
+        f"postings to {path} ({args.format}, {path.stat().st_size} bytes{note})"
     )
     other = Path(args.corpus) / ("index.jsonl" if args.format == "binary" else "index.bin")
     if other.exists():
@@ -227,7 +252,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
     if args.query not in corpus:
         print(f"error: unknown object id {args.query!r}", file=sys.stderr)
         return 2
-    engine = RetrievalEngine(corpus, build_index=args.mode == "index")
+    engine = RetrievalEngine(corpus, build_index=args.mode != "scan")
     query = corpus.get(args.query)
     print("query:", query.describe())
     for rank, hit in enumerate(engine.search(query, k=args.k, mode=args.mode), start=1):
@@ -262,7 +287,11 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     logging.basicConfig(stream=sys.stderr, level=logging.INFO, format="%(message)s")
-    manager = SnapshotManager(args.corpus, params_path=args.params)
+    manager = SnapshotManager(
+        args.corpus,
+        params_path=args.params,
+        verify_payload=not args.no_verify_payload,
+    )
     snapshot = manager.load()
     service = QueryService(manager, cache=ResultCache(args.cache_size))
     server = create_server(

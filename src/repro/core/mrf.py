@@ -158,6 +158,30 @@ def joint_components(
     return freq_part, smooth_part
 
 
+def mix_components(freq: Any, smooth: Any, alpha: float) -> Any:
+    """α-mix of the Eq. 7 components: ``α·freq + (1-α)·smooth``.
+
+    Accepts scalars or whole numpy arrays.  The expression is written
+    exactly as the scalar scoring paths write it (two multiplies, one
+    add, ``1.0 - alpha`` folded first) because numpy's elementwise
+    ufuncs perform the same correctly rounded IEEE-754 double
+    operations — vectorizing through this helper keeps mixed impacts
+    bit-identical to the per-entry Python loop.
+    """
+    return alpha * freq + (1.0 - alpha) * smooth
+
+
+def scale_impacts(p: Any, inner: float, outer: float = 1.0) -> Any:
+    """Query-time scaling of stored impacts: ``outer·(inner·p)``.
+
+    ``inner = λ_{|c|}·CorS(c)`` and ``outer`` is the recommendation
+    path's temporal weight (1.0 for retrieval).  The association order
+    matches :class:`repro.index.threshold.ImpactSortedSource` exactly,
+    so applying it to a whole array yields the same bits per element.
+    """
+    return outer * (inner * p)
+
+
 class CliqueScorer:
     """Scores candidate objects against a fixed clique set.
 

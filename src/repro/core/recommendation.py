@@ -23,6 +23,7 @@ from repro.core.objects import MediaObject
 from repro.core.retrieval import RankedResult, correlation_model_for_corpus, ranked_sort
 from repro.index.inverted import CliqueInvertedIndex
 from repro.index.threshold import ImpactSortedSource, SortedListSource, threshold_algorithm
+from repro.index.vectorized import BlockMaxSource, accumulate_scores
 from repro.social.corpus import Corpus
 from repro.social.temporal import TemporalSplit, decay_weight
 
@@ -172,18 +173,21 @@ class Recommender:
         self,
         user: str,
         k: int = 10,
-        mode: str = "index",
+        mode: str = "auto",
         current_month: int | None = None,
     ) -> list[RankedResult]:
         """Top-``k`` candidates by profile similarity (Definition 2).
 
         ``current_month`` is Eq. 10's ``t_c``; it defaults to the start
         of the evaluation window (the "now" at which the newly incoming
-        objects are being considered).
+        objects are being considered).  ``mode="auto"`` (the default)
+        runs ``index-vectorized`` when an index is present; rankings
+        are bit-identical across the index modes.
         """
-        if mode not in ("index", "index-rescore", "scan"):
+        if mode not in ("auto", "index-vectorized", "index", "index-rescore", "scan"):
             raise ValueError(
-                f"mode must be 'index', 'index-rescore' or 'scan', got {mode!r}"
+                "mode must be 'auto', 'index-vectorized', 'index', "
+                f"'index-rescore' or 'scan', got {mode!r}"
             )
         profile = self.profile_for(user)
         t_now = current_month if current_month is not None else self._split.evaluation.start
@@ -195,7 +199,9 @@ class Recommender:
         if mode == "index-rescore":
             scorer = CliqueScorer(self._correlations, self._params)
             return self._recommend_index_rescore(profile, scorer, k, t_now)
-        return self._recommend_index(profile, k, t_now)
+        if mode == "index":
+            return self._recommend_index(profile, k, t_now)
+        return self._recommend_index_vectorized(profile, k, t_now)
 
     def _recommend_index(
         self, profile: UserProfile, k: int, t_now: int
@@ -232,6 +238,47 @@ class Recommender:
                 )
         merged = threshold_algorithm(sources, k=k)
         return [RankedResult(object_id=oid, score=s) for oid, s in merged]
+
+    def _recommend_index_vectorized(
+        self, profile: UserProfile, k: int, t_now: int
+    ) -> list[RankedResult]:
+        """Eq. 10 as batch numpy work: same per-clique gating as
+        :meth:`_recommend_index` (temporal weight as the outer factor,
+        λ·CorS as the inner), block-max sources for sorted access and
+        one dense accumulator for random access — bit-identical
+        rankings, vectorized mechanics."""
+        assert self._index is not None
+        view = self._index.vector_view()
+        delta = self._params.delta
+        alpha = self._params.alpha
+        sources: list[BlockMaxSource] = []
+        for clique in profile.cliques:
+            outer = profile.temporal_weight(clique, t_now, delta)
+            if outer <= 0.0:
+                continue
+            inner = self._params.lambda_for(clique.size)
+            if inner == 0.0:
+                continue
+            vectors = view.vectors(clique.key)
+            if vectors is None:
+                continue
+            if self._params.use_cors:
+                cors = vectors.cors
+                if cors is not None:
+                    inner *= cors
+                if inner == 0.0:
+                    continue
+            source = BlockMaxSource(vectors, alpha, inner=inner, outer=outer)
+            if source.n_pairs:
+                sources.append(source)
+        acc = accumulate_scores(sources, view.n_objects)
+        merged = threshold_algorithm(
+            sources, k=k, random_access=acc.tolist().__getitem__
+        )
+        return [
+            RankedResult(object_id=view.object_id(dense), score=score)
+            for dense, score in merged
+        ]
 
     def _recommend_index_rescore(
         self, profile: UserProfile, scorer: CliqueScorer, k: int, t_now: int

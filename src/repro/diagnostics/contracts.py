@@ -25,7 +25,9 @@ Checked invariants (see the decorators below for the exact seams):
 * clique feature tuples are canonically sorted and duplicate-free;
 * posting lists never hold duplicate object ids;
 * TA sorted-access sources are genuinely sorted (score descending,
-  ties by ascending id).
+  ties by ascending id);
+* block-max upper bounds dominate every member impact of their block —
+  the soundness condition for WAND-style block skipping.
 
 The check functions are importable on their own so tests can exercise
 each invariant against crafted violations without building a full
@@ -120,6 +122,23 @@ def check_sorted_descending(
                 f"{what} out of order: {prev!r} precedes {cur!r} "
                 "(want score descending, ties by ascending id)"
             )
+
+
+def check_block_bound(
+    bound: float, impacts: Iterable[float], *, what: str = "posting block"
+) -> None:
+    """A block's upper bound must dominate every member impact.
+
+    Block-max pruning skips a block whenever its bound falls below the
+    running top-k threshold; a bound below any member would make that
+    skip drop a qualifying candidate *silently* — the ranking would
+    just come out wrong.  Checked at block-open time, where the mixed
+    member impacts are in hand anyway.
+    """
+    check_finite(bound, what=f"{what} bound")
+    for impact in impacts:
+        if impact > bound:
+            _fail(f"{what} upper bound {bound!r} below member impact {float(impact)!r}")
 
 
 def check_canonical_features(features: Sequence[Any], *, what: str = "clique") -> None:

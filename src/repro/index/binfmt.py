@@ -42,6 +42,21 @@ Sections (fixed set, any order on disk):
   contiguous f64 arrays, parallel to the decoded id streams.  f64 (not
   f32) because loaded rankings must stay **bit-identical** to the
   JSONL path and the in-memory build.
+* ``blockmax`` (*optional*) — per fixed-size posting block of
+  :data:`BLOCK_SIZE` entries, the block's component maxima: all
+  blocks' ``max(freq)`` f64s (slot order, blocks in storage order
+  within each slot), then all blocks' ``max(smooth)`` f64s.  Only
+  postings **longer than one block** store bounds — a single-block
+  source must open its only block before emitting anything, so its
+  bound is never consulted, and the typical index is dominated by
+  short postings (readers return ``None`` for such slots; consumers
+  rebuild the one-block bound in memory for the accounting).  Because
+  ``α, 1-α ≥ 0`` and f64 multiply/add are monotone under rounding,
+  ``α·max_f + (1-α)·max_s`` bounds every member's α-mixed impact for
+  *any* α — the WAND-style upper bound the vectorized query path uses
+  to skip whole blocks (see :mod:`repro.index.vectorized`).  Files
+  without the section (pre-blockmax v3) still load; readers rebuild
+  the bounds in memory from the component arrays.
 
 String tables: ``u32 count | u32 offsets[count+1] | utf-8 blob``.
 
@@ -92,11 +107,26 @@ _POSTMETA_DTYPE = np.dtype(
     ]
 )
 
-#: The complete section set of a v3 file; readers require exactly these.
-SECTION_NAMES = ("objids", "keys", "postmeta", "order", "postings", "freq", "smooth")
+#: The complete section set of a v3 file (writers emit all of them).
+SECTION_NAMES = (
+    "objids", "keys", "postmeta", "order", "postings", "freq", "smooth", "blockmax",
+)
 
-#: Sections whose CRC is always checked at open (cheap, metadata-sized).
-_EAGER_SECTIONS = frozenset({"objids", "keys", "postmeta", "order"})
+#: Sections a reader tolerates missing: ``blockmax`` was added after the
+#: first v3 files shipped, and its content is rebuildable from
+#: ``freq``/``smooth`` — older artifacts stay loadable.
+_OPTIONAL_SECTIONS = frozenset({"blockmax"})
+
+#: Sections whose CRC is always checked at open (cheap, metadata-sized;
+#: ``blockmax`` is ~``total_entries/BLOCK_SIZE`` pairs, metadata-scale).
+_EAGER_SECTIONS = frozenset({"objids", "keys", "postmeta", "order", "blockmax"})
+
+#: Entries per upper-bound block of the ``blockmax`` section.  Postings
+#: are stored ascending-id, so a block is a contiguous id range; 128
+#: keeps the bound table tiny (16 bytes per 128 entries) while leaving
+#: enough entries per block for the skip to pay for itself.
+BLOCK_SIZE = 128
+assert BLOCK_SIZE > 0  # block-count math divides by it
 
 _ALIGN = 8
 
@@ -180,6 +210,8 @@ def write_index_file(
     streams = bytearray()
     freq_parts = bytearray()
     smooth_parts = bytearray()
+    block_max_freq: list[np.ndarray] = []
+    block_max_smooth: list[np.ndarray] = []
     total_entries = 0
     for posting_index in slot_order:
         posting = postings[posting_index]
@@ -200,9 +232,21 @@ def write_index_file(
             )
         )
         streams.extend(stream)
-        freq_parts.extend(np.asarray([e[1] for e in entries], dtype="<f8").tobytes())
-        smooth_parts.extend(np.asarray([e[2] for e in entries], dtype="<f8").tobytes())
+        freq_arr = np.asarray([e[1] for e in entries], dtype="<f8")
+        smooth_arr = np.asarray([e[2] for e in entries], dtype="<f8")
+        if len(entries) > BLOCK_SIZE:
+            edges = np.arange(0, len(entries), BLOCK_SIZE)
+            block_max_freq.append(np.maximum.reduceat(freq_arr, edges))
+            block_max_smooth.append(np.maximum.reduceat(smooth_arr, edges))
+        freq_parts.extend(freq_arr.tobytes())
+        smooth_parts.extend(smooth_arr.tobytes())
         total_entries += len(entries)
+
+    empty_f8 = np.empty(0, dtype="<f8")
+    blockmax = (
+        np.concatenate(block_max_freq or [empty_f8]).astype("<f8").tobytes()
+        + np.concatenate(block_max_smooth or [empty_f8]).astype("<f8").tobytes()
+    )
 
     sections: dict[str, bytes] = {
         "objids": _string_table(object_ids),
@@ -212,6 +256,7 @@ def write_index_file(
         "postings": bytes(streams),
         "freq": bytes(freq_parts),
         "smooth": bytes(smooth_parts),
+        "blockmax": blockmax,
     }
 
     table_start = _HEADER.size + _CRC.size
@@ -323,9 +368,11 @@ class BinaryIndexReader:
         (header_crc,) = _CRC.unpack_from(mm, _HEADER.size)
         if zlib.crc32(mm[0:_HEADER.size]) != header_crc:
             raise BinaryFormatError("header CRC mismatch", section="header", offset=0)
-        if n_sections != len(SECTION_NAMES):
+        min_sections = len(SECTION_NAMES) - len(_OPTIONAL_SECTIONS)
+        if not min_sections <= n_sections <= len(SECTION_NAMES):
             raise BinaryFormatError(
-                f"expected {len(SECTION_NAMES)} sections, header says {n_sections}",
+                f"expected {min_sections}-{len(SECTION_NAMES)} sections, "
+                f"header says {n_sections}",
                 section="header",
                 offset=20,
             )
@@ -367,7 +414,7 @@ class BinaryIndexReader:
                 )
             sections[name] = (offset, length)
             crcs[name] = crc
-        missing = set(SECTION_NAMES) - set(sections)
+        missing = set(SECTION_NAMES) - _OPTIONAL_SECTIONS - set(sections)
         if missing:
             raise BinaryFormatError(
                 f"missing sections: {sorted(missing)}",
@@ -375,7 +422,7 @@ class BinaryIndexReader:
                 offset=table_start,
             )
 
-        for name in SECTION_NAMES:
+        for name in sections:
             if name in _EAGER_SECTIONS or verify_payload:
                 offset, length = sections[name]
                 if zlib.crc32(mm[offset:offset + length]) != crcs[name]:
@@ -408,6 +455,30 @@ class BinaryIndexReader:
         self._post_base = sections["postings"][0]
         self._freq = self._open_floats("freq")
         self._smooth = self._open_floats("smooth")
+        counts = (
+            self._postmeta["count"].astype(np.int64)
+            if self.n_cliques
+            else np.empty(0, dtype=np.int64)
+        )
+        # Per-slot block ranges into the blockmax arrays: slot i owns
+        # blocks [_block_offsets[i], _block_offsets[i+1]).  entry_off is
+        # assigned sequentially in slot order by the writer, so a plain
+        # cumsum over slot-ordered counts matches the section layout.
+        # Single-block postings store no bounds (their only block is
+        # always opened before anything can be emitted).
+        stored = np.where(
+            counts > BLOCK_SIZE, (counts + (BLOCK_SIZE - 1)) // BLOCK_SIZE, 0
+        )
+        self._block_offsets = np.concatenate(([0], np.cumsum(stored)))
+        self._total_blocks = int(self._block_offsets[-1])
+        if "blockmax" in sections:
+            self._blockmax_freq, self._blockmax_smooth = self._open_blockmax()
+        else:
+            self._blockmax_freq = None
+            self._blockmax_smooth = None
+        #: slot -> decoded dense-id array; repeated queries against the
+        #: same mapping must not re-run the varint decode.
+        self._dense_ids_cache: dict[int, np.ndarray] = {}
 
     def _section(self, name: str) -> tuple[int, int]:
         return self.sections[name]
@@ -510,6 +581,27 @@ class BinaryIndexReader:
             )
         return np.frombuffer(self._mm, dtype="<f8", count=self.total_entries, offset=offset)
 
+    def _open_blockmax(self) -> tuple[np.ndarray, np.ndarray]:
+        offset, length = self._section("blockmax")
+        expected = self._total_blocks * 16
+        if length != expected:
+            raise BinaryFormatError(
+                f"blockmax section is {length} bytes, expected {expected} for "
+                f"{self._total_blocks} posting blocks",
+                section="blockmax",
+                offset=offset,
+            )
+        max_freq = np.frombuffer(
+            self._mm, dtype="<f8", count=self._total_blocks, offset=offset
+        )
+        max_smooth = np.frombuffer(
+            self._mm,
+            dtype="<f8",
+            count=self._total_blocks,
+            offset=offset + self._total_blocks * 8,
+        )
+        return max_freq, max_smooth
+
     # ------------------------------------------------------------------
     # access
     # ------------------------------------------------------------------
@@ -530,9 +622,32 @@ class BinaryIndexReader:
                 f"dense object id {dense} out of range [0, {self._n_objid})",
                 section="objids",
             )
+        return self._objid_bytes(dense).decode("utf-8")
+
+    def _objid_bytes(self, dense: int) -> bytes:
         start = self._objid_blob_start + int(self._objid_offsets[dense])
         end = self._objid_blob_start + int(self._objid_offsets[dense + 1])
-        return self._mm[start:end].decode("utf-8")
+        return self._mm[start:end]
+
+    def find_object(self, object_id: str) -> int | None:
+        """Binary search the sorted object-id table; the dense id of
+        ``object_id``, or ``None`` when it is absent from every posting.
+
+        Dense rank order equals string sort order (the table is sorted,
+        UTF-8 byte order == code-point order), which is what lets the
+        vectorized query path tie-break on dense ints directly.
+        """
+        target = object_id.encode("utf-8")
+        lo, hi = 0, self._n_objid
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._objid_bytes(mid) < target:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < self._n_objid and self._objid_bytes(lo) == target:
+            return lo
+        return None
 
     def _key_bytes(self, slot: int) -> bytes:
         start = self._key_blob_start + int(self._key_offsets[slot])
@@ -573,12 +688,16 @@ class BinaryIndexReader:
         cors = float(self._postmeta[slot]["cors"])
         return None if math.isnan(cors) else cors
 
-    def read_posting(self, slot: int) -> tuple[list[str], list[float], list[float], float | None]:
-        """Decode slot ``slot``: ``(object_ids, freq, smooth, cors)``.
+    def posting_dense_ids(self, slot: int) -> np.ndarray:
+        """The ascending dense object ids of slot ``slot`` as an int64
+        array, decoded once and cached per slot — repeated queries
+        against the same mapping never re-run the varint decode.
 
-        Ids come back in ascending (string == dense) order; the float
-        lists are parallel to them and bit-exact (f64 round trip).
+        The returned array is shared; callers must treat it read-only.
         """
+        cached = self._dense_ids_cache.get(slot)
+        if cached is not None:
+            return cached
         # scalar extraction only — holding the structured row (a view
         # into the mapping) in a local would pin the mmap open if this
         # frame ends up captured by an exception traceback.
@@ -609,7 +728,51 @@ class BinaryIndexReader:
                 section="postings",
                 offset=start,
             )
-        ids = [self.object_id_at(r) for r in ranks]
+        arr = np.asarray(ranks, dtype=np.int64)
+        # benign last-write-wins race under concurrent readers, same
+        # discipline as the segment's posting cache.
+        self._dense_ids_cache[slot] = arr
+        return arr
+
+    def posting_components(self, slot: int) -> tuple[np.ndarray, np.ndarray]:
+        """Zero-copy ``(freq, smooth)`` f64 views of slot ``slot``,
+        parallel to :meth:`posting_dense_ids` — the vectorized scorer's
+        input; nothing is decoded or copied."""
+        entry_off = int(self._postmeta[slot]["entry_off"])
+        count = int(self._postmeta[slot]["count"])
+        return (
+            self._freq[entry_off:entry_off + count],
+            self._smooth[entry_off:entry_off + count],
+        )
+
+    @property
+    def has_blockmax(self) -> bool:
+        """Whether the artifact carries the stored block-max section."""
+        return self._blockmax_freq is not None
+
+    def posting_block_max(self, slot: int) -> tuple[np.ndarray, np.ndarray] | None:
+        """Zero-copy ``(max_freq, max_smooth)`` views over slot
+        ``slot``'s :data:`BLOCK_SIZE`-entry blocks, or ``None`` when the
+        file stores no bounds for it — a pre-blockmax artifact, or a
+        single-block posting (the writer omits those; callers rebuild
+        bounds in memory)."""
+        if self._blockmax_freq is None or self._blockmax_smooth is None:
+            return None
+        lo = int(self._block_offsets[slot])
+        hi = int(self._block_offsets[slot + 1])
+        if hi == lo:
+            return None
+        return self._blockmax_freq[lo:hi], self._blockmax_smooth[lo:hi]
+
+    def read_posting(self, slot: int) -> tuple[list[str], list[float], list[float], float | None]:
+        """Decode slot ``slot``: ``(object_ids, freq, smooth, cors)``.
+
+        Ids come back in ascending (string == dense) order; the float
+        lists are parallel to them and bit-exact (f64 round trip).
+        """
+        ranks = self.posting_dense_ids(slot)
+        count = int(self._postmeta[slot]["count"])
+        ids = [self.object_id_at(int(r)) for r in ranks]
         entry_off = int(self._postmeta[slot]["entry_off"])
         freq = self._freq[entry_off:entry_off + count].tolist()
         smooth = self._smooth[entry_off:entry_off + count].tolist()
@@ -622,8 +785,7 @@ class BinaryIndexReader:
     def verify(self) -> None:
         """CRC-check every section (including payloads) — the full
         integrity sweep behind ``repro index convert --verify``."""
-        for name in SECTION_NAMES:
-            offset, length = self.sections[name]
+        for name, (offset, length) in self.sections.items():
             if zlib.crc32(self._mm[offset:offset + length]) != self._section_crcs[name]:
                 raise BinaryFormatError(
                     "section CRC mismatch (bit flip or truncation)",
@@ -635,13 +797,33 @@ class BinaryIndexReader:
     # lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Release the mapping.  Views handed out by ``read_posting``
-        are copies, so closing is always safe after use."""
-        for attr in ("_objid_offsets", "_key_offsets", "_postmeta", "_order", "_freq", "_smooth"):
+        """Release the mapping.  Values handed out by ``read_posting``
+        are copies, so they survive a close; zero-copy views from
+        :meth:`posting_components`/:meth:`posting_block_max` pin the
+        mapping — it is then unmapped when the last view is released
+        instead of here (further reader calls still fail fast)."""
+        for attr in (
+            "_objid_offsets",
+            "_key_offsets",
+            "_postmeta",
+            "_order",
+            "_freq",
+            "_smooth",
+            "_blockmax_freq",
+            "_blockmax_smooth",
+            "_block_offsets",
+        ):
             if hasattr(self, attr):
                 delattr(self, attr)
+        if hasattr(self, "_dense_ids_cache"):
+            self._dense_ids_cache.clear()
         if hasattr(self, "_mm"):
-            self._mm.close()
+            try:
+                self._mm.close()
+            except BufferError:
+                # Zero-copy views are still alive; dropping our reference
+                # lets the mapping unmap when the last of them is released.
+                pass
             del self._mm
         if hasattr(self, "_file"):
             self._file.close()

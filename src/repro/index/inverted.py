@@ -32,6 +32,7 @@ from repro.core.mrf import joint_components
 from repro.core.objects import Feature, MediaObject
 from repro.core.sharding import split_shards
 from repro.index.postings import Posting
+from repro.index.vectorized import InMemoryVectorView, MmapVectorView
 
 #: Objects whose row-sum caches are kept alive during a rescore pass.
 _RESCORE_CACHE_CAP = 256
@@ -79,6 +80,7 @@ class CliqueInvertedIndex:
         self._max_clique_size = max_clique_size
         self._postings: dict[str, Posting] = {}
         self._n_objects = 0
+        self._vector_view: InMemoryVectorView | MmapVectorView | None = None
 
     # ------------------------------------------------------------------
     # construction
@@ -101,6 +103,7 @@ class CliqueInvertedIndex:
             freq_part, smooth_part = joint_components(clique, obj, self._cor, row_sums)
             posting.add(obj.object_id, freq_part, smooth_part)
         self._n_objects += 1
+        self._vector_view = None
         return len(cliques)
 
     def build(
@@ -138,6 +141,7 @@ class CliqueInvertedIndex:
                 posting = Posting(key, cors=cors)
                 self._postings[key] = posting
             posting.extend_scored(entries)
+        self._vector_view = None
 
     def adopt_posting(self, posting: Posting) -> None:
         """Install a deserialized posting (the storage load path).
@@ -148,6 +152,7 @@ class CliqueInvertedIndex:
         if posting.key in self._postings:
             raise ValueError(f"duplicate posting {posting.key!r}")
         self._postings[posting.key] = posting
+        self._vector_view = None
 
     def set_n_objects(self, n: int) -> None:
         """Restore the indexed-object count (storage load path)."""
@@ -175,12 +180,21 @@ class CliqueInvertedIndex:
                     row_sum_cache[object_id] = row_sums
                 components[object_id] = joint_components(clique, obj, self._cor, row_sums)
             posting.rescore(components)
+        self._vector_view = None
 
     def precompute_impact(self, alpha: float) -> None:
         """Materialize every posting's impact-ordered view for ``alpha``
         so the first query pays no sorting cost."""
         for posting in self._postings.values():
             posting.impact_view(alpha)
+
+    def vector_view(self) -> InMemoryVectorView | MmapVectorView:
+        """Cached vector access surface for the vectorized query engine
+        (see :mod:`repro.index.vectorized`); rebuilt after any mutation
+        because the dense-id table depends on the posting contents."""
+        if self._vector_view is None:
+            self._vector_view = InMemoryVectorView(self)
+        return self._vector_view
 
     # ------------------------------------------------------------------
     # queries

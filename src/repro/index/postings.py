@@ -136,6 +136,12 @@ class Posting:
         """``(freq_part, smooth_part)`` of the ``index``-th entry."""
         return self._freq[index], self._smooth[index]
 
+    def component_arrays(self) -> tuple[list[float], list[float]]:
+        """The parallel ``(freq, smooth)`` component lists, by reference
+        — the bulk-conversion path of the vectorized scorer.  Callers
+        must not mutate them."""
+        return self._freq, self._smooth
+
     def rescore(self, components: dict[str, tuple[float, float]]) -> None:
         """Replace every entry's components (legacy-artifact upgrade
         path).  Ids absent from ``components`` keep zero components."""

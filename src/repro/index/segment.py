@@ -33,6 +33,7 @@ from repro.core.objects import MediaObject
 from repro.index.binfmt import BinaryIndexReader
 from repro.index.inverted import CliqueInvertedIndex
 from repro.index.postings import Posting
+from repro.index.vectorized import MmapVectorView
 
 
 class MmapCliqueIndex(CliqueInvertedIndex):
@@ -116,6 +117,15 @@ class MmapCliqueIndex(CliqueInvertedIndex):
     def precompute_impact(self, alpha: float) -> None:
         for posting in self.iter_postings():
             posting.impact_view(alpha)
+
+    def vector_view(self) -> MmapVectorView:
+        """Zero-copy vector access straight off the mapping — no
+        posting is ever materialized; decoded dense-id arrays are
+        cached per clique inside the reader, so repeated queries
+        against the same snapshot skip the varint decode."""
+        if self._vector_view is None:
+            self._vector_view = MmapVectorView(self._reader, self._cor)
+        return self._vector_view
 
     def stats(self) -> dict[str, float]:
         """Size/selectivity summary straight off the postmeta section —

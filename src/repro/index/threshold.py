@@ -37,44 +37,50 @@ from __future__ import annotations
 import heapq
 from collections.abc import Callable, Collection, Mapping, Sequence
 from dataclasses import dataclass
-from typing import Protocol
+from typing import Any, Protocol, TypeVar
 
 from repro.diagnostics.contracts import check_sorted_descending, contracts_enabled
 
 _EMPTY_EXCLUDE: frozenset[str] = frozenset()
 
+#: Object-id type of one TA run: strings on the scalar path, dense
+#: integer ranks on the vectorized path (rank order == string order, so
+#: tie-breaking is unchanged).  Ids only need hashing and a total order.
+IdT = TypeVar("IdT")
+
 
 class _ReverseStr:
-    """String wrapper with inverted ordering.
+    """Id wrapper with inverted ordering.
 
     Heap entries are ``(score, _ReverseStr(id))`` so the min-heap root is
     the *worst* element under the output order (score descending, id
     ascending): lowest score, and among score ties the largest id.
     Without this, ties at the k-th score would keep a different object
-    than the final sort reports.
+    than the final sort reports.  Works for any totally ordered id type
+    (strings, dense integer ranks).
     """
 
     __slots__ = ("value",)
 
-    def __init__(self, value: str) -> None:
+    def __init__(self, value: Any) -> None:
         self.value = value
 
     def __lt__(self, other: "_ReverseStr") -> bool:
-        return self.value > other.value
+        return bool(self.value > other.value)
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, _ReverseStr) and self.value == other.value
+        return isinstance(other, _ReverseStr) and bool(self.value == other.value)
 
 
-class TopKSource(Protocol):
+class TopKSource(Protocol[IdT]):
     """What the TA walk needs from an input list: its length,
     descending sorted access by rank, and O(1) random access."""
 
     def __len__(self) -> int: ...
 
-    def entry(self, rank: int) -> tuple[str, float]: ...
+    def entry(self, rank: int) -> tuple[IdT, float]: ...
 
-    def score(self, object_id: str) -> float: ...
+    def score(self, object_id: IdT) -> float: ...
 
 
 class SortedListSource:
@@ -180,32 +186,44 @@ class AccessStats:
 
     ``sorted_accesses`` counts entries read through sorted access (the
     quantity the index bounds sublinearly), ``random_accesses`` counts
-    per-source score probes, and ``rounds`` is the termination depth.
+    score probes (per source on the scalar path; one accumulator probe
+    per object on the vectorized path), and ``rounds`` is the
+    termination depth.  ``blocks_skipped``/``blocks_total`` are filled
+    by callers running block-max sources: blocks whose upper bound kept
+    them from ever being opened, out of all blocks behind the query's
+    sources.
     """
 
     sorted_accesses: int = 0
     random_accesses: int = 0
     rounds: int = 0
+    blocks_skipped: int = 0
+    blocks_total: int = 0
 
     def merge(self, other: "AccessStats") -> None:
         """Accumulate another query's counters (benchmark aggregation)."""
         self.sorted_accesses += other.sorted_accesses
         self.random_accesses += other.random_accesses
         self.rounds += other.rounds
+        self.blocks_skipped += other.blocks_skipped
+        self.blocks_total += other.blocks_total
 
 
 def threshold_algorithm(
-    sources: Sequence[TopKSource],
+    sources: Sequence[TopKSource[IdT]],
     k: int,
     aggregate: Callable[[Sequence[float]], float] = sum,
     stats: AccessStats | None = None,
-) -> list[tuple[str, float]]:
+    random_access: Callable[[IdT], float] | None = None,
+) -> list[tuple[IdT, float]]:
     """Top-``k`` objects by aggregated score across ``sources``.
 
     Returns at most ``k`` ``(object_id, score)`` pairs in descending
     score order (ties broken by id).  ``aggregate`` must be monotone in
     every argument for early termination to be sound; the default sum
-    over non-negative scores is.
+    over non-negative scores is.  Object ids only need a total order —
+    the vectorized engine runs the walk over dense integer ids whose
+    rank order equals the string order.
 
     The walk does one sorted access per source per round (Fagin's
     round-robin), fully scores unseen objects by random access, and
@@ -213,30 +231,42 @@ def threshold_algorithm(
     frontier threshold, or when every list is exhausted.  ``stats``,
     when given, is filled with the access counts of this run — the
     hook the perf benches and the CI early-termination gate read.
+
+    ``random_access``, when given, replaces the per-source score probes
+    with one call returning the object's **full** aggregate score (the
+    vectorized engine's dense accumulator); it must equal
+    ``aggregate([s.score(oid) for s in sources])`` bit for bit, and it
+    counts as a single random access.
     """
     if k < 1:
         raise ValueError("k must be >= 1")
     if not sources:
         return []
 
-    seen: set[str] = set()
+    seen: set[IdT] = set()
     # Min-heap of (score, reverse-ordered id) holding the current top-k.
     heap: list[tuple[float, _ReverseStr]] = []
     depth = 0
-    max_len = max(len(s) for s in sources)
+    lens = [len(s) for s in sources]
+    max_len = max(lens)
     while depth < max_len:
         frontier: list[float] = []
-        for source in sources:
-            if depth < len(source):
+        for source, source_len in zip(sources, lens):
+            if depth < source_len:
                 object_id, score = source.entry(depth)
                 if stats is not None:
                     stats.sorted_accesses += 1
                 frontier.append(score)
                 if object_id not in seen:
                     seen.add(object_id)
-                    full = aggregate([s.score(object_id) for s in sources])
-                    if stats is not None:
-                        stats.random_accesses += len(sources)
+                    if random_access is not None:
+                        full = random_access(object_id)
+                        if stats is not None:
+                            stats.random_accesses += 1
+                    else:
+                        full = aggregate([s.score(object_id) for s in sources])
+                        if stats is not None:
+                            stats.random_accesses += len(sources)
                     entry = (full, _ReverseStr(object_id))
                     if len(heap) < k:
                         heapq.heappush(heap, entry)
@@ -256,7 +286,7 @@ def threshold_algorithm(
     return [(rev.value, score) for score, rev in results]
 
 
-def sorted_access_count(sources: Sequence[TopKSource], k: int) -> int:
+def sorted_access_count(sources: Sequence[TopKSource[IdT]], k: int) -> int:
     """Run TA and return the number of sorted-access rounds it needed
     (the early-termination depth) — kept for the index-ablation bench."""
     stats = AccessStats()

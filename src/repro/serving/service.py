@@ -28,7 +28,11 @@ from repro.serving.snapshot import EngineSnapshot, SnapshotManager
 #: values would turn a single request into a corpus-wide sort).
 MAX_K = 1000
 
-_VALID_MODES = ("index", "scan")
+#: Modes a request may select.  ``auto``/``index-vectorized`` run the
+#: block-max vectorized engine, ``index`` the scalar TA walk, ``scan``
+#: the exhaustive reference — all index modes rank bit-identically, so
+#: the mode only shows up in latency (and in the cache key).
+_VALID_MODES = ("auto", "index-vectorized", "index", "scan")
 
 
 class ServiceError(Exception):
@@ -266,6 +270,7 @@ class QueryService:
                 "cliques": provenance.n_cliques,
                 "postings": provenance.total_postings,
                 "format_version": provenance.format_version,
+                "payload_verified": provenance.payload_verified,
             }
         return {
             "snapshot": {

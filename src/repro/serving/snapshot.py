@@ -60,8 +60,13 @@ class IndexProvenance:
     ``build_seconds`` is the wall time of whichever of those happened.
     ``format_version`` is the artifact's on-disk version (3 = binary
     mmap, 2 = JSONL; a built snapshot reports the current default save
-    format).  Surfaced verbatim by the service's ``/stats`` endpoint so
-    operators can tell a cold preprocessing run from an artifact pickup.
+    format).  ``payload_verified`` records whether payload checksums
+    were swept at load time (``False`` when the operator passed
+    ``--no-verify-payload`` for a faster cold start; always ``True``
+    for a built index, which has no artifact to distrust).  Surfaced
+    verbatim by the service's ``/stats`` endpoint so operators can tell
+    a cold preprocessing run from an artifact pickup — and whether that
+    pickup was integrity-checked.
     """
 
     origin: str
@@ -69,6 +74,7 @@ class IndexProvenance:
     n_cliques: int
     total_postings: int
     format_version: int
+    payload_verified: bool = True
 
 
 @dataclass(frozen=True)
@@ -117,6 +123,7 @@ def build_snapshot(
     params_path: str | Path | None = None,
     build_index: bool = True,
     loaded_at: float | None = None,
+    verify_payload: bool = True,
 ) -> EngineSnapshot:
     """Load ``corpus_dir`` into a fresh snapshot.
 
@@ -125,6 +132,11 @@ def build_snapshot(
     loaded; otherwise the library-default :class:`MRFParameters` — the
     same default the batch CLI uses, so served rankings are
     bit-identical to ``repro search``/``repro recommend``.
+
+    ``verify_payload=False`` skips the payload checksum sweep when
+    picking up a binary index artifact (the ``--no-verify-payload``
+    fast open); structural validation still runs, and the choice is
+    recorded in the snapshot's :class:`IndexProvenance`.
     """
     directory = Path(corpus_dir)
     if params is None:
@@ -137,7 +149,9 @@ def build_snapshot(
     provenance: IndexProvenance | None = None
     if build_index:
         engine = RetrievalEngine(corpus, params=params, build_index=False)
-        engine, provenance = _attach_index(engine, corpus, directory)
+        engine, provenance = _attach_index(
+            engine, corpus, directory, verify_payload=verify_payload
+        )
     else:
         engine = RetrievalEngine(corpus, params=params, build_index=False)
     recommender = (
@@ -156,7 +170,10 @@ def build_snapshot(
 
 
 def _attach_index(
-    engine: RetrievalEngine, corpus: Corpus, directory: Path
+    engine: RetrievalEngine,
+    corpus: Corpus,
+    directory: Path,
+    verify_payload: bool = True,
 ) -> tuple[RetrievalEngine, IndexProvenance]:
     """Give the engine its retrieval index: pick up ``index.bin`` (v3
     mmap) or ``index.jsonl`` when a valid one sits next to the corpus,
@@ -175,7 +192,9 @@ def _attach_index(
             continue
         started = time.perf_counter()
         try:
-            index = load_index(artifact, engine.correlations, corpus=corpus)
+            index = load_index(
+                artifact, engine.correlations, corpus=corpus, verify_payload=verify_payload
+            )
             version = index_artifact_version(artifact)
         except StorageError:
             continue
@@ -189,6 +208,7 @@ def _attach_index(
             n_cliques=int(stats["n_cliques"]),
             total_postings=int(stats["total_postings"]),
             format_version=version,
+            payload_verified=verify_payload,
         )
 
     started = time.perf_counter()
@@ -219,6 +239,9 @@ class SnapshotManager:
         ``params.json`` next to the corpus takes effect on reload.
     build_index:
         Forwarded to the engine/recommender constructors.
+    verify_payload:
+        Whether artifact pickup sweeps payload checksums (see
+        :func:`build_snapshot`); applies to every (re)load.
     clock:
         Injectable wall clock for tests.
     """
@@ -229,12 +252,14 @@ class SnapshotManager:
         params: MRFParameters | None = None,
         params_path: str | Path | None = None,
         build_index: bool = True,
+        verify_payload: bool = True,
         clock: Callable[[], float] = time.time,
     ) -> None:
         self._corpus_dir = Path(corpus_dir)
         self._params = params
         self._params_path = params_path
         self._build_index = build_index
+        self._verify_payload = verify_payload
         self._clock = clock
         self._current: EngineSnapshot | None = None
         self._generation = 0
@@ -278,6 +303,7 @@ class SnapshotManager:
                 params_path=self._params_path,
                 build_index=self._build_index,
                 loaded_at=self._clock(),
+                verify_payload=self._verify_payload,
             )
             with self._swap_lock:
                 self._current = snapshot

@@ -130,3 +130,25 @@ def test_current_month_override(recommender, rec_corpus):
         user, k=5, current_month=5
     )
     assert len(hits) == 5
+
+
+def test_recommend_vectorized_bitwise_parity(recommender, rec_corpus):
+    """``index-vectorized`` (and the ``auto`` default) return the same
+    ids and float scores as the scalar index path."""
+    for user in rec_corpus.favorite_users()[:3]:
+        scalar = recommender.recommend(user, k=10, mode="index")
+        fast = recommender.recommend(user, k=10, mode="index-vectorized")
+        assert [(h.object_id, h.score) for h in fast] == [
+            (h.object_id, h.score) for h in scalar
+        ]
+        assert recommender.recommend(user, k=10) == fast  # auto default
+
+
+def test_recommend_vectorized_parity_under_decay(rec_corpus):
+    """Temporal decay scales whole sources (the ``outer`` factor); the
+    vectorized path must apply it identically."""
+    rec = Recommender(rec_corpus, params=MRFParameters(delta=0.5))
+    user = rec_corpus.favorite_users()[0]
+    assert rec.recommend(user, k=10, mode="index-vectorized") == rec.recommend(
+        user, k=10, mode="index"
+    )

@@ -137,3 +137,35 @@ def test_ranked_result_is_not_orderable():
     """The ascending dataclass ordering was a footgun; it must be gone."""
     with pytest.raises(TypeError):
         RankedResult("a", 1.0) < RankedResult("b", 2.0)  # noqa: B015
+
+
+def test_auto_mode_resolves_to_vectorized(engine, tiny_corpus):
+    """The default mode runs the vectorized path, which is asserted
+    bit-identical to the scalar reference."""
+    query = tiny_corpus[2]
+    default = engine.search(query, k=5)
+    assert default == engine.search(query, k=5, mode="index-vectorized")
+    assert default == engine.search(query, k=5, mode="index")
+
+
+def test_query_cliques_cached_per_feature_set(tiny_corpus):
+    engine = RetrievalEngine(tiny_corpus)
+    query = tiny_corpus[0]
+    first = engine.query_cliques(query)
+    assert len(engine._clique_cache) == 1
+    second = engine.query_cliques(query)
+    assert second == first
+    assert second is not first  # callers get their own list
+    # an id-only twin with the same features hits the same cache entry
+    import dataclasses
+
+    twin = dataclasses.replace(query, object_id="cache-twin")
+    engine.query_cliques(twin)
+    assert len(engine._clique_cache) == 1
+
+
+def test_with_params_clone_gets_fresh_clique_cache(engine, tiny_corpus):
+    engine.query_cliques(tiny_corpus[0])
+    clone = engine.with_params(MRFParameters(alpha=0.9))
+    assert clone._clique_cache == {}
+    assert clone.search(tiny_corpus[0], k=3)  # caches independently

@@ -16,6 +16,7 @@ import pytest
 
 from repro.index.binfmt import (
     BINARY_FORMAT_VERSION,
+    BLOCK_SIZE,
     MAGIC,
     SECTION_NAMES,
     BinaryFormatError,
@@ -37,6 +38,18 @@ def _sample_postings() -> list[Posting]:
     b.add("obj001", 3.0, 4.0)
     empty = Posting("tag:empty", cors=0.0)
     return [a, b, empty]
+
+
+def _blocky_postings() -> list[Posting]:
+    """The samples plus one posting spanning multiple blocks — only
+    multi-block postings store ``blockmax`` bounds, so this populates
+    every section of the file, optional ones included."""
+    postings = _sample_postings()
+    big = Posting("tag:big", cors=0.5)
+    for i in range(BLOCK_SIZE + 2):
+        big.add(f"big{i:04d}", float(i + 1), 0.5)
+    postings.append(big)
+    return postings
 
 
 @pytest.fixture()
@@ -204,7 +217,7 @@ def test_truncated_payload_names_section(artifact):
 @pytest.mark.parametrize("section", SECTION_NAMES)
 def test_bit_flip_in_each_section_is_named(tmp_path, section):
     path = write_index_file(
-        tmp_path / "index.bin", _sample_postings(), n_objects=12, max_clique_size=2
+        tmp_path / "index.bin", _blocky_postings(), n_objects=200, max_clique_size=2
     )
     offset, length = read_section_table(path)[section]
     assert length > 0, f"sample index leaves section {section!r} empty"

@@ -252,3 +252,18 @@ def test_metrics_text_reports_snapshot_age(service):
     text = service.metrics_text(now=1060.0)  # manager clock stamped 1000.0
     assert "repro_snapshot_age_seconds 60" in text
     assert "repro_snapshot_generation 1" in text
+
+
+def test_stats_reports_payload_verified(service):
+    assert service.stats()["index"]["payload_verified"] is True
+
+
+def test_search_vectorized_mode_matches_index_mode(service, rec_corpus_dir):
+    corpus = load_corpus(rec_corpus_dir)
+    batch = RetrievalEngine(corpus)
+    query_id = corpus[5].object_id
+    served = service.search(query=query_id, k=4, mode="index-vectorized")
+    expected = batch.search(corpus.get(query_id), k=4, mode="index")
+    assert served["results"] == [
+        {"object_id": r.object_id, "score": r.score} for r in expected
+    ]

@@ -214,3 +214,35 @@ def test_no_index_no_provenance(tmp_path, tiny_corpus):
     )
     assert snapshot.index_provenance is None
     assert snapshot.engine.index is None
+
+
+def test_payload_verification_choice_recorded(tmp_path, tiny_corpus):
+    """``verify_payload=False`` is the ``--no-verify-payload`` fast
+    open: the binary artifact is still picked up (structural checks
+    run), and the provenance records the skipped sweep."""
+    from repro.storage.store import save_index
+
+    path = _corpus_on_disk(tmp_path, tiny_corpus)
+    built = build_snapshot(path, generation=1)
+    save_index(built.engine.index, path / "index.bin")
+
+    fast = build_snapshot(path, generation=2, verify_payload=False)
+    assert fast.index_provenance.origin == "loaded"
+    assert fast.index_provenance.payload_verified is False
+
+    checked = build_snapshot(path, generation=3)
+    assert checked.index_provenance.payload_verified is True
+    # both snapshots answer identically — the flag only skips checksums
+    query = fast.corpus[0]
+    assert fast.engine.search(query, k=5) == checked.engine.search(query, k=5)
+
+
+def test_manager_forwards_verify_payload(tmp_path, tiny_corpus):
+    from repro.storage.store import save_index
+
+    path = _corpus_on_disk(tmp_path, tiny_corpus)
+    built = build_snapshot(path, generation=1)
+    save_index(built.engine.index, path / "index.bin")
+    manager = SnapshotManager(path, verify_payload=False)
+    snapshot = manager.load()
+    assert snapshot.index_provenance.payload_verified is False

@@ -244,3 +244,28 @@ def test_search_bad_format_version(tmp_path, capsys, tiny_corpus):
     (path / "meta.json").write_text(_json.dumps(meta))
     assert main(["info", str(path)]) == 2
     assert "format version" in capsys.readouterr().err
+
+
+def test_index_build_no_verify_payload(tmp_path, tiny_corpus, capsys):
+    from pathlib import Path
+
+    corpus_dir = tmp_path / "corpus"
+    save_corpus(tiny_corpus, corpus_dir)
+    assert main(["index", "build", str(corpus_dir), "--no-verify-payload"]) == 0
+    artifact = Path(corpus_dir) / "index.bin"
+    assert artifact.exists()
+    # the artifact is fully valid — only the post-write sweep was skipped
+    from repro.index.binfmt import BinaryIndexReader
+
+    BinaryIndexReader(artifact, verify_payload=True).close()
+
+
+def test_search_vectorized_mode(corpus_dir, tiny_corpus, capsys):
+    query_id = tiny_corpus[0].object_id
+    assert main(["search", corpus_dir, "--query", query_id, "--k", "3",
+                 "--mode", "index-vectorized"]) == 0
+    vec_out = capsys.readouterr().out
+    assert vec_out.count("score=") == 3
+    # auto (the default) prints the same ranking
+    assert main(["search", corpus_dir, "--query", query_id, "--k", "3"]) == 0
+    assert capsys.readouterr().out.splitlines()[1:] == vec_out.splitlines()[1:]
