@@ -37,6 +37,7 @@ from repro.eval.oracle import TopicOracle
 from repro.eval.protocol import evaluate_retrieval, sample_queries
 from repro.serving.cache import ResultCache
 from repro.serving.http import create_server, install_signal_handlers
+from repro.serving.prefork import PreforkServer
 from repro.serving.service import QueryService
 from repro.serving.snapshot import SnapshotManager
 from repro.social.generator import GeneratorConfig, SyntheticFlickr
@@ -159,6 +160,13 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=8,
         help="concurrent query bound; excess requests get 503 + Retry-After",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes; >1 pre-forks a pool over one shared "
+        "listening socket and mmap index (POSIX only)",
     )
     return parser
 
@@ -287,6 +295,8 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     logging.basicConfig(stream=sys.stderr, level=logging.INFO, format="%(message)s")
+    if args.workers > 1:
+        return _serve_prefork(args)
     manager = SnapshotManager(
         args.corpus,
         params_path=args.params,
@@ -307,6 +317,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         server.serve_forever()
     finally:
         server.server_close()
+    print("shutdown complete", flush=True)
+    return 0
+
+
+def _serve_prefork(args: argparse.Namespace) -> int:
+    pool = PreforkServer(
+        args.corpus,
+        workers=args.workers,
+        host=args.host,
+        port=args.port,
+        cache_size=args.cache_size,
+        max_in_flight=args.max_in_flight,
+        params_path=args.params,
+        verify_payload=not args.no_verify_payload,
+    )
+    snapshot = pool.start()
+    pool.install_signal_handlers()
+    print(
+        f"serving {snapshot.n_objects} objects (generation {snapshot.generation}) "
+        f"at http://{args.host}:{pool.port} with {args.workers} workers "
+        f"(pids {', '.join(map(str, pool.worker_pids()))})",
+        flush=True,
+    )
+    pool.run()
     print("shutdown complete", flush=True)
     return 0
 

@@ -796,6 +796,12 @@ class BinaryIndexReader:
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (the mapping reference is
+        dropped; zero-copy views may still pin the pages)."""
+        return not hasattr(self, "_mm")
+
     def close(self) -> None:
         """Release the mapping.  Values handed out by ``read_posting``
         are copies, so they survive a close; zero-copy views from

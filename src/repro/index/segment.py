@@ -167,6 +167,11 @@ class MmapCliqueIndex(CliqueInvertedIndex):
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has released the underlying mapping."""
+        return self._reader.closed
+
     def close(self) -> None:
         """Close the underlying mapping.  Materialized postings keep
         working (they own their decoded arrays); further lookups of

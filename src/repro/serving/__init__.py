@@ -13,9 +13,13 @@ the paper's Section 3.5 preprocessing exists for:
 * :mod:`repro.serving.http` — ``ThreadingHTTPServer`` front end with
   admission control, structured access logs and graceful shutdown;
 * :mod:`repro.serving.metrics` — counter/histogram registry rendered
-  at ``GET /metrics`` in Prometheus text format.
+  at ``GET /metrics`` in Prometheus text format;
+* :mod:`repro.serving.prefork` — pre-fork worker pool sharing one
+  listening socket and one read-only mmap index across N processes,
+  with supervisor restarts, aggregated metrics and coordinated reload.
 
-Start a server from the CLI with ``repro serve <corpus-dir>``.
+Start a server from the CLI with ``repro serve <corpus-dir>``
+(``--workers N`` forks a pool).
 """
 
 from __future__ import annotations
@@ -33,9 +37,17 @@ from repro.serving.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    merge_dumps,
+    render_dump,
 )
-from repro.serving.service import MAX_K, QueryService, ServiceError
-from repro.serving.snapshot import EngineSnapshot, SnapshotManager, build_snapshot
+from repro.serving.prefork import PreforkServer, WorkerControl
+from repro.serving.service import MAX_K, QueryService, ServiceError, resolve_mode
+from repro.serving.snapshot import (
+    EngineSnapshot,
+    SnapshotLease,
+    SnapshotManager,
+    build_snapshot,
+)
 
 __all__ = [
     "CacheStats",
@@ -46,14 +58,20 @@ __all__ = [
     "Histogram",
     "MAX_K",
     "MetricsRegistry",
+    "PreforkServer",
     "QueryService",
     "ResultCache",
     "ServiceError",
     "ServingHTTPServer",
     "ServingRequestHandler",
+    "SnapshotLease",
     "SnapshotManager",
+    "WorkerControl",
     "build_snapshot",
     "create_server",
     "install_signal_handlers",
+    "merge_dumps",
+    "render_dump",
+    "resolve_mode",
     "result_cache_key",
 ]

@@ -28,11 +28,12 @@ from __future__ import annotations
 import json
 import logging
 import signal
+import socket
 import threading
 import time
 import types
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any
+from typing import Any, Protocol
 from urllib.parse import parse_qs, urlsplit
 
 from repro.serving.metrics import DEFAULT_LATENCY_BUCKETS
@@ -57,6 +58,18 @@ ROUTES: dict[tuple[str, str], tuple[str, bool]] = {
 RETRY_AFTER_SECONDS = 1
 
 
+class ClusterControl(Protocol):
+    """Pool-wide views a prefork worker routes the control-plane
+    endpoints through (implemented by
+    :class:`repro.serving.prefork.WorkerControl`)."""
+
+    def cluster_metrics(self, now: float) -> str: ...
+
+    def cluster_stats(self) -> dict[str, Any]: ...
+
+    def cluster_reload(self) -> dict[str, Any]: ...
+
+
 class ServingHTTPServer(ThreadingHTTPServer):
     """Threaded HTTP server bound to one :class:`QueryService`."""
 
@@ -68,12 +81,31 @@ class ServingHTTPServer(ThreadingHTTPServer):
         address: tuple[str, int],
         service: QueryService,
         max_in_flight: int = 8,
+        listen_socket: socket.socket | None = None,
     ) -> None:
         if max_in_flight < 1:
             raise ValueError(f"max_in_flight must be >= 1, got {max_in_flight}")
-        super().__init__(address, ServingRequestHandler)
+        if listen_socket is None:
+            super().__init__(address, ServingRequestHandler)
+        else:
+            # Prefork adoption: the supervisor already bound and
+            # listened on this socket before forking, so the worker
+            # must not bind again — just run the accept loop over the
+            # inherited descriptor.
+            super().__init__(address, ServingRequestHandler, bind_and_activate=False)
+            self.socket.close()
+            self.socket = listen_socket
+            self.server_address = listen_socket.getsockname()
+            host, port = self.server_address[:2]
+            self.server_name = str(host)
+            self.server_port = int(port)
         self.service = service
         self.max_in_flight = max_in_flight
+        #: Cluster control hooks, set by the prefork worker runtime so
+        #: /metrics, /stats and /admin/reload report/act on the whole
+        #: worker pool instead of this process alone.  ``None`` in the
+        #: classic single-process server.
+        self.control: ClusterControl | None = None
         self.admission = threading.Semaphore(max_in_flight)
         registry = service.metrics
         self.request_counter = registry.counter(
@@ -102,9 +134,17 @@ def create_server(
     host: str = "127.0.0.1",
     port: int = 0,
     max_in_flight: int = 8,
+    listen_socket: socket.socket | None = None,
 ) -> ServingHTTPServer:
-    """Bind (``port=0`` picks an ephemeral port) without serving yet."""
-    return ServingHTTPServer((host, port), service, max_in_flight=max_in_flight)
+    """Bind (``port=0`` picks an ephemeral port) without serving yet.
+
+    With ``listen_socket`` the server adopts an already-listening
+    socket instead of binding (the prefork worker path); ``host`` and
+    ``port`` are then ignored.
+    """
+    return ServingHTTPServer(
+        (host, port), service, max_in_flight=max_in_flight, listen_socket=listen_socket
+    )
 
 
 def install_signal_handlers(
@@ -183,20 +223,27 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
 
     def _handle(self, endpoint: str, query_string: str) -> tuple[int, dict[str, Any] | str]:
         service = self.server.service
+        control = self.server.control
         if endpoint == "metrics":
+            if control is not None:
+                return 200, control.cluster_metrics(now=time.time())
             return 200, service.metrics_text(now=time.time())
         if endpoint == "healthz":
             return 200, service.healthz()
         if endpoint == "stats":
+            if control is not None:
+                return 200, control.cluster_stats()
             return 200, service.stats()
         if endpoint == "reload":
+            if control is not None:
+                return 200, control.cluster_reload()
             return 200, service.reload()
         params = self._request_params(query_string)
         if endpoint == "search":
             return 200, service.search(
                 query=params.get("query"),
                 k=params.get("k", 10),
-                mode=params.get("mode", "index"),
+                mode=params.get("mode", "auto"),
             )
         if endpoint == "recommend":
             return 200, service.recommend(
@@ -210,7 +257,7 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
                 visual_words=params.get("visual_words"),
                 users=params.get("users"),
                 k=params.get("k", 10),
-                mode=params.get("mode", "index"),
+                mode=params.get("mode", "auto"),
             )
         raise ServiceError(404, f"unknown endpoint {endpoint!r}")
 

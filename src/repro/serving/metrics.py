@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
+from typing import Any
 
 #: Fixed latency buckets (seconds) — sub-millisecond to multi-second,
 #: matching the paper's "under 0.6 s per query" budget with headroom.
@@ -82,6 +83,9 @@ class _Metric:
     def render(self) -> list[str]:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    def dump(self) -> dict[str, Any]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
 
 class Counter(_Metric):
     """Monotonically increasing counter, optionally labelled."""
@@ -114,6 +118,16 @@ class Counter(_Metric):
             labels = _render_labels(self.label_names, label_values)
             lines.append(f"{self.name}{labels} {format_value(value)}")
         return lines
+
+    def dump(self) -> dict[str, Any]:
+        with self._lock:
+            values = [[list(k), v] for k, v in sorted(self._values.items())]
+        return {
+            "kind": self.kind,
+            "help": self.help_text,
+            "label_names": list(self.label_names),
+            "values": values,
+        }
 
 
 class Gauge(_Metric):
@@ -158,6 +172,16 @@ class Gauge(_Metric):
             labels = _render_labels(self.label_names, label_values)
             lines.append(f"{self.name}{labels} {format_value(value)}")
         return lines
+
+    def dump(self) -> dict[str, Any]:
+        with self._lock:
+            values = [[list(k), v] for k, v in sorted(self._values.items())]
+        return {
+            "kind": self.kind,
+            "help": self.help_text,
+            "label_names": list(self.label_names),
+            "values": values,
+        }
 
 
 @dataclass
@@ -230,6 +254,20 @@ class Histogram(_Metric):
             lines.append(f"{self.name}_count{plain} {count}")
         return lines
 
+    def dump(self) -> dict[str, Any]:
+        with self._lock:
+            rows = [
+                [list(values), list(state.bucket_counts), state.total, state.count]
+                for values, state in sorted(self._states.items())
+            ]
+        return {
+            "kind": self.kind,
+            "help": self.help_text,
+            "label_names": list(self.label_names),
+            "buckets": list(self.buckets),
+            "rows": rows,
+        }
+
 
 @dataclass
 class MetricsRegistry:
@@ -297,3 +335,136 @@ class MetricsRegistry:
         for metric in metrics:
             lines.extend(metric.render())
         return "\n".join(lines) + "\n" if lines else ""
+
+    def dump(self) -> dict[str, Any]:
+        """JSON-safe structured export of every metric.
+
+        The per-worker scrape format of the prefork control channel:
+        the supervisor collects one dump per process, merges them with
+        :func:`merge_dumps` and renders the union with
+        :func:`render_dump` — so the aggregated ``/metrics`` exposition
+        is built from numbers, not from re-parsing text.
+        """
+        with self._lock:
+            metrics = [self._metrics[name] for name in sorted(self._metrics)]
+        return {"metrics": {metric.name: metric.dump() for metric in metrics}}
+
+
+#: Gauges that describe a shared state rather than per-process work sum
+#: wrongly across workers — every worker serves the same snapshot, so
+#: the cluster view takes the max (which also surfaces a generation
+#: straggler during a coordinated reload as a visible mismatch window).
+_MAXIMIZED_GAUGE_PREFIXES = ("repro_snapshot_",)
+_MAXIMIZED_GAUGE_SUFFIXES = ("_generation",)
+
+
+def _gauge_merge_is_max(name: str) -> bool:
+    return name.startswith(_MAXIMIZED_GAUGE_PREFIXES) or name.endswith(
+        _MAXIMIZED_GAUGE_SUFFIXES
+    )
+
+
+def merge_dumps(dumps: list[dict[str, Any]]) -> dict[str, Any]:
+    """Merge per-process registry dumps into one cluster-wide dump.
+
+    Counters and histograms sum element-wise (histograms must agree on
+    buckets); gauges sum except the snapshot/generation family, which
+    takes the max (see ``_MAXIMIZED_GAUGE_PREFIXES``).  Metric metadata
+    (kind, help, label names) comes from the first dump that mentions
+    the metric.
+    """
+    merged: dict[str, dict[str, Any]] = {}
+    for dump in dumps:
+        metrics = dump.get("metrics")
+        if not isinstance(metrics, dict):
+            raise ValueError("metrics dump missing 'metrics' mapping")
+        for name, entry in metrics.items():
+            target = merged.get(name)
+            if target is None:
+                merged[name] = {
+                    key: (list(value) if isinstance(value, list) else value)
+                    for key, value in entry.items()
+                }
+                # Deep-copy the per-labelset rows so merging never
+                # mutates the caller's dump in place.
+                if "values" in entry:
+                    merged[name]["values"] = [
+                        [list(row[0]), row[1]] for row in entry["values"]
+                    ]
+                if "rows" in entry:
+                    merged[name]["rows"] = [
+                        [list(row[0]), list(row[1]), row[2], row[3]]
+                        for row in entry["rows"]
+                    ]
+                continue
+            if target["kind"] != entry["kind"]:
+                raise ValueError(
+                    f"metric {name!r} kind mismatch across dumps: "
+                    f"{target['kind']} vs {entry['kind']}"
+                )
+            if entry["kind"] == "histogram":
+                if list(target["buckets"]) != list(entry["buckets"]):
+                    raise ValueError(f"metric {name!r} bucket mismatch across dumps")
+                rows = {tuple(row[0]): row for row in target["rows"]}
+                for labels, counts, total, count in entry["rows"]:
+                    existing = rows.get(tuple(labels))
+                    if existing is None:
+                        target["rows"].append([list(labels), list(counts), total, count])
+                        rows[tuple(labels)] = target["rows"][-1]
+                    else:
+                        existing[1] = [a + b for a, b in zip(existing[1], counts)]
+                        existing[2] += total
+                        existing[3] += count
+                target["rows"].sort(key=lambda row: row[0])
+            else:
+                use_max = entry["kind"] == "gauge" and _gauge_merge_is_max(name)
+                values = {tuple(row[0]): row for row in target["values"]}
+                for labels, value in entry["values"]:
+                    existing = values.get(tuple(labels))
+                    if existing is None:
+                        target["values"].append([list(labels), value])
+                        values[tuple(labels)] = target["values"][-1]
+                    elif use_max:
+                        existing[1] = max(existing[1], value)
+                    else:
+                        existing[1] += value
+                target["values"].sort(key=lambda row: row[0])
+    return {"metrics": {name: merged[name] for name in sorted(merged)}}
+
+
+def render_dump(dump: dict[str, Any]) -> str:
+    """Prometheus text exposition of a (possibly merged) registry dump."""
+    metrics = dump.get("metrics")
+    if not isinstance(metrics, dict):
+        raise ValueError("metrics dump missing 'metrics' mapping")
+    lines: list[str] = []
+    for name in sorted(metrics):
+        entry = metrics[name]
+        kind = str(entry["kind"])
+        label_names = tuple(str(n) for n in entry["label_names"])
+        lines.append(f"# HELP {name} {entry['help']}")
+        lines.append(f"# TYPE {name} {kind}")
+        if kind == "histogram":
+            buckets = [float(b) for b in entry["buckets"]]
+            for label_values, bucket_counts, total, count in entry["rows"]:
+                values = tuple(str(v) for v in label_values)
+                for bound, cumulative in zip(buckets, bucket_counts):
+                    bucket_labels = _render_labels(
+                        label_names + ("le",), values + (format_value(bound),)
+                    )
+                    lines.append(f"{name}_bucket{bucket_labels} {cumulative}")
+                inf_labels = _render_labels(label_names + ("le",), values + ("+Inf",))
+                plain = _render_labels(label_names, values)
+                lines.append(f"{name}_bucket{inf_labels} {count}")
+                lines.append(f"{name}_sum{plain} {format_value(total)}")
+                lines.append(f"{name}_count{plain} {count}")
+        else:
+            rows = list(entry["values"])
+            if not rows and not label_names:
+                rows = [[[], 0.0]]
+            for label_values, value in rows:
+                labels = _render_labels(
+                    label_names, tuple(str(v) for v in label_values)
+                )
+                lines.append(f"{name}{labels} {format_value(value)}")
+    return "\n".join(lines) + "\n" if lines else ""

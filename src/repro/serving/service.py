@@ -22,7 +22,7 @@ from repro.core.recommendation import Recommender
 from repro.core.retrieval import RankedResult
 from repro.serving.cache import ResultCache, result_cache_key
 from repro.serving.metrics import MetricsRegistry
-from repro.serving.snapshot import EngineSnapshot, SnapshotManager
+from repro.serving.snapshot import EngineSnapshot, SnapshotLease, SnapshotManager
 
 #: Upper bound on requested result-list length (admission of absurd k
 #: values would turn a single request into a corpus-wide sort).
@@ -33,6 +33,23 @@ MAX_K = 1000
 #: the exhaustive reference — all index modes rank bit-identically, so
 #: the mode only shows up in latency (and in the cache key).
 _VALID_MODES = ("auto", "index-vectorized", "index", "scan")
+
+#: Cache-key placeholder for endpoints that have no mode dimension
+#: (``recommend`` always runs the index path).  Distinct from every
+#: entry in ``_VALID_MODES`` so it can never collide with a real mode.
+_NO_MODE = "-"
+
+
+def resolve_mode(mode: str) -> str:
+    """Map a requested mode to the engine mode that actually runs.
+
+    ``auto`` resolves to ``index-vectorized`` (the engine default since
+    the block-max path landed); everything else names itself.  Cache
+    keys use the *resolved* mode, so ``auto`` and ``index-vectorized``
+    requests — which rank bit-identically — share one cache entry
+    instead of double-populating the LRU.
+    """
+    return "index-vectorized" if mode == "auto" else mode
 
 
 class ServiceError(Exception):
@@ -119,35 +136,44 @@ class QueryService:
         except RuntimeError as exc:
             raise ServiceError(503, str(exc)) from exc
 
+    def _lease(self) -> SnapshotLease:
+        """A refcounted hold on the current snapshot for one request —
+        a concurrent reload can retire the snapshot but cannot close
+        its mmap'd index until the lease is released."""
+        try:
+            return self._manager.lease()
+        except RuntimeError as exc:
+            raise ServiceError(503, str(exc)) from exc
+
     # ------------------------------------------------------------------
     # query endpoints
     # ------------------------------------------------------------------
-    def search(self, query: Any, k: Any = 10, mode: Any = "index") -> dict[str, Any]:
+    def search(self, query: Any, k: Any = 10, mode: Any = "auto") -> dict[str, Any]:
         """Top-``k`` objects most similar to the stored object ``query``
         (bit-identical to ``repro search`` on the same corpus)."""
         if not isinstance(query, str) or not query:
             raise ServiceError(400, "query must be a non-empty object id")
         k = _validate_k(k)
-        mode = _validate_mode(mode)
-        snapshot = self._snapshot()
-        key = result_cache_key(snapshot.generation, "search", query, k, mode)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return dict(cached, cached=True)
-        corpus = snapshot.corpus
-        if query not in corpus:
-            raise ServiceError(404, f"unknown object id {query!r}")
-        results = snapshot.engine.search(corpus.get(query), k=k, mode=mode)
-        payload = {
-            "endpoint": "search",
-            "generation": snapshot.generation,
-            "query": query,
-            "k": k,
-            "mode": mode,
-            "results": _render_results(results),
-        }
-        self._cache.put(key, payload)
-        return dict(payload, cached=False)
+        mode = resolve_mode(_validate_mode(mode))
+        with self._lease() as snapshot:
+            key = result_cache_key(snapshot.generation, "search", query, k, mode)
+            cached = self._cache.get(key)
+            if cached is not None:
+                return dict(cached, cached=True)
+            corpus = snapshot.corpus
+            if query not in corpus:
+                raise ServiceError(404, f"unknown object id {query!r}")
+            results = snapshot.engine.search(corpus.get(query), k=k, mode=mode)
+            payload = {
+                "endpoint": "search",
+                "generation": snapshot.generation,
+                "query": query,
+                "k": k,
+                "mode": mode,
+                "results": _render_results(results),
+            }
+            self._cache.put(key, payload)
+            return dict(payload, cached=False)
 
     def recommend(self, user: Any, k: Any = 10, delta: Any = None) -> dict[str, Any]:
         """Top-``k`` newly-incoming objects for ``user`` (bit-identical
@@ -155,38 +181,40 @@ class QueryService:
         if not isinstance(user, str) or not user:
             raise ServiceError(400, "user must be a non-empty user id")
         k = _validate_k(k)
-        snapshot = self._snapshot()
-        recommender = snapshot.recommender
-        if recommender is None:
-            raise ServiceError(
-                409, "corpus has no favorite events; recommendation is unavailable"
+        with self._lease() as snapshot:
+            recommender = snapshot.recommender
+            if recommender is None:
+                raise ServiceError(
+                    409, "corpus has no favorite events; recommendation is unavailable"
+                )
+            effective_delta = recommender.params.delta if delta is None else delta
+            try:
+                effective_delta = float(effective_delta)
+            except (TypeError, ValueError):
+                raise ServiceError(
+                    400, f"delta must be a number, got {delta!r}"
+                ) from None
+            key = result_cache_key(
+                snapshot.generation, "recommend", (user, effective_delta), k, _NO_MODE
             )
-        effective_delta = recommender.params.delta if delta is None else delta
-        try:
-            effective_delta = float(effective_delta)
-        except (TypeError, ValueError):
-            raise ServiceError(400, f"delta must be a number, got {delta!r}") from None
-        key = result_cache_key(
-            snapshot.generation, "recommend", (user, effective_delta), k, "index"
-        )
-        cached = self._cache.get(key)
-        if cached is not None:
-            return dict(cached, cached=True)
-        recommender = self._recommender_for_delta(recommender, effective_delta)
-        try:
-            results = recommender.recommend(user, k=k)
-        except ValueError as exc:
-            raise ServiceError(404, str(exc)) from exc
-        payload = {
-            "endpoint": "recommend",
-            "generation": snapshot.generation,
-            "user": user,
-            "k": k,
-            "delta": effective_delta,
-            "results": _render_results(results),
-        }
-        self._cache.put(key, payload)
-        return dict(payload, cached=False)
+            cached = self._cache.get(key)
+            if cached is not None:
+                return dict(cached, cached=True)
+            recommender = self._recommender_for_delta(recommender, effective_delta)
+            try:
+                results = recommender.recommend(user, k=k)
+            except ValueError as exc:
+                raise ServiceError(404, str(exc)) from exc
+            payload = {
+                "endpoint": "recommend",
+                "generation": snapshot.generation,
+                "user": user,
+                "k": k,
+                "delta": effective_delta,
+                "results": _render_results(results),
+            }
+            self._cache.put(key, payload)
+            return dict(payload, cached=False)
 
     @staticmethod
     def _recommender_for_delta(recommender: Recommender, delta: float) -> Recommender:
@@ -205,7 +233,7 @@ class QueryService:
         visual_words: Any = None,
         users: Any = None,
         k: Any = 10,
-        mode: Any = "index",
+        mode: Any = "auto",
     ) -> dict[str, Any]:
         """Similarity search for a free-form feature bag that does not
         correspond to any stored object id.
@@ -221,29 +249,29 @@ class QueryService:
                 400, "at least one of tags/visual_words/users must be non-empty"
             )
         k = _validate_k(k)
-        mode = _validate_mode(mode)
-        snapshot = self._snapshot()
-        signature = (tag_bag, visual_bag, user_bag)
-        key = result_cache_key(snapshot.generation, "similar", signature, k, mode)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return dict(cached, cached=True)
-        query = MediaObject.build(
-            "query:ad-hoc", tags=tag_bag, visual_words=visual_bag, users=user_bag
-        )
-        results = snapshot.engine.search(query, k=k, mode=mode, exclude_query=False)
-        payload = {
-            "endpoint": "similar",
-            "generation": snapshot.generation,
-            "tags": list(tag_bag),
-            "visual_words": list(visual_bag),
-            "users": list(user_bag),
-            "k": k,
-            "mode": mode,
-            "results": _render_results(results),
-        }
-        self._cache.put(key, payload)
-        return dict(payload, cached=False)
+        mode = resolve_mode(_validate_mode(mode))
+        with self._lease() as snapshot:
+            signature = (tag_bag, visual_bag, user_bag)
+            key = result_cache_key(snapshot.generation, "similar", signature, k, mode)
+            cached = self._cache.get(key)
+            if cached is not None:
+                return dict(cached, cached=True)
+            query = MediaObject.build(
+                "query:ad-hoc", tags=tag_bag, visual_words=visual_bag, users=user_bag
+            )
+            results = snapshot.engine.search(query, k=k, mode=mode, exclude_query=False)
+            payload = {
+                "endpoint": "similar",
+                "generation": snapshot.generation,
+                "tags": list(tag_bag),
+                "visual_words": list(visual_bag),
+                "users": list(user_bag),
+                "k": k,
+                "mode": mode,
+                "results": _render_results(results),
+            }
+            self._cache.put(key, payload)
+            return dict(payload, cached=False)
 
     # ------------------------------------------------------------------
     # lifecycle / introspection endpoints
@@ -305,6 +333,19 @@ class QueryService:
         """Prometheus text exposition of the full registry plus cache
         and snapshot state.  ``now`` (wall-clock seconds) is supplied by
         the transport so this module stays clock-free."""
+        self._update_gauges(now)
+        return self._metrics.render()
+
+    def metrics_dump(self, now: float | None = None) -> dict[str, Any]:
+        """Structured registry export (see ``MetricsRegistry.dump``),
+        with the same cache/snapshot gauge refresh as
+        :meth:`metrics_text`.  The prefork supervisor scrapes workers
+        through this so per-process registries can be merged and
+        rendered as one cluster-wide exposition."""
+        self._update_gauges(now)
+        return self._metrics.dump()
+
+    def _update_gauges(self, now: float | None = None) -> None:
         cache_stats = self._cache.stats()
         self._metrics.gauge(
             "repro_result_cache_hits_total",
@@ -340,4 +381,3 @@ class QueryService:
                     "repro_snapshot_age_seconds",
                     "Seconds since the serving snapshot finished loading.",
                 ).set(max(0.0, now - snapshot.loaded_at))
-        return self._metrics.render()

@@ -8,10 +8,17 @@ prebuilt structure — the point of Section 3.5's index.
 A :class:`SnapshotManager` owns a reference to the current
 :class:`EngineSnapshot`.  Reload builds a complete replacement off the
 serving path (the old snapshot keeps answering queries throughout) and
-then swaps the reference under a lock — readers grab the reference
-once per request, so in-flight requests drain on the old snapshot while
-new requests land on the new one.  A failed reload leaves the current
-snapshot untouched.
+then swaps the reference under a lock — readers take a refcounted
+*lease* per request, so in-flight requests drain on the old snapshot
+while new requests land on the new one.  A failed reload leaves the
+current snapshot untouched.
+
+Swapped-out snapshots are *disposed deterministically*: the manager
+retires the previous snapshot on swap and closes it (releasing an
+mmap'd index artifact's file descriptor and mapping) as soon as the
+last lease is released — immediately, when no request is in flight.
+Before this, the old reader's fd lingered until garbage collection,
+which under reload churn is an fd leak.
 
 Each snapshot carries a monotonically increasing *generation*; the
 result cache keys on it, so a swap implicitly invalidates all cached
@@ -114,6 +121,20 @@ class EngineSnapshot:
     @property
     def n_objects(self) -> int:
         return len(self.engine.corpus)
+
+    def close(self) -> None:
+        """Release OS resources held by this snapshot's index.
+
+        A snapshot whose index came from the v3 binary artifact holds
+        the artifact's file descriptor and mapping open
+        (:class:`repro.index.segment.MmapCliqueIndex`); a built
+        in-memory index holds nothing and ``close`` is a no-op.  The
+        manager calls this once the snapshot is retired and the last
+        lease is released — never while a request may still read it.
+        """
+        closer = getattr(self.engine.index, "close", None)
+        if closer is not None:
+            closer()
 
 
 def build_snapshot(
@@ -226,6 +247,37 @@ def _attach_index(
     )
 
 
+class SnapshotLease:
+    """A refcounted hold on one snapshot for the duration of a request.
+
+    Context-manager protocol: ``with manager.lease() as snapshot: ...``
+    — the snapshot cannot be disposed while the lease is open, even if
+    a reload retires it mid-request.  ``release`` is idempotent.
+    """
+
+    __slots__ = ("_manager", "_snapshot", "_released")
+
+    def __init__(self, manager: "SnapshotManager", snapshot: EngineSnapshot) -> None:
+        self._manager = manager
+        self._snapshot = snapshot
+        self._released = False
+
+    @property
+    def snapshot(self) -> EngineSnapshot:
+        return self._snapshot
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._manager._release(self._snapshot)
+
+    def __enter__(self) -> EngineSnapshot:
+        return self._snapshot
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+
 class SnapshotManager:
     """Owns the current snapshot and serializes reloads.
 
@@ -266,8 +318,12 @@ class SnapshotManager:
         #: serializes builds so concurrent reloads don't race the
         #: generation counter or waste duplicate work.
         self._reload_lock = threading.Lock()
-        #: guards the reference swap (readers + writer).
+        #: guards the reference swap and the lease bookkeeping below.
         self._swap_lock = threading.Lock()
+        #: open lease count per snapshot generation.
+        self._lease_counts: dict[int, int] = {}
+        #: generations swapped out but still leased; closed on last release.
+        self._retired: dict[int, EngineSnapshot] = {}
 
     @property
     def corpus_dir(self) -> Path:
@@ -287,12 +343,49 @@ class SnapshotManager:
         with self._swap_lock:
             return self._generation
 
+    def lease(self) -> SnapshotLease:
+        """Acquire a refcounted hold on the current snapshot.
+
+        Raises ``RuntimeError`` when :meth:`load` never ran.  Request
+        handlers read through leases so a concurrent reload can never
+        close an index a request is still walking.
+        """
+        with self._swap_lock:
+            snapshot = self._current
+            if snapshot is None:
+                raise RuntimeError("no snapshot loaded; call load() first")
+            generation = snapshot.generation
+            self._lease_counts[generation] = self._lease_counts.get(generation, 0) + 1
+        return SnapshotLease(self, snapshot)
+
+    def _release(self, snapshot: EngineSnapshot) -> None:
+        """Drop one lease; dispose the snapshot if it was retired and
+        this was the last hold.  (Called by :class:`SnapshotLease`.)"""
+        generation = snapshot.generation
+        dispose: EngineSnapshot | None = None
+        with self._swap_lock:
+            remaining = self._lease_counts.get(generation, 0) - 1
+            if remaining > 0:
+                self._lease_counts[generation] = remaining
+            else:
+                self._lease_counts.pop(generation, None)
+                dispose = self._retired.pop(generation, None)
+        if dispose is not None:
+            dispose.close()
+
+    def leases(self, generation: int) -> int:
+        """Open lease count for ``generation`` (introspection/tests)."""
+        with self._swap_lock:
+            return self._lease_counts.get(generation, 0)
+
     def load(self) -> EngineSnapshot:
         """Build the next generation and atomically swap it in.
 
         The build happens outside the swap lock — the previous snapshot
         keeps serving until the replacement is fully warm.  On failure
         the exception propagates and the current snapshot is untouched.
+        The swapped-out snapshot is retired: it is closed immediately
+        when idle, or on the release of its last lease otherwise.
         """
         with self._reload_lock:
             next_generation = self.generation + 1
@@ -305,9 +398,18 @@ class SnapshotManager:
                 loaded_at=self._clock(),
                 verify_payload=self._verify_payload,
             )
+            dispose: EngineSnapshot | None = None
             with self._swap_lock:
+                previous = self._current
                 self._current = snapshot
                 self._generation = next_generation
+                if previous is not None:
+                    if self._lease_counts.get(previous.generation, 0) > 0:
+                        self._retired[previous.generation] = previous
+                    else:
+                        dispose = previous
+            if dispose is not None:
+                dispose.close()
             return snapshot
 
     #: reload is the same operation as the initial load — build then swap.

@@ -207,6 +207,120 @@ def run_all(items):
     assert violations == []
 
 
+# ----------------------------------------------------------------------
+# raw os.fork() discipline (the prefork supervisor shape)
+# ----------------------------------------------------------------------
+def test_fork_after_thread_in_same_scope_fires():
+    violations = run(
+        """
+import os
+import threading
+
+def serve():
+    scraper = threading.Thread(target=print)
+    scraper.start()
+    pid = os.fork()
+    return pid
+""",
+    )
+    assert len(violations) == 1
+    assert violations[0].rule == "LK201"
+    assert "scraper" in violations[0].message
+    assert "only the calling thread survives" in violations[0].message
+
+
+def test_fork_without_threads_is_clean():
+    violations = run(
+        """
+import os
+
+def serve():
+    pid = os.fork()
+    if pid == 0:
+        os._exit(0)
+    return pid
+""",
+    )
+    assert violations == []
+
+
+def test_fork_then_thread_after_is_clean():
+    """The sanctioned worker shape: fork first, then the *child* (or the
+    continuing parent code) creates its own threads."""
+    violations = run(
+        """
+import os
+import threading
+
+def serve():
+    pid = os.fork()
+    if pid == 0:
+        reader = threading.Thread(target=print)
+        reader.start()
+        os._exit(0)
+    return pid
+""",
+    )
+    assert violations == []
+
+
+def test_fork_with_thread_in_enclosing_scope_fires():
+    """A thread bound in an enclosing scope exists by the time the
+    nested forker runs — line order cannot exonerate it."""
+    violations = run(
+        """
+import os
+import threading
+
+def run():
+    watcher = threading.Thread(target=print)
+    watcher.start()
+
+    def spawn():
+        return os.fork()
+
+    return spawn()
+""",
+    )
+    assert len(violations) == 1
+    assert "watcher" in violations[0].message
+
+
+def test_fork_with_module_level_thread_fires():
+    violations = run(
+        """
+import os
+import threading
+
+_PUMP = threading.Thread(target=print)
+
+def serve():
+    return os.fork()
+""",
+    )
+    assert len(violations) == 1
+    assert "_PUMP" in violations[0].message
+
+
+def test_thread_inside_sibling_function_is_invisible_to_fork():
+    """A thread local to another function is not in the forker's scope
+    chain — the analyzer must not cross function boundaries downward."""
+    violations = run(
+        """
+import os
+import threading
+
+def pump():
+    reader = threading.Thread(target=print)
+    reader.start()
+
+def serve():
+    return os.fork()
+""",
+    )
+    assert violations == []
+
+
 def test_mmap_and_socket_captures_fire():
     violations = run(
         """

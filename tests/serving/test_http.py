@@ -91,6 +91,25 @@ def test_similar_post(running_server):
     assert json.loads(body)["endpoint"] == "similar"
 
 
+def test_default_search_mode_is_vectorized_over_http(running_server):
+    """A modeless GET /search must reach the vectorized engine — the
+    transport default is ``auto``, resolved by the service layer."""
+    query_id = running_server.service.manager.current.corpus[0].object_id
+    payload = json.loads(_get(running_server, f"/search?query={query_id}&k=3")[1])
+    assert payload["mode"] == "index-vectorized"
+    explicit = json.loads(
+        _get(running_server, f"/search?query={query_id}&k=3&mode=index-vectorized")[1]
+    )
+    assert explicit["results"] == payload["results"]
+    assert explicit["cached"] is True  # same cache entry as the default
+
+
+def test_default_similar_mode_is_vectorized_over_http(running_server):
+    status, body = _post(running_server, "/similar", {"tags": ["tag1"], "k": 3})
+    assert status == 200
+    assert json.loads(body)["mode"] == "index-vectorized"
+
+
 def test_admin_reload_bumps_generation_and_empties_cache(running_server):
     service = running_server.service
     query_id = service.manager.current.corpus[0].object_id

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 import threading
 
 import pytest
@@ -13,6 +14,8 @@ from repro.serving.metrics import (
     MetricsRegistry,
     escape_label_value,
     format_value,
+    merge_dumps,
+    render_dump,
 )
 
 
@@ -117,6 +120,107 @@ def test_concurrent_increments_do_not_lose_updates():
     for t in threads:
         t.join()
     assert counter.value() == 8000.0
+
+
+# ----------------------------------------------------------------------
+# dump / merge / render: the prefork cross-process scrape path
+# ----------------------------------------------------------------------
+def _worker_registry(requests: int, generation: int) -> MetricsRegistry:
+    """A registry shaped like one serving worker's."""
+    registry = MetricsRegistry()
+    counter = registry.counter(
+        "repro_requests_total", "Requests.", label_names=("endpoint", "status")
+    )
+    counter.inc(float(requests), endpoint="search", status="200")
+    registry.gauge("repro_snapshot_generation", "Generation.").set(generation)
+    registry.gauge("repro_result_cache_entries", "Entries.").set(float(requests))
+    hist = registry.histogram(
+        "repro_request_latency_seconds", "Latency.", buckets=(0.01, 0.1, 1.0)
+    )
+    for _ in range(requests):
+        hist.observe(0.05)
+    return registry
+
+
+def test_dump_round_trips_through_render():
+    """``render_dump(registry.dump())`` must equal ``registry.render()``
+    — one scrape format, whether local or merged."""
+    registry = _worker_registry(3, 1)
+    assert render_dump(registry.dump()) == registry.render()
+
+
+def test_merge_sums_counters_and_histograms():
+    merged = merge_dumps([_worker_registry(3, 1).dump(), _worker_registry(5, 1).dump()])
+    requests = merged["metrics"]["repro_requests_total"]
+    assert requests["values"] == [[["search", "200"], 8.0]]
+    hist = merged["metrics"]["repro_request_latency_seconds"]
+    [[labels, counts, total, count]] = hist["rows"]
+    assert count == 8
+    assert counts == [0, 8, 8]
+    assert total == pytest.approx(0.4)
+
+
+def test_merge_takes_max_for_snapshot_gauges_and_sums_the_rest():
+    """During a coordinated reload workers may briefly disagree on the
+    generation: the cluster gauge reports the newest, while additive
+    gauges (cache entries) sum across workers."""
+    merged = merge_dumps([_worker_registry(3, 1).dump(), _worker_registry(5, 2).dump()])
+    assert merged["metrics"]["repro_snapshot_generation"]["values"] == [[[], 2.0]]
+    assert merged["metrics"]["repro_result_cache_entries"]["values"] == [[[], 8.0]]
+
+
+def test_merge_keeps_counter_kind_override():
+    """Cache-total gauges dump as counters (their exposed kind), so the
+    merged exposition types them correctly and sums them."""
+    def one(value: float) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.gauge(
+            "repro_result_cache_hits_total", "Hits.", kind_override="counter"
+        ).set(value)
+        return registry
+
+    merged = merge_dumps([one(2.0).dump(), one(3.0).dump()])
+    entry = merged["metrics"]["repro_result_cache_hits_total"]
+    assert entry["kind"] == "counter"
+    assert entry["values"] == [[[], 5.0]]
+    assert "# TYPE repro_result_cache_hits_total counter" in render_dump(merged)
+
+
+def test_merge_union_of_disjoint_metrics_and_labelsets():
+    a = MetricsRegistry()
+    a.counter("repro_a_total", "A.", label_names=("shard",)).inc(shard="0")
+    b = MetricsRegistry()
+    b.counter("repro_a_total", "A.", label_names=("shard",)).inc(2.0, shard="1")
+    b.counter("repro_b_total", "B.").inc()
+    merged = merge_dumps([a.dump(), b.dump()])
+    assert merged["metrics"]["repro_a_total"]["values"] == [
+        [["0"], 1.0],
+        [["1"], 2.0],
+    ]
+    assert merged["metrics"]["repro_b_total"]["values"] == [[[], 1.0]]
+
+
+def test_merge_does_not_mutate_input_dumps():
+    registry = _worker_registry(3, 1)
+    dump = registry.dump()
+    before = json.loads(json.dumps(dump))
+    merge_dumps([dump, _worker_registry(5, 1).dump()])
+    assert dump == before
+
+
+def test_merge_rejects_bucket_and_kind_mismatches():
+    a = MetricsRegistry()
+    a.histogram("h_seconds", "H.", buckets=(0.1, 1.0)).observe(0.05)
+    b = MetricsRegistry()
+    b.histogram("h_seconds", "H.", buckets=(0.2, 2.0)).observe(0.05)
+    with pytest.raises(ValueError):
+        merge_dumps([a.dump(), b.dump()])
+    c = MetricsRegistry()
+    c.counter("x_total", "X.").inc()
+    d = MetricsRegistry()
+    d.gauge("x_total", "X.").set(1.0)
+    with pytest.raises(ValueError):
+        merge_dumps([c.dump(), d.dump()])
 
 
 def test_registry_hammer_from_many_threads():

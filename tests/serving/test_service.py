@@ -267,3 +267,51 @@ def test_search_vectorized_mode_matches_index_mode(service, rec_corpus_dir):
     assert served["results"] == [
         {"object_id": r.object_id, "score": r.score} for r in expected
     ]
+
+
+# ----------------------------------------------------------------------
+# mode resolution (the stale "index" default regression class)
+# ----------------------------------------------------------------------
+def test_default_mode_resolves_to_vectorized(service, loaded_manager):
+    """With no mode argument the service must run the vectorized engine
+    — the payload reports the *resolved* mode, not the ``auto`` alias."""
+    query_id = loaded_manager.current.corpus[0].object_id
+    assert service.search(query=query_id, k=3)["mode"] == "index-vectorized"
+    assert service.similar(tags=["tag1"], k=3)["mode"] == "index-vectorized"
+
+
+def test_resolve_mode_maps_only_auto():
+    from repro.serving.service import resolve_mode
+
+    assert resolve_mode("auto") == "index-vectorized"
+    for mode in ("index-vectorized", "index", "scan"):
+        assert resolve_mode(mode) == mode
+
+
+def test_auto_and_vectorized_share_one_cache_entry(service, loaded_manager):
+    """``auto`` and ``index-vectorized`` rank identically; keying the
+    cache on the resolved mode keeps them from double-populating it."""
+    query_id = loaded_manager.current.corpus[0].object_id
+    first = service.search(query=query_id, k=3, mode="auto")
+    assert first["cached"] is False
+    assert service.search(query=query_id, k=3, mode="index-vectorized")["cached"] is True
+    assert service.search(query=query_id, k=3)["cached"] is True
+    assert len(service.cache) == 1
+    # the scalar walk is a genuinely different computation: its own entry
+    assert service.search(query=query_id, k=3, mode="index")["cached"] is False
+    assert len(service.cache) == 2
+
+
+def test_similar_auto_and_vectorized_share_one_cache_entry(service):
+    assert service.similar(tags=["tag1"], k=3, mode="auto")["cached"] is False
+    assert service.similar(tags=["tag1"], k=3, mode="index-vectorized")["cached"] is True
+    assert len(service.cache) == 1
+
+
+def test_repeated_recommend_is_served_from_cache(service, rec_corpus_dir):
+    corpus = load_corpus(rec_corpus_dir)
+    user = corpus.favorite_users()[0]
+    assert service.recommend(user=user, k=3)["cached"] is False
+    assert service.recommend(user=user, k=3)["cached"] is True
+    # a different delta is a different computation -> its own entry
+    assert service.recommend(user=user, k=3, delta=0.5)["cached"] is False

@@ -246,3 +246,80 @@ def test_manager_forwards_verify_payload(tmp_path, tiny_corpus):
     manager = SnapshotManager(path, verify_payload=False)
     snapshot = manager.load()
     assert snapshot.index_provenance.payload_verified is False
+
+
+# ----------------------------------------------------------------------
+# leases and deterministic disposal (the reload fd-leak fix)
+# ----------------------------------------------------------------------
+def _binary_corpus_dir(tmp_path, tiny_corpus):
+    """Corpus dir with a v3 artifact, so snapshots hold a real fd+mmap."""
+    from repro.storage.store import save_index
+
+    path = _corpus_on_disk(tmp_path, tiny_corpus)
+    built = build_snapshot(path, generation=1)
+    save_index(built.engine.index, path / "index.bin")
+    return path
+
+
+def test_lease_before_load_raises(rec_corpus_dir):
+    with pytest.raises(RuntimeError):
+        SnapshotManager(rec_corpus_dir).lease()
+
+
+def test_reload_closes_unleased_previous_snapshot(tmp_path, tiny_corpus):
+    manager = SnapshotManager(_binary_corpus_dir(tmp_path, tiny_corpus))
+    first = manager.load()
+    assert first.engine.index.closed is False
+    second = manager.reload()
+    # no lease was open: the retired mapping is closed on the swap
+    assert first.engine.index.closed is True
+    assert second.engine.index.closed is False
+
+
+def test_open_lease_defers_disposal_until_release(tmp_path, tiny_corpus):
+    manager = SnapshotManager(_binary_corpus_dir(tmp_path, tiny_corpus))
+    first = manager.load()
+    lease = manager.lease()
+    assert manager.leases(first.generation) == 1
+    manager.reload()
+    # the in-flight request still reads generation 1: not closed yet
+    assert lease.snapshot is first
+    assert first.engine.index.closed is False
+    lease.release()
+    assert first.engine.index.closed is True
+    assert manager.leases(first.generation) == 0
+    # release is idempotent — a double release must not double-close
+    lease.release()
+
+
+def test_lease_context_manager_releases(tmp_path, tiny_corpus):
+    manager = SnapshotManager(_binary_corpus_dir(tmp_path, tiny_corpus))
+    first = manager.load()
+    with manager.lease() as snapshot:
+        assert snapshot is first
+        manager.reload()
+        assert first.engine.index.closed is False
+    assert first.engine.index.closed is True
+
+
+def test_current_snapshot_never_closed_by_release(tmp_path, tiny_corpus):
+    manager = SnapshotManager(_binary_corpus_dir(tmp_path, tiny_corpus))
+    current = manager.load()
+    with manager.lease():
+        pass
+    assert current.engine.index.closed is False
+
+
+def test_reload_churn_does_not_leak_fds(tmp_path, tiny_corpus):
+    """Regression for the reload fd/mmap leak: before refcounted
+    disposal, every reload left the old artifact's fd open until GC."""
+    import os
+
+    if not os.path.isdir("/proc/self/fd"):
+        pytest.skip("requires /proc fd introspection")
+    manager = SnapshotManager(_binary_corpus_dir(tmp_path, tiny_corpus))
+    manager.load()
+    baseline = len(os.listdir("/proc/self/fd"))
+    for _ in range(8):
+        manager.reload()
+    assert len(os.listdir("/proc/self/fd")) <= baseline

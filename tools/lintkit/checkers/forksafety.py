@@ -24,6 +24,16 @@ argument values and the extra positional arguments of the submission
 itself are checked against the same binding set.  Bound methods
 (``pool.submit(self.worker)``) are flagged when the class owns a lock
 or thread attribute, since the whole instance is pickled.
+
+Raw ``os.fork()`` (the prefork serving supervisor) is held to the same
+discipline: forking while a thread handle is bound in the forking
+function's scope chain is flagged — only the calling thread survives
+the fork, so the child inherits dead threads and whatever locks they
+held, frozen forever.  A thread bound in the *same* scope on a line
+*after* the fork call is clean (that is the fork-then-thread-in-the-
+child pattern the worker runtime uses); bindings in enclosing scopes
+are flagged regardless of line order, since they exist by the time the
+forking function runs.
 """
 
 from __future__ import annotations
@@ -204,6 +214,66 @@ def _default_resources(
     return found
 
 
+def _is_thread_binding(value: ast.expr) -> bool:
+    if not isinstance(value, ast.Call):
+        return False
+    func = value.func
+    name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", "")
+    return _RESOURCE_KINDS.get(name) == "thread handle"
+
+
+def _is_fork_call(func: ast.expr) -> bool:
+    if isinstance(func, ast.Attribute):
+        return func.attr in ("fork", "forkpty") and (
+            isinstance(func.value, ast.Name) and func.value.id == "os"
+        )
+    return isinstance(func, ast.Name) and func.id in ("fork", "forkpty")
+
+
+def _thread_bindings(body: list[ast.stmt]) -> list[tuple[str, int]]:
+    """``(name, lineno)`` thread-handle bindings made directly in a
+    scope body — nested function/lambda bodies are separate scopes and
+    excluded (a method's local thread is invisible to the forker)."""
+    found: list[tuple[str, int]] = []
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.Assign) and _is_thread_binding(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    found.append((target.id, node.lineno))
+        elif (
+            isinstance(node, ast.AnnAssign)
+            and node.value is not None
+            and _is_thread_binding(node.value)
+            and isinstance(node.target, ast.Name)
+        ):
+            found.append((node.target.id, node.lineno))
+        stack.extend(ast.iter_child_nodes(node))
+    return found
+
+
+def _parent_functions(tree: ast.Module) -> dict[int, ast.AST | None]:
+    """Node id -> innermost function def lexically containing it
+    (``None`` for module level)."""
+    parents: dict[int, ast.AST | None] = {}
+
+    def annotate(node: ast.AST, current: ast.AST | None) -> None:
+        for child in ast.iter_child_nodes(node):
+            parents[id(child)] = current
+            annotate(
+                child,
+                child
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+                else current,
+            )
+
+    annotate(tree, None)
+    return parents
+
+
 def _class_resource_attrs(tree: ast.Module, class_name: str) -> list[tuple[str, str]]:
     for node in ast.walk(tree):
         if isinstance(node, ast.ClassDef) and node.name == class_name:
@@ -231,6 +301,7 @@ class ForkSafetyChecker(Checker):
     description = "lock/thread/file/mmap/socket captured into a process-pool task"
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
+        yield from self._check_forks(ctx)
         process_pools, thread_pools = _collect_pool_names(ctx.tree)
         module_scope, enclosing, own = _scopes(ctx.tree)
         # Method name -> owning class, for bound-method submissions.
@@ -273,6 +344,40 @@ class ForkSafetyChecker(Checker):
                             rule=self.rule_id,
                             fix="pass plain data and recreate the resource in the worker",
                         )
+
+    def _check_forks(self, ctx: FileContext) -> Iterator[Violation]:
+        """Flag ``os.fork()`` reachable from a scope chain that binds a
+        thread handle before the fork (see module docstring)."""
+        parents = _parent_functions(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or not _is_fork_call(node.func):
+                continue
+            # Scope chain bodies, innermost first; the innermost scope
+            # applies the line-order rule (thread created *after* the
+            # fork is the child's own thread and perfectly safe).
+            scope: ast.AST | None = parents.get(id(node))
+            innermost = True
+            while True:
+                body = ctx.tree.body if scope is None else scope.body  # type: ignore[attr-defined]
+                for name, lineno in _thread_bindings(body):
+                    if innermost and lineno >= node.lineno:
+                        continue
+                    yield ctx.violation(
+                        node,
+                        self.name,
+                        f"os.fork() with thread handle {name!r} bound in scope "
+                        f"(line {lineno}); only the calling thread survives a "
+                        "fork — the child inherits dead threads and any locks "
+                        "they held",
+                        rule=self.rule_id,
+                        fix="fork before creating threads (keep the forking "
+                        "process single-threaded), or create the thread only "
+                        "in the child",
+                    )
+                if scope is None:
+                    break
+                scope = parents.get(id(scope))
+                innermost = False
 
     def _check_task(
         self,

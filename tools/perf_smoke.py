@@ -17,7 +17,13 @@ properties the impact-ordering change bought:
 * **vectorized scoring** — on a larger corpus (default 2,500 objects)
   the block-max vectorized mode must beat the scalar index mode by at
   least ``--min-vectorized-speedup`` at p50 (default 2.0, i.e. half the
-  latency), actually skip posting blocks, and stay bit-identical.
+  latency), actually skip posting blocks, and stay bit-identical;
+* **serving defaults** — a snapshot served off the saved corpus +
+  ``index.bin`` must run the vectorized engine *by default* (payload
+  reports the resolved ``index-vectorized`` mode, block pruning fires,
+  v3 provenance), ``auto`` and ``index-vectorized`` requests must share
+  one cache entry, and default-mode rankings must stay bit-identical to
+  the scalar index walk.
 
 Writes a machine-readable JSON artifact (latency p50/p95, access
 counts, the jsonl-vs-binary load/size comparison) for the CI run to
@@ -41,8 +47,11 @@ from pathlib import Path
 from repro.core.retrieval import RetrievalEngine
 from repro.eval import percentile, sample_queries
 from repro.index.inverted import CliqueInvertedIndex
+from repro.serving.cache import ResultCache
+from repro.serving.service import QueryService
+from repro.serving.snapshot import SnapshotManager
 from repro.social.generator import GeneratorConfig, SyntheticFlickr
-from repro.storage.store import load_index, save_index
+from repro.storage.store import load_index, save_corpus, save_index
 
 #: Load-time repeats for stable p50/p95 on a 1-core CI runner.
 LOAD_REPEATS = 5
@@ -96,6 +105,59 @@ def _binary_store_report(
         "max_binary_load_ms": max_load_ms,
         "within_load_budget": load_p50_ms < max_load_ms,
         "smaller_than_jsonl": bin_bytes < jsonl_bytes,
+        "parity_failures": parity_failures,
+    }
+
+
+def _serving_defaults_report(engine: RetrievalEngine, queries: list, k: int) -> dict:
+    """Serve the smoke corpus off disk and assert the serving layer's
+    defaults actually reach the vectorized engine (the stale
+    ``mode="index"`` default regression class)."""
+    with tempfile.TemporaryDirectory(prefix="perf_smoke_serving_") as tmp:
+        directory = Path(tmp)
+        save_corpus(engine.corpus, directory)
+        save_index(engine.index, directory / "index.bin")
+        manager = SnapshotManager(directory)
+        manager.load()
+        service = QueryService(manager, cache=ResultCache(256))
+        snapshot = manager.current
+        provenance = snapshot.index_provenance
+
+        default_modes: set[str] = set()
+        parity_failures: list[str] = []
+        cache_shared = True
+        for query in queries:
+            payload = service.search(query.object_id, k=k)
+            default_modes.add(payload["mode"])
+            served = [(r["object_id"], r["score"]) for r in payload["results"]]
+            reference = [
+                (r.object_id, r.score)
+                for r in engine.search(engine.corpus.get(query.object_id), k=k, mode="index")
+            ]
+            if served != reference:
+                parity_failures.append(query.object_id)
+            # auto / index-vectorized must resolve to one cache entry.
+            explicit = service.search(query.object_id, k=k, mode="index-vectorized")
+            if not explicit["cached"]:
+                cache_shared = False
+        _, stats = snapshot.engine.search_with_stats(
+            engine.corpus.get(queries[0].object_id), k=k, mode="auto"
+        )
+        snapshot.close()
+
+    return {
+        "default_modes": sorted(default_modes),
+        "default_is_vectorized": default_modes == {"index-vectorized"},
+        "cache_shared_across_mode_aliases": cache_shared,
+        "provenance": {
+            "origin": provenance.origin if provenance else None,
+            "format_version": provenance.format_version if provenance else None,
+        },
+        "served_from_v3_artifact": bool(
+            provenance and provenance.origin == "loaded" and provenance.format_version == 3
+        ),
+        "blocks": {"skipped": stats.blocks_skipped, "total": stats.blocks_total},
+        "blocks_visible": stats.blocks_total > 0,
         "parity_failures": parity_failures,
     }
 
@@ -214,6 +276,7 @@ def run_smoke(
             parity_failures.append(query.object_id)
 
     binary_index = _binary_store_report(engine, queries, k, max_binary_load_ms)
+    serving_defaults = _serving_defaults_report(engine, queries[:10], k)
     vectorized = _vectorized_report(
         vectorized_objects,
         vectorized_queries,
@@ -235,9 +298,20 @@ def run_smoke(
         and vectorized["blocks_pruned"]
         and not vectorized["parity_failures"]
     )
+    serving_ok = (
+        serving_defaults["default_is_vectorized"]
+        and serving_defaults["cache_shared_across_mode_aliases"]
+        and serving_defaults["served_from_v3_artifact"]
+        and serving_defaults["blocks_visible"]
+        and not serving_defaults["parity_failures"]
+    )
     return {
         "gate": "perf_smoke",
-        "ok": within_budget and not parity_failures and binary_ok and vectorized_ok,
+        "ok": within_budget
+        and not parity_failures
+        and binary_ok
+        and vectorized_ok
+        and serving_ok,
         "n_objects": n_objects,
         "n_queries": len(queries),
         "k": k,
@@ -256,6 +330,7 @@ def run_smoke(
         },
         "parity_failures": parity_failures,
         "binary_index": binary_index,
+        "serving_defaults": serving_defaults,
         "vectorized": vectorized,
     }
 
@@ -360,6 +435,42 @@ def main(argv: list[str] | None = None) -> int:
             f"perf-smoke FAIL: {len(binary['parity_failures'])} queries from the "
             f"binary-loaded index diverged from the built engine: "
             f"{binary['parity_failures'][:5]}",
+            file=sys.stderr,
+        )
+        return 1
+    serving = report["serving_defaults"]
+    if not serving["default_is_vectorized"]:
+        print(
+            f"perf-smoke FAIL: default serving mode resolved to "
+            f"{serving['default_modes']} instead of ['index-vectorized']",
+            file=sys.stderr,
+        )
+        return 1
+    if not serving["cache_shared_across_mode_aliases"]:
+        print(
+            "perf-smoke FAIL: auto and index-vectorized requests do not share "
+            "a result-cache entry (double population)",
+            file=sys.stderr,
+        )
+        return 1
+    if not serving["served_from_v3_artifact"]:
+        print(
+            f"perf-smoke FAIL: snapshot did not pick up the v3 binary artifact "
+            f"(provenance {serving['provenance']})",
+            file=sys.stderr,
+        )
+        return 1
+    if not serving["blocks_visible"]:
+        print(
+            "perf-smoke FAIL: served auto-mode query reported no posting blocks",
+            file=sys.stderr,
+        )
+        return 1
+    if serving["parity_failures"]:
+        print(
+            f"perf-smoke FAIL: {len(serving['parity_failures'])} default-mode "
+            f"served queries diverged from the scalar index walk: "
+            f"{serving['parity_failures'][:5]}",
             file=sys.stderr,
         )
         return 1
